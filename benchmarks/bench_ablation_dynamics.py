@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 8 — filecule stability across trace epochs (future-work experiment).
+
+Run with ``pytest benchmarks/bench_ablation_dynamics.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_dynamics(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "ablation_dynamics")

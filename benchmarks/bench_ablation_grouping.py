@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Grouping ablation — bundle eviction vs learned prefetch vs filecule variants + stack-distance mechanism.
+
+Run with ``pytest benchmarks/bench_ablation_grouping.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_grouping(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "ablation_grouping")

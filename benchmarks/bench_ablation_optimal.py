@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Optimality ablation — online filecule policies vs clairvoyant Belady MIN at both granularities.
+
+Run with ``pytest benchmarks/bench_ablation_optimal.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_optimal(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "ablation_optimal")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Ablation — filecule-LRU against FIFO/LRU/LFU/SIZE/GDS/Landlord/group-prefetch baselines.
+
+Run with ``pytest benchmarks/bench_ablation_policies.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_policies(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "ablation_policies")

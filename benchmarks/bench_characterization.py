@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Micro-structure diagnostics — input-set reuse, pairwise overlap, and reuse-distance signatures.
+
+Run with ``pytest benchmarks/bench_characterization.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_characterization(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "characterization")

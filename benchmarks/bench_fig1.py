@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 1 — distribution of the number of input files per job (paper mean: 108).
+
+Run with ``pytest benchmarks/bench_fig1.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig1(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig1")

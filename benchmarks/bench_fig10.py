@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 10 — LRU miss rate, file vs filecule granularity, across seven cache sizes.
+
+Run with ``pytest benchmarks/bench_fig10.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig10(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig10")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12 — per-user access intervals for the hottest filecule.
+
+Run with ``pytest benchmarks/bench_fig12.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig12(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig12")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 — jobs and file requests per day over the 27-month window.
+
+Run with ``pytest benchmarks/bench_fig2.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig2")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 3 — file size distribution (narrow, domain-ruled -- not web-like heavy-tailed).
+
+Run with ``pytest benchmarks/bench_fig3.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig3")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 — number of users sharing a filecule (~10% single-user; capped sharing).
+
+Run with ``pytest benchmarks/bench_fig4.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig4")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 — number of filecules per job (multiple, but far fewer than files per job).
+
+Run with ``pytest benchmarks/bench_fig5.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig5(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig5")

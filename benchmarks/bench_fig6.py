@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 — filecule sizes in MB per data tier.
+
+Run with ``pytest benchmarks/bench_fig6.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig6")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 — files per filecule per data tier.
+
+Run with ``pytest benchmarks/bench_fig7.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig7(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig7")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 — filecule popularity per tier with Zipf fit (non-Zipf, flattened head).
+
+Run with ``pytest benchmarks/bench_fig8.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig8")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 — requests per filecule (thousands cold, tens very hot).
+
+Run with ``pytest benchmarks/bench_fig9.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "fig9")

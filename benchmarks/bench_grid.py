@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Grid replay — end-to-end SAM substrate: station caches, tape, WAN, replication.
+
+Run with ``pytest benchmarks/bench_grid.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_grid(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "grid")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 experiment — replication byte-cost inflation under per-site (coarsened) identification.
+
+Run with ``pytest benchmarks/bench_inaccurate_replication.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_inaccurate_replication(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "inaccurate_replication")

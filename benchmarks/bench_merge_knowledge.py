@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 extension — distributed identification accuracy as concentrators pool partitions.
+
+Run with ``pytest benchmarks/bench_merge_knowledge.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_merge_knowledge(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "merge_knowledge")

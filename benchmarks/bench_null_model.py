@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Falsifiability control — the filecule advantage must vanish when co-access structure is shuffled away.
+
+Run with ``pytest benchmarks/bench_null_model.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_null_model(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "null_model")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 — per-site filecule identification accuracy (coarsening theorem + accuracy-vs-activity).
+
+Run with ``pytest benchmarks/bench_partial.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_partial(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "partial")

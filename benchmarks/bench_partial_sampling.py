@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 sampling experiment — filecule identification accuracy vs observed job fraction.
+
+Run with ``pytest benchmarks/bench_partial_sampling.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_partial_sampling(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "partial_sampling")

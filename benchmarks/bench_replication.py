@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 — proactive replication at file vs filecule granularity under per-site budgets.
+
+Run with ``pytest benchmarks/bench_replication.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_replication(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "replication")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Robustness sweep — Figure 10 improvement factors across five independent workload seeds.
+
+Run with ``pytest benchmarks/bench_robustness.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_robustness(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "robustness")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 5 — BitTorrent feasibility: swarm vs client-server under observed arrivals.
+
+Run with ``pytest benchmarks/bench_swarm.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_swarm(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "swarm")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 — per-tier users/jobs/files, input per job (MB) and wall time per job (hours).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "table1")

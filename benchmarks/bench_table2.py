@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 — per-domain jobs, submission nodes, sites, users, filecules, files and total data.
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table2(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "table2")

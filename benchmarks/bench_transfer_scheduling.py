@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 quantified — filecule-batched vs file-at-a-time inbound transfer scheduling.
+
+Run with ``pytest benchmarks/bench_transfer_scheduling.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_transfer_scheduling(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "transfer_scheduling")

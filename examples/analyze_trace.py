@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Analyze an external trace file: the adoption path for real SAM exports.
+
+Loads a trace from disk (JSONL file or CSV directory, the formats of
+``repro.traces.io``), then runs the full first-look analysis battery:
+
+* headline summary and Table 1/2-style breakdowns;
+* filecule identification with invariant validation;
+* micro-structure diagnostics (input-set reuse, overlap, reuse distance);
+* a quick file-vs-filecule LRU comparison at 5% of the data volume.
+
+Usage::
+
+    # produce an input first (or bring your own export):
+    python -m repro.workload --scale small --seed 1 --format jsonl --out t.jsonl
+    python examples/analyze_trace.py t.jsonl
+    python examples/analyze_trace.py some_csv_directory/
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import find_filecules
+from repro.analysis import (
+    file_vs_filecule_reuse,
+    job_set_reuse,
+    pairwise_jaccard_sample,
+)
+from repro.cache import FileLRU, FileculeLRU, simulate
+from repro.core import assert_partition_valid
+from repro.traces import (
+    domain_table,
+    read_trace_csv,
+    read_trace_jsonl,
+    summarize,
+    tier_table,
+)
+from repro.util import format_bytes, render_table
+
+
+def load(path: Path):
+    if path.is_dir():
+        return read_trace_csv(path)
+    return read_trace_jsonl(path)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        raise SystemExit(2)
+    path = Path(sys.argv[1])
+    trace = load(path)
+    print(f"loaded {path}: {summarize(trace)}")
+
+    partition = find_filecules(trace)
+    assert_partition_valid(trace, partition)
+    print(
+        f"\n{len(partition)} filecules over {partition.n_covered_files} "
+        f"accessed files; largest "
+        f"{format_bytes(int(partition.sizes_bytes.max()))}, most requested "
+        f"{int(partition.requests.max())} times (invariants verified)"
+    )
+
+    rows = tier_table(trace)
+    print()
+    print(
+        render_table(
+            ["Data tier", "Users", "Jobs", "Files", "Input/Job (MB)", "Time/Job (h)"],
+            [
+                (r["tier"], r["users"], r["jobs"], r["files"], r["input_mb"], r["hours"])
+                for r in rows
+            ],
+            title="per-tier characteristics",
+        )
+    )
+    rows = domain_table(trace)
+    print()
+    print(
+        render_table(
+            ["Domain", "Jobs", "Nodes", "Sites", "Users", "Files", "Data (GB)"],
+            [
+                (r["domain"], r["jobs"], r["nodes"], r["sites"], r["users"],
+                 r["files"], r["data_gb"])
+                for r in rows
+            ],
+            title="per-domain characteristics",
+        )
+    )
+
+    reuse = job_set_reuse(trace)
+    overlap = pairwise_jaccard_sample(trace, n_pairs=2000, seed=0)
+    file_r, cule_r = file_vs_filecule_reuse(trace, partition)
+    print(
+        f"\nmicro-structure: {reuse.reuse_fraction:.0%} of jobs repeat an "
+        f"exact input set; job pairs {overlap.disjoint_fraction:.0%} "
+        f"disjoint / {overlap.partial_fraction:.0%} partial / "
+        f"{overlap.identical_fraction:.0%} identical; median reuse "
+        f"distance {file_r.median_distance:.0f} files vs "
+        f"{cule_r.median_distance:.0f} filecules"
+    )
+
+    capacity = max(int(0.05 * trace.total_bytes()), 1)
+    m_file = simulate(trace, lambda c: FileLRU(c), capacity)
+    m_cule = simulate(trace, lambda c: FileculeLRU(c, partition), capacity)
+    factor = (
+        m_file.miss_rate / m_cule.miss_rate if m_cule.miss_rate else float("inf")
+    )
+    print(
+        f"\ncache check at {format_bytes(capacity)} (5% of data): "
+        f"file-LRU misses {m_file.miss_rate:.2f}, filecule-LRU "
+        f"{m_cule.miss_rate:.2f} — managing this workload at filecule "
+        f"granularity is worth {factor:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

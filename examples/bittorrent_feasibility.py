@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""BitTorrent feasibility study (paper §5, Figures 11–12).
+
+For the most widely shared filecules: draw the per-site and per-user
+access-interval charts, compute concurrency profiles, and price swarm vs
+client-server transfers under the observed arrivals — plus a flash-crowd
+control showing the swarm model does pay off when concurrency exists.
+
+Usage::
+
+    python examples/bittorrent_feasibility.py [scale] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import find_filecules, generate_trace
+from repro.transfer import (
+    bittorrent_feasibility,
+    concurrency_profile,
+    job_duration_intervals,
+    select_hot_filecule,
+    simulate_client_server,
+    simulate_swarm,
+    site_intervals,
+    user_intervals,
+)
+from repro.util import ascii_intervals, format_bytes, render_table
+from repro.util.timeutil import SECONDS_PER_DAY
+from repro.util.units import GB
+from repro.workload import default_config, small_config, tiny_config
+
+SCALES = {"tiny": tiny_config, "small": small_config, "default": default_config}
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+    trace = generate_trace(SCALES[scale](), seed=seed)
+    partition = find_filecules(trace)
+
+    fc = select_hot_filecule(trace, partition)
+    print(f"hottest filecule: {fc}")
+
+    rows = site_intervals(trace, fc)
+    print()
+    print(
+        ascii_intervals(
+            [
+                (r.label, r.start / SECONDS_PER_DAY, r.end / SECONDS_PER_DAY)
+                for r in rows
+            ],
+            title="Figure 11: per-site access intervals (days)",
+        )
+    )
+    rows = user_intervals(trace, fc)
+    print()
+    print(
+        ascii_intervals(
+            [
+                (r.label, r.start / SECONDS_PER_DAY, r.end / SECONDS_PER_DAY)
+                for r in rows
+            ],
+            title="Figure 12: per-user access intervals (days)",
+        )
+    )
+    running = concurrency_profile(job_duration_intervals(trace, fc))
+    print(
+        f"\njobs running on this filecule simultaneously: "
+        f"max {running.max_concurrency}, "
+        f"time-weighted mean {running.mean_concurrency:.2f}"
+    )
+
+    print()
+    table = bittorrent_feasibility(trace, partition, top_k=5)
+    print(
+        render_table(
+            ["filecule", "size", "jobs", "users", "max conc", "swarm speedup"],
+            [
+                [
+                    f"#{r.filecule_id}",
+                    format_bytes(r.size_bytes, 1),
+                    r.n_jobs,
+                    r.n_users,
+                    r.max_concurrent_users,
+                    f"{r.speedup:.2f}x",
+                ]
+                for r in table
+            ],
+            title="swarm vs client-server under observed arrivals",
+        )
+    )
+
+    # control: the same machinery under a flash crowd
+    size = 2 * GB
+    cs = simulate_client_server([0.0] * 40, size)
+    sw = simulate_swarm([0.0] * 40, size)
+    print(
+        f"\nflash-crowd control (40 peers, {format_bytes(size)}): "
+        f"client-server {cs.mean_download_time:.0f}s vs swarm "
+        f"{sw.mean_download_time:.0f}s "
+        f"({cs.mean_download_time / sw.mean_download_time:.1f}x)"
+    )
+    print(
+        "conclusion: the mechanism works; the DZero-like workload simply "
+        "lacks the concurrency to exploit it (paper §5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Cache policy study: the Figure 10 sweep plus the related-work baselines.
+
+Replays the workload against seven cache sizes and eight replacement
+policies, printing miss rates, byte miss rates and fetch overheads —
+extending the paper's two-policy Figure 10 with the §7 related-work field
+(FIFO, LFU, SIZE, Greedy-Dual-Size, Landlord, group-prefetching LRU).
+
+Usage::
+
+    python examples/cache_study.py [scale] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import find_filecules, generate_trace
+from repro.cache import (
+    FileFIFO,
+    FileLFU,
+    FileLRU,
+    FileculeLRU,
+    GreedyDualSize,
+    GroupPrefetchLRU,
+    Landlord,
+    LargestFirst,
+    sweep,
+)
+from repro.experiments.fig10 import CAPACITY_FRACTIONS
+from repro.util import format_bytes, render_table
+from repro.workload import default_config, small_config, tiny_config
+
+SCALES = {"tiny": tiny_config, "small": small_config, "default": default_config}
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+    trace = generate_trace(SCALES[scale](), seed=seed)
+    partition = find_filecules(trace)
+    total = trace.total_bytes()
+    capacities = [max(int(f * total), 1) for f in CAPACITY_FRACTIONS]
+
+    factories = {
+        "file-fifo": lambda c: FileFIFO(c),
+        "file-lru": lambda c: FileLRU(c),
+        "file-lfu": lambda c: FileLFU(c),
+        "largest-first": lambda c: LargestFirst(c),
+        "gds": lambda c: GreedyDualSize(c),
+        "landlord": lambda c: Landlord(c),
+        "group-prefetch": lambda c: GroupPrefetchLRU(
+            c, trace.file_datasets.astype("int64"), trace.file_sizes
+        ),
+        "filecule-lru": lambda c: FileculeLRU(c, partition),
+    }
+    print(
+        f"sweeping {len(factories)} policies x {len(capacities)} capacities "
+        f"over {trace.n_accesses} requests ({format_bytes(total)} of data)"
+    )
+    result = sweep(trace, factories, capacities)
+
+    headers = ["policy"] + [format_bytes(c, 1) for c in capacities]
+    rows = [
+        [name] + [f"{m.miss_rate:.3f}" for m in metrics]
+        for name, metrics in result.metrics.items()
+    ]
+    print()
+    print(render_table(headers, rows, title="miss rate by cache size"))
+
+    rows = [
+        [name] + [f"{m.fetch_overhead:.1f}" for m in metrics]
+        for name, metrics in result.metrics.items()
+    ]
+    print()
+    print(
+        render_table(
+            headers,
+            rows,
+            title="fetch overhead (bytes pulled per missed requested byte)",
+        )
+    )
+    factors = result.improvement_factor("file-lru", "filecule-lru")
+    print()
+    print(
+        "filecule-LRU improvement over file-LRU per capacity: "
+        + ", ".join(f"{f:.1f}x" for f in factors)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Build a custom workload configuration and export the trace.
+
+Shows the full configuration surface: define your own tiers, domains and
+behavioural knobs, generate the trace, characterize it, and write it out
+in both interchange formats (CSV directory + JSONL) for external tools —
+or for loading real SAM-style exports back in.
+
+Usage::
+
+    python examples/custom_workload.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import find_filecules, generate_trace
+from repro.traces import (
+    read_trace_jsonl,
+    summarize,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.util import GB, MB, format_bytes
+from repro.workload import DomainConfig, TierConfig, WorkloadConfig
+
+
+def build_config() -> WorkloadConfig:
+    """A two-tier, three-domain mini-collaboration."""
+    tiers = (
+        TierConfig(
+            name="reconstructed",
+            n_files=3000,
+            n_datasets=200,
+            file_size_mean=500 * MB,
+            file_size_sigma=0.4,
+            file_size_min=50 * MB,
+            file_size_max=2 * GB,
+            dataset_len_mean=40.0,
+            dataset_len_sigma=1.3,
+            dataset_len_max=600,
+            job_weight=1.0,
+            duration_hours_mean=8.0,
+        ),
+        TierConfig(
+            name="thumbnail",
+            n_files=2000,
+            n_datasets=300,
+            file_size_mean=200 * MB,
+            file_size_sigma=0.5,
+            file_size_min=10 * MB,
+            file_size_max=1 * GB,
+            dataset_len_mean=60.0,
+            dataset_len_sigma=1.3,
+            dataset_len_max=800,
+            job_weight=3.0,
+            duration_hours_mean=3.0,
+        ),
+    )
+    domains = (
+        DomainConfig(".gov", n_sites=1, n_nodes=4, user_weight=30, activity_boost=4.0),
+        DomainConfig(".edu", n_sites=3, n_nodes=5, user_weight=12),
+        DomainConfig(".de", n_sites=1, n_nodes=2, user_weight=6),
+    )
+    return WorkloadConfig(
+        tiers=tiers,
+        domains=domains,
+        n_users=48,
+        n_traced_jobs=1500,
+        n_other_jobs=800,
+        span_days=365.0,
+        locality_boost=6.0,
+        name="mini-collab",
+    )
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "custom_workload_out")
+    config = build_config()
+    trace = generate_trace(config, seed=2026)
+    print(f"generated '{config.name}': {summarize(trace)}")
+
+    partition = find_filecules(trace)
+    print(
+        f"{len(partition)} filecules; largest "
+        f"{format_bytes(int(partition.sizes_bytes.max()))}, most requested "
+        f"{int(partition.requests.max())} times"
+    )
+
+    csv_dir = write_trace_csv(trace, out_dir / "trace_csv")
+    jsonl_path = write_trace_jsonl(trace, out_dir / "trace.jsonl")
+    print(f"wrote {csv_dir}/ (CSV tables) and {jsonl_path} (JSONL)")
+
+    # round-trip sanity: the loaded trace yields the identical partition
+    reloaded = read_trace_jsonl(jsonl_path)
+    same = sorted(
+        tuple(fc.file_ids.tolist()) for fc in find_filecules(reloaded)
+    ) == sorted(tuple(fc.file_ids.tolist()) for fc in partition)
+    print(f"round-trip identification matches: {same}")
+
+
+if __name__ == "__main__":
+    main()

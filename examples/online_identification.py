@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Online filecule identification and partial knowledge (paper §6).
+
+Feeds the job stream to the incremental identifier, reporting how the
+partition refines over time; then compares per-site (local-knowledge)
+identification against the global partition, demonstrating the paper's
+coarsening observation and its accuracy-grows-with-activity trend.
+
+Usage::
+
+    python examples/online_identification.py [scale] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import IncrementalFileculeIdentifier, find_filecules, generate_trace
+from repro.core import coarsening_report, identify_per_site, is_coarsening_of
+from repro.util import render_table
+from repro.workload import default_config, small_config, tiny_config
+
+SCALES = {"tiny": tiny_config, "small": small_config, "default": default_config}
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+    trace = generate_trace(SCALES[scale](), seed=seed)
+
+    # --- streaming identification ------------------------------------
+    ident = IncrementalFileculeIdentifier()
+    checkpoints = sorted(
+        {max(1, trace.n_jobs * k // 10) for k in range(1, 11)}
+    )
+    next_checkpoint = 0
+    print("streaming identification (partition refines as jobs arrive):")
+    for job_id, files in trace.iter_jobs():
+        if len(files):
+            ident.observe_job(files.tolist())
+        if (
+            next_checkpoint < len(checkpoints)
+            and job_id + 1 == checkpoints[next_checkpoint]
+        ):
+            print(
+                f"  after {job_id + 1:6d} jobs: "
+                f"{ident.n_files_observed:6d} files seen, "
+                f"{ident.n_classes:5d} filecule classes"
+            )
+            next_checkpoint += 1
+
+    batch = find_filecules(trace)
+    streaming_groups = sorted(
+        tuple(sorted(c)) for c in ident.classes()
+    )
+    batch_groups = sorted(tuple(fc.file_ids.tolist()) for fc in batch)
+    print(
+        f"streaming result matches offline identification: "
+        f"{streaming_groups == batch_groups}"
+    )
+
+    # --- partial knowledge (per site) ---------------------------------
+    print("\nper-site identification (each site sees only its own jobs):")
+    locals_ = identify_per_site(trace)
+    all_coarser = all(
+        is_coarsening_of(local, batch) for local in locals_.values()
+    )
+    print(f"  coarsening theorem holds at every site: {all_coarser}")
+    reports = coarsening_report(trace, group_by="site")
+    print(
+        render_table(
+            ["site", "jobs", "files seen", "local", "true", "exact", "inflation"],
+            [
+                [
+                    r.group,
+                    r.n_jobs,
+                    r.n_files_seen,
+                    r.n_local_filecules,
+                    r.n_true_filecules,
+                    f"{r.exact_fraction:.2f}",
+                    f"{r.inflation:.2f}",
+                ]
+                for r in reports
+            ],
+        )
+    )
+    print(
+        "note the trend: the busier the site, the closer its local "
+        "filecules come to the global truth (paper §6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

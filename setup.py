@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; offline boxes
+that lack `wheel` can instead run `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Statistical analysis helpers shared by the experiment modules.
+
+Histogramming (linear and log-spaced), distribution summaries, Zipf
+rank-frequency fitting (to test the paper's §3.2 claim that filecule
+popularity is *not* Zipf) and popularity–size correlation (the paper's
+"no correlation" observation).
+"""
+
+from repro.analysis.histograms import (
+    log_bins,
+    histogram,
+    cdf_points,
+    ccdf_points,
+    quantiles,
+    DistributionSummary,
+    summarize_distribution,
+)
+from repro.analysis.popularity import (
+    ZipfFit,
+    fit_zipf,
+    popularity_by_tier,
+    top_k_by_requests,
+)
+from repro.analysis.correlation import (
+    CorrelationReport,
+    popularity_size_correlation,
+)
+from repro.analysis.temporal import (
+    ReuseReport,
+    file_vs_filecule_reuse,
+    reuse_report,
+    stack_distances,
+)
+from repro.analysis.mrc import (
+    MissRateCurve,
+    granularity_mrcs,
+    lru_miss_rate_curve,
+)
+from repro.analysis.overlap import (
+    JobSetReuse,
+    OverlapSample,
+    job_set_reuse,
+    pairwise_jaccard_sample,
+)
+
+__all__ = [
+    "log_bins",
+    "histogram",
+    "cdf_points",
+    "ccdf_points",
+    "quantiles",
+    "DistributionSummary",
+    "summarize_distribution",
+    "ZipfFit",
+    "fit_zipf",
+    "popularity_by_tier",
+    "top_k_by_requests",
+    "CorrelationReport",
+    "popularity_size_correlation",
+    "ReuseReport",
+    "file_vs_filecule_reuse",
+    "reuse_report",
+    "stack_distances",
+    "MissRateCurve",
+    "granularity_mrcs",
+    "lru_miss_rate_curve",
+    "JobSetReuse",
+    "OverlapSample",
+    "job_set_reuse",
+    "pairwise_jaccard_sample",
+]

@@ -1,0 +1,109 @@
+"""Histogram and distribution-summary helpers.
+
+The paper's figures are mostly distributions of heavy-tailed quantities
+(files per job, filecule sizes, popularity); log-spaced binning and
+CDF/CCDF point sets are the natural renderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def log_bins(lo: float, hi: float, per_decade: int = 4) -> np.ndarray:
+    """Logarithmically spaced bin edges covering ``[lo, hi]``.
+
+    ``per_decade`` edges per factor of 10; the last edge is nudged up so
+    ``hi`` always falls inside the final bin.
+    """
+    if not 0 < lo <= hi:
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    n = max(2, int(np.ceil(np.log10(hi / lo) * per_decade)) + 1)
+    edges = np.logspace(np.log10(lo), np.log10(hi), n)
+    edges[-1] *= 1.0 + 1e-9
+    return edges
+
+
+def histogram(
+    values: np.ndarray, bins: np.ndarray | int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Counts per bin; returns (edges, counts)."""
+    values = np.asarray(values)
+    counts, edges = np.histogram(values, bins=bins)
+    return edges, counts
+
+
+def cdf_points(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted unique values, P[X <= v])."""
+    values = np.asarray(values)
+    if len(values) == 0:
+        return np.zeros(0), np.zeros(0)
+    uniq, counts = np.unique(values, return_counts=True)
+    return uniq, np.cumsum(counts) / len(values)
+
+
+def ccdf_points(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CCDF as (sorted unique values, P[X >= v])."""
+    values = np.asarray(values)
+    if len(values) == 0:
+        return np.zeros(0), np.zeros(0)
+    uniq, counts = np.unique(values, return_counts=True)
+    tail = np.cumsum(counts[::-1])[::-1]
+    return uniq, tail / len(values)
+
+
+def quantiles(values: np.ndarray, qs=(0.25, 0.5, 0.75, 0.9, 0.99)) -> dict[float, float]:
+    """Selected quantiles as a dict (empty input yields NaNs)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return {q: float("nan") for q in qs}
+    return {float(q): float(np.quantile(values, q)) for q in qs}
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """Five-number-plus summary of one distribution."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    p90: float
+    p99: float
+
+    def row(self) -> list[float | int]:
+        """Cells in the order the experiment tables print them."""
+        return [
+            self.n,
+            self.mean,
+            self.std,
+            self.minimum,
+            self.median,
+            self.p90,
+            self.p99,
+            self.maximum,
+        ]
+
+
+def summarize_distribution(values: np.ndarray) -> DistributionSummary:
+    """Summary statistics of a (possibly empty) sample."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        nan = float("nan")
+        return DistributionSummary(0, nan, nan, nan, nan, nan, nan, nan)
+    return DistributionSummary(
+        n=len(values),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        median=float(np.median(values)),
+        maximum=float(values.max()),
+        p90=float(np.quantile(values, 0.9)),
+        p99=float(np.quantile(values, 0.99)),
+    )

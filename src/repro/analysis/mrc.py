@@ -1,0 +1,91 @@
+"""Miss-rate curves from stack distances (Mattson's algorithm).
+
+For a unit-count LRU, the hit rate at every capacity k is
+``P[stack distance < k]`` — one pass over the trace yields the *entire*
+miss-rate curve.  This module computes MRCs for arbitrary reference
+streams and for a trace at file vs filecule granularity, and serves as a
+cross-validation oracle for the event-driven simulator (their agreement
+is asserted in the test suite).
+
+Capacities here are in *units held*, not bytes: Mattson's single-pass
+trick requires the inclusion property, which byte-capacity LRU with
+variable sizes does not satisfy exactly.  For DZero-like workloads file
+sizes within a tier are narrow (Figure 3), so the unit-count curve is a
+faithful proxy; the byte-accurate numbers come from
+:func:`repro.cache.simulate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.temporal import stack_distances
+from repro.core.filecule import FileculePartition
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class MissRateCurve:
+    """Hit/miss rate of unit-count LRU at every capacity 0..n_units."""
+
+    #: ``hit_rates[k]`` = hit rate with capacity of k units.
+    hit_rates: np.ndarray
+    n_requests: int
+    n_units: int
+
+    def hit_rate(self, k: int) -> float:
+        """Hit rate at capacity ``k`` units (clamped to the curve)."""
+        if k < 0:
+            raise ValueError(f"capacity must be non-negative, got {k}")
+        k = min(k, len(self.hit_rates) - 1)
+        return float(self.hit_rates[k])
+
+    def miss_rate(self, k: int) -> float:
+        return 1.0 - self.hit_rate(k)
+
+    def capacity_for_hit_rate(self, target: float) -> int:
+        """Smallest unit capacity achieving ``target`` hit rate.
+
+        Returns ``n_units`` if even a full cache cannot reach it (cold
+        misses bound the hit rate).
+        """
+        if not 0 <= target <= 1:
+            raise ValueError(f"target must be in [0, 1], got {target}")
+        reached = np.flatnonzero(self.hit_rates >= target - 1e-12)
+        return int(reached[0]) if len(reached) else self.n_units
+
+
+def lru_miss_rate_curve(reference_stream: np.ndarray) -> MissRateCurve:
+    """Compute the full unit-count LRU MRC of a reference stream."""
+    stream = np.asarray(reference_stream, dtype=np.int64)
+    n = len(stream)
+    units = len(np.unique(stream)) if n else 0
+    if n == 0:
+        return MissRateCurve(np.zeros(1), 0, 0)
+    dist = stack_distances(stream)
+    warm = dist[dist >= 0]
+    # hits at capacity k = count of warm distances < k
+    counts = np.bincount(warm, minlength=units + 1)[: units + 1]
+    hits_up_to = np.concatenate(([0], np.cumsum(counts)))[: units + 1]
+    hit_rates = hits_up_to / n
+    return MissRateCurve(hit_rates=hit_rates, n_requests=n, n_units=units)
+
+
+def granularity_mrcs(
+    trace: Trace, partition: FileculePartition
+) -> tuple[MissRateCurve, MissRateCurve]:
+    """(file-granularity MRC, filecule-granularity MRC) of one trace.
+
+    The filecule stream maps every access through the partition without
+    collapsing duplicates, matching the optimistic
+    :class:`~repro.cache.FileculeLRU` accounting where sibling requests
+    of the loading job hit.
+    """
+    file_curve = lru_miss_rate_curve(trace.access_files)
+    labels = partition.labels[trace.access_files]
+    if np.any(labels < 0):
+        raise ValueError("trace accesses files outside the partition")
+    cule_curve = lru_miss_rate_curve(labels)
+    return file_curve, cule_curve

@@ -1,0 +1,147 @@
+"""Replacement-policy interface and metrics accounting.
+
+A policy owns its contents and eviction decisions; the simulator only
+feeds it timestamped file requests and aggregates the outcomes into
+:class:`CacheMetrics`.  The *miss rate* (fraction of file requests that
+miss) is the paper's Figure 10 metric; byte-level counters support the
+byte-miss-rate view used by the related file-bundle work (§7).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class RequestOutcome:
+    """Result of one file request against a policy.
+
+    ``bytes_fetched`` is what the miss pulled into the cache — for
+    group-granularity policies this exceeds the requested file's size
+    (the whole filecule/group is loaded).  ``bypassed`` marks objects
+    larger than the cache, which are streamed without being cached.
+    """
+
+    hit: bool
+    bytes_fetched: int = 0
+    bypassed: bool = False
+
+
+@dataclass(slots=True)
+class CacheMetrics:
+    """Aggregated outcome of one simulation run."""
+
+    name: str = ""
+    capacity_bytes: int = 0
+    requests: int = 0
+    hits: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    bytes_fetched: int = 0
+    bypasses: int = 0
+
+    def record(self, size: int, outcome: RequestOutcome) -> None:
+        self.requests += 1
+        self.bytes_requested += size
+        if outcome.hit:
+            self.hits += 1
+            self.bytes_hit += size
+        self.bytes_fetched += outcome.bytes_fetched
+        if outcome.bypassed:
+            self.bypasses += 1
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of file requests that missed (paper's Figure 10)."""
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+    @property
+    def byte_miss_rate(self) -> float:
+        """Fraction of requested bytes that were not served from cache."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return 1.0 - self.bytes_hit / self.bytes_requested
+
+    @property
+    def fetch_overhead(self) -> float:
+        """Bytes pulled into the cache per missed requested byte.
+
+        1.0 for file-granularity policies; > 1.0 for group-granularity
+        policies, quantifying their prefetch cost.
+        """
+        missed_bytes = self.bytes_requested - self.bytes_hit
+        if missed_bytes <= 0:
+            return 0.0
+        return self.bytes_fetched / missed_bytes
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            self.capacity_bytes,
+            self.requests,
+            self.miss_rate,
+            self.byte_miss_rate,
+            self.fetch_overhead,
+        ]
+
+
+class ReplacementPolicy(ABC):
+    """Base class: a fixed-capacity object store with pluggable eviction.
+
+    Subclasses implement :meth:`request`; shared capacity bookkeeping
+    lives here.  Policies are single-use — create a fresh instance per
+    simulation run.
+    """
+
+    #: Human-readable policy name (class default; instances may override).
+    name: str = "policy"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def _charge(self, size: int) -> None:
+        """Account an insertion; callers must have evicted to fit first."""
+        self.used_bytes += size
+        if self.used_bytes > self.capacity_bytes:
+            raise RuntimeError(
+                f"{self.name}: used {self.used_bytes} exceeds capacity "
+                f"{self.capacity_bytes} — eviction logic is broken"
+            )
+
+    def _release(self, size: int) -> None:
+        self.used_bytes -= size
+        if self.used_bytes < 0:
+            raise RuntimeError(f"{self.name}: negative occupancy")
+
+    def begin_job(self, file_ids, now: float) -> None:
+        """Hook: a job is about to request exactly ``file_ids`` at ``now``.
+
+        The simulator announces each job's full input set before replaying
+        its per-file requests.  Bundle-aware policies (Otoo et al.'s
+        file-bundle caching, learned-group prefetchers) need this; plain
+        policies ignore it.
+        """
+
+    @abstractmethod
+    def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
+        """Serve one file request, updating contents as needed."""
+
+    @abstractmethod
+    def __contains__(self, file_id: int) -> bool:
+        """Whether the file is currently cached (no LRU side effects)."""

@@ -1,0 +1,37 @@
+"""File-granularity FIFO baseline.
+
+Evicts in insertion order regardless of reuse — the classic strawman that
+shows how much recency actually buys on this workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import ReplacementPolicy, RequestOutcome
+
+
+class FileFIFO(ReplacementPolicy):
+    """First-in-first-out eviction at single-file granularity."""
+
+    name = "file-fifo"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
+        if file_id in self._entries:
+            # no reordering: insertion order is eviction order
+            return RequestOutcome(hit=True)
+        if size > self.capacity_bytes:
+            return RequestOutcome(hit=False, bytes_fetched=size, bypassed=True)
+        while self.used_bytes + size > self.capacity_bytes:
+            _, evicted_size = self._entries.popitem(last=False)
+            self._release(evicted_size)
+        self._entries[file_id] = size
+        self._charge(size)
+        return RequestOutcome(hit=False, bytes_fetched=size)

@@ -1,0 +1,102 @@
+"""Trace replay and capacity sweeps.
+
+:func:`simulate` replays a trace's file requests — each traced job issues
+its input files at its start time, in job order — against one policy
+instance and returns :class:`CacheMetrics`.  :func:`sweep` runs a grid of
+policies × capacities (Figure 10 is a two-policy, seven-capacity sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.cache.base import CacheMetrics, ReplacementPolicy
+from repro.traces.trace import Trace
+
+#: A factory building a fresh policy instance for a given capacity.
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+
+def simulate(
+    trace: Trace,
+    policy_factory: PolicyFactory,
+    capacity: int,
+    name: str | None = None,
+) -> CacheMetrics:
+    """Replay ``trace`` against a fresh policy of the given capacity.
+
+    The request stream is the canonical access order: jobs in
+    chronological (id) order, each job's files in ascending file-id order
+    at the job's start time.  Every policy sees the identical stream, so
+    miss rates are directly comparable.
+    """
+    policy = policy_factory(capacity)
+    metrics = CacheMetrics(
+        name=name or policy.name, capacity_bytes=int(capacity)
+    )
+    sizes = trace.file_sizes
+    starts = trace.job_starts
+    access_jobs = trace.access_jobs
+    access_files = trace.access_files
+    record = metrics.record
+    request = policy.request
+    begin_job = policy.begin_job
+    ptr = trace.job_access_ptr
+    current_job = -1
+    for i in range(len(access_jobs)):
+        j = int(access_jobs[i])
+        if j != current_job:
+            begin_job(trace.access_files[ptr[j] : ptr[j + 1]], float(starts[j]))
+            current_job = j
+        f = int(access_files[i])
+        size = int(sizes[f])
+        record(size, request(f, size, float(starts[j])))
+    return metrics
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Outcome grid of a policies × capacities sweep."""
+
+    capacities: tuple[int, ...]
+    metrics: dict[str, tuple[CacheMetrics, ...]]  # policy name -> per capacity
+
+    def miss_rates(self, policy: str) -> list[float]:
+        return [m.miss_rate for m in self.metrics[policy]]
+
+    def byte_miss_rates(self, policy: str) -> list[float]:
+        return [m.byte_miss_rate for m in self.metrics[policy]]
+
+    def improvement_factor(
+        self, baseline: str, contender: str
+    ) -> list[float]:
+        """Per-capacity ratio baseline miss rate / contender miss rate.
+
+        The paper's headline is a 4–5× factor of file-LRU over
+        filecule-LRU at large caches.  Capacities where the contender has
+        a zero miss rate report ``inf``.
+        """
+        out = []
+        for b, c in zip(self.metrics[baseline], self.metrics[contender]):
+            out.append(b.miss_rate / c.miss_rate if c.miss_rate > 0 else float("inf"))
+        return out
+
+
+def sweep(
+    trace: Trace,
+    factories: dict[str, PolicyFactory],
+    capacities: Sequence[int],
+) -> SweepResult:
+    """Run every (policy, capacity) combination over the same trace."""
+    if not factories:
+        raise ValueError("need at least one policy factory")
+    caps = tuple(int(c) for c in capacities)
+    if not caps:
+        raise ValueError("need at least one capacity")
+    metrics: dict[str, tuple[CacheMetrics, ...]] = {}
+    for name, factory in factories.items():
+        metrics[name] = tuple(
+            simulate(trace, factory, cap, name=name) for cap in caps
+        )
+    return SweepResult(capacities=caps, metrics=metrics)

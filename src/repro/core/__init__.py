@@ -1,0 +1,68 @@
+"""Filecules: identification, properties and derived statistics.
+
+A *filecule* (paper §3) is a maximal group of files that is always used
+together: formally, files :math:`F_1,\\dots,F_n` form a filecule iff every
+job (dataset request) that contains one of them contains all of them.
+Equivalently, a filecule is an equivalence class of files under the
+relation "accessed by exactly the same set of jobs" — which is how
+:func:`find_filecules` computes them.
+
+Three direct consequences of the definition (paper §3) are enforced as
+invariants by :func:`repro.core.properties.assert_partition_valid`:
+
+1. any two filecules are disjoint;
+2. a filecule has at least one file (single-file "monatomic" filecules are
+   allowed);
+3. every file in a filecule has the same request count, so popularity is
+   well-defined per filecule.
+"""
+
+from repro.core.filecule import Filecule, FileculePartition
+from repro.core.identify import find_filecules, signature_of_file
+from repro.core.incremental import IncrementalFileculeIdentifier
+from repro.core.partial import (
+    PartialIdentificationReport,
+    identify_per_site,
+    identify_per_domain,
+    coarsening_report,
+    is_coarsening_of,
+)
+from repro.core.merge import (
+    MergeAccuracyPoint,
+    merge_accuracy_curve,
+    merge_all,
+    merge_partitions,
+)
+from repro.core.dynamics import (
+    EpochStability,
+    partition_similarity,
+    epoch_stability,
+)
+from repro.core.properties import (
+    FileculeInvariantError,
+    assert_partition_valid,
+    partition_is_valid,
+)
+
+__all__ = [
+    "Filecule",
+    "FileculePartition",
+    "find_filecules",
+    "signature_of_file",
+    "IncrementalFileculeIdentifier",
+    "PartialIdentificationReport",
+    "identify_per_site",
+    "identify_per_domain",
+    "coarsening_report",
+    "is_coarsening_of",
+    "MergeAccuracyPoint",
+    "merge_accuracy_curve",
+    "merge_all",
+    "merge_partitions",
+    "EpochStability",
+    "partition_similarity",
+    "epoch_stability",
+    "FileculeInvariantError",
+    "assert_partition_valid",
+    "partition_is_valid",
+]

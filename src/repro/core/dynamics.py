@@ -1,0 +1,136 @@
+"""Filecule dynamics: how stable are filecules over time?
+
+The paper leaves as future work (§8): "How dynamic are [filecules]?  Do
+files stay in the same filecules or do they change over time?  ... are two
+filecules that contain the same file identical [across epochs]?"  This
+module implements that experiment: split the trace into epochs, identify
+filecules per epoch, and measure how much the partitions agree on the
+files observed in both epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filecule import FileculePartition
+from repro.core.identify import find_filecules
+from repro.traces.filters import split_epochs
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSimilarity:
+    """Agreement between two partitions on their common files.
+
+    Attributes
+    ----------
+    n_common_files:
+        Files covered by both partitions.
+    exact_fraction:
+        Fraction of common files whose filecule, *restricted to common
+        files*, is identical under both partitions — the paper's "are two
+        filecules that contain the same file identical?" made precise.
+    rand_index:
+        Pairwise agreement probability (same/different filecule) over all
+        pairs of common files; 1.0 means identical restricted partitions.
+    """
+
+    n_common_files: int
+    exact_fraction: float
+    rand_index: float
+
+
+def partition_similarity(
+    a: FileculePartition, b: FileculePartition
+) -> PartitionSimilarity:
+    """Compare two partitions on the files both cover.
+
+    Uses the contingency table between a-labels and b-labels of common
+    files: the Rand index follows from the pair counts; a file counts as an
+    *exact* match when its a-class and b-class contain exactly the same
+    common files (i.e. its row/column of the contingency table is a single
+    cell on both axes).
+    """
+    if a.n_files != b.n_files:
+        raise ValueError(
+            f"partitions cover catalogs of different sizes: "
+            f"{a.n_files} vs {b.n_files}"
+        )
+    common = np.flatnonzero((a.labels >= 0) & (b.labels >= 0))
+    n = len(common)
+    if n == 0:
+        return PartitionSimilarity(0, 1.0, 1.0)
+    la = a.labels[common]
+    lb = b.labels[common]
+
+    # contingency counts over (la, lb) pairs
+    pairs = np.stack([la, lb], axis=1)
+    uniq_pairs, pair_counts = np.unique(pairs, axis=0, return_counts=True)
+    _, a_counts = np.unique(la, return_counts=True)
+    _, b_counts = np.unique(lb, return_counts=True)
+
+    def choose2(x: np.ndarray) -> float:
+        x = x.astype(np.float64)
+        return float((x * (x - 1) / 2.0).sum())
+
+    total_pairs = n * (n - 1) / 2.0
+    nij = choose2(pair_counts)
+    ai = choose2(a_counts)
+    bj = choose2(b_counts)
+    if total_pairs == 0:
+        rand = 1.0
+    else:
+        # agreements = pairs together in both + pairs apart in both
+        rand = (nij + (total_pairs - ai - bj + nij)) / total_pairs
+
+    # exact matches: cells that are alone in their row and column and
+    # where the cell holds the full row/column mass
+    a_ids, a_cells = np.unique(uniq_pairs[:, 0], return_counts=True)
+    b_ids, b_cells = np.unique(uniq_pairs[:, 1], return_counts=True)
+    a_single = dict(zip(a_ids.tolist(), a_cells.tolist()))
+    b_single = dict(zip(b_ids.tolist(), b_cells.tolist()))
+    exact_files = 0
+    for (la_id, lb_id), count in zip(uniq_pairs.tolist(), pair_counts.tolist()):
+        if a_single[la_id] == 1 and b_single[lb_id] == 1:
+            exact_files += count
+    return PartitionSimilarity(
+        n_common_files=n,
+        exact_fraction=exact_files / n,
+        rand_index=float(rand),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class EpochStability:
+    """Similarity between the filecule partitions of two adjacent epochs."""
+
+    epoch_a: int
+    epoch_b: int
+    n_jobs_a: int
+    n_jobs_b: int
+    similarity: PartitionSimilarity
+
+
+def epoch_stability(trace: Trace, n_epochs: int = 4) -> list[EpochStability]:
+    """Identify filecules per epoch and compare adjacent epochs.
+
+    Returns one row per adjacent epoch pair.  High ``exact_fraction``
+    means filecules are stable over time; low values mean dataset
+    definitions drift and online identification must keep adapting.
+    """
+    epochs = split_epochs(trace, n_epochs)
+    partitions = [find_filecules(e) for e in epochs]
+    rows = []
+    for k in range(n_epochs - 1):
+        rows.append(
+            EpochStability(
+                epoch_a=k,
+                epoch_b=k + 1,
+                n_jobs_a=epochs[k].n_jobs,
+                n_jobs_b=epochs[k + 1].n_jobs,
+                similarity=partition_similarity(partitions[k], partitions[k + 1]),
+            )
+        )
+    return rows

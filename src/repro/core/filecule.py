@@ -1,0 +1,214 @@
+"""The :class:`Filecule` value type and :class:`FileculePartition` container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.traces.trace import Trace
+from repro.util.units import format_bytes
+
+
+@dataclass(frozen=True)
+class Filecule:
+    """One filecule: a maximal always-used-together group of files.
+
+    Attributes
+    ----------
+    filecule_id:
+        Dense index within the owning partition.
+    file_ids:
+        Sorted, read-only array of member file ids.
+    n_requests:
+        Number of jobs that accessed the filecule.  By property 3 of the
+        definition this equals the request count of every member file.
+    size_bytes:
+        Total size of all member files.
+    """
+
+    filecule_id: int
+    file_ids: np.ndarray = field(repr=False)
+    n_requests: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.file_ids, dtype=np.int64)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise ValueError("a filecule must contain at least one file")
+        arr = np.sort(arr)
+        arr.setflags(write=False)
+        object.__setattr__(self, "file_ids", arr)
+        if self.n_requests < 0:
+            raise ValueError(f"negative request count: {self.n_requests}")
+        if self.size_bytes < 0:
+            raise ValueError(f"negative size: {self.size_bytes}")
+
+    @property
+    def n_files(self) -> int:
+        """Number of member files (1 for a "monatomic" filecule)."""
+        return len(self.file_ids)
+
+    @property
+    def is_monatomic(self) -> bool:
+        """True for single-file filecules (paper: the noble-gas analogy)."""
+        return self.n_files == 1
+
+    def __contains__(self, file_id: int) -> bool:
+        idx = int(np.searchsorted(self.file_ids, file_id))
+        return idx < len(self.file_ids) and int(self.file_ids[idx]) == file_id
+
+    def __len__(self) -> int:
+        return self.n_files
+
+    def __str__(self) -> str:
+        return (
+            f"filecule #{self.filecule_id}: {self.n_files} files, "
+            f"{format_bytes(self.size_bytes)}, {self.n_requests} requests"
+        )
+
+
+class FileculePartition:
+    """A partition of the accessed files of a trace into filecules.
+
+    The canonical way to obtain one is :func:`repro.core.find_filecules`.
+    Files that were never accessed are outside the partition and carry
+    label ``-1`` — the paper's filecules are defined by usage, so unused
+    files have no filecule.
+    """
+
+    def __init__(self, filecules: list[Filecule], n_files: int) -> None:
+        self._filecules = list(filecules)
+        self.n_files = int(n_files)
+        labels = np.full(n_files, -1, dtype=np.int64)
+        for fc in self._filecules:
+            if fc.file_ids.max(initial=-1) >= n_files:
+                raise ValueError(
+                    f"filecule #{fc.filecule_id} references file id beyond "
+                    f"catalog size {n_files}"
+                )
+            if np.any(labels[fc.file_ids] != -1):
+                raise ValueError(
+                    f"filecule #{fc.filecule_id} overlaps another filecule"
+                )
+            labels[fc.file_ids] = fc.filecule_id
+        labels.setflags(write=False)
+        self.labels = labels
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._filecules)
+
+    def __iter__(self) -> Iterator[Filecule]:
+        return iter(self._filecules)
+
+    def __getitem__(self, filecule_id: int) -> Filecule:
+        return self._filecules[filecule_id]
+
+    def filecule_of(self, file_id: int) -> Filecule | None:
+        """The filecule containing ``file_id``, or None if never accessed."""
+        label = int(self.labels[file_id])
+        return None if label == -1 else self._filecules[label]
+
+    # -- vectorized columns --------------------------------------------------
+    @cached_property
+    def files_per_filecule(self) -> np.ndarray:
+        """Member count of each filecule (Figure 7 series)."""
+        out = np.array([fc.n_files for fc in self._filecules], dtype=np.int64)
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def sizes_bytes(self) -> np.ndarray:
+        """Total byte size of each filecule (Figure 6 series)."""
+        out = np.array([fc.size_bytes for fc in self._filecules], dtype=np.int64)
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def requests(self) -> np.ndarray:
+        """Request count of each filecule (Figures 8–9 series)."""
+        out = np.array([fc.n_requests for fc in self._filecules], dtype=np.int64)
+        out.setflags(write=False)
+        return out
+
+    @property
+    def n_covered_files(self) -> int:
+        """Number of files that belong to some filecule."""
+        return int(self.files_per_filecule.sum()) if len(self) else 0
+
+    # -- trace-coupled statistics ---------------------------------------------
+    def representative_files(self) -> np.ndarray:
+        """The smallest member file id of each filecule.
+
+        All members of a filecule share the same job set, so any analysis
+        of "which jobs/users/sites touch this filecule" may be run on one
+        representative file per filecule.
+        """
+        out = np.array([int(fc.file_ids[0]) for fc in self._filecules], np.int64)
+        out.setflags(write=False)
+        return out
+
+    def filecules_per_job(self, trace: Trace) -> np.ndarray:
+        """Distinct filecules touched by each job (Figure 5 series).
+
+        Vectorized: label every access, then count unique (job, label)
+        pairs per job.
+        """
+        if trace.n_files != self.n_files:
+            raise ValueError(
+                f"partition covers {self.n_files} files but trace has "
+                f"{trace.n_files}"
+            )
+        if trace.n_accesses == 0:
+            return np.zeros(trace.n_jobs, dtype=np.int64)
+        labels = self.labels[trace.access_files]
+        if np.any(labels < 0):
+            raise ValueError(
+                "trace accesses files outside this partition; identify "
+                "filecules on the same trace"
+            )
+        pairs = trace.access_jobs * (len(self._filecules) + 1) + labels
+        unique_pairs = np.unique(pairs)
+        jobs_of_pairs = unique_pairs // (len(self._filecules) + 1)
+        return np.bincount(jobs_of_pairs, minlength=trace.n_jobs).astype(np.int64)
+
+    def users_per_filecule(self, trace: Trace) -> np.ndarray:
+        """Distinct users that accessed each filecule (Figure 4 series)."""
+        reps = self.representative_files()
+        out = np.empty(len(self._filecules), dtype=np.int64)
+        for i, rep in enumerate(reps):
+            jobs = trace.file_jobs(int(rep))
+            out[i] = len(np.unique(trace.job_users[jobs]))
+        return out
+
+    def sites_per_filecule(self, trace: Trace) -> np.ndarray:
+        """Distinct submission sites that accessed each filecule."""
+        reps = self.representative_files()
+        out = np.empty(len(self._filecules), dtype=np.int64)
+        for i, rep in enumerate(reps):
+            jobs = trace.file_jobs(int(rep))
+            out[i] = len(np.unique(trace.job_sites[jobs]))
+        return out
+
+    def dominant_tiers(self, trace: Trace) -> np.ndarray:
+        """Most common file tier within each filecule.
+
+        Filecules identified on a mixed trace are normally tier-pure
+        (datasets are tier-homogeneous); this resolves ties deterministically
+        toward the lowest tier code when they are not.
+        """
+        out = np.empty(len(self._filecules), dtype=np.int16)
+        for i, fc in enumerate(self._filecules):
+            tiers = trace.file_tiers[fc.file_ids]
+            codes, counts = np.unique(tiers, return_counts=True)
+            out[i] = codes[np.argmax(counts)]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FileculePartition({len(self)} filecules over "
+            f"{self.n_covered_files}/{self.n_files} files)"
+        )

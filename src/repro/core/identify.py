@@ -1,0 +1,78 @@
+"""Exact filecule identification by access-signature grouping.
+
+Two files belong to the same filecule iff they are accessed by exactly the
+same set of jobs (paper §3).  The *signature* of a file is therefore its
+sorted array of accessing job ids; grouping files by signature yields the
+filecule partition directly.
+
+The implementation leans on the trace's file-major CSR view: one
+``lexsort`` over all accesses, then one pass over files, keying a dict by
+the raw bytes of each file's job-id slice.  Keying by the exact bytes (not
+a hash truncated to 64 bits) makes false merges impossible; Python's dict
+handles collision resolution internally.  Complexity is
+``O(A log A)`` for the sort plus ``O(A)`` for grouping, with ``A`` the
+number of accesses — this is what lets the identification run over
+millions of accesses in seconds, as required to process DZero-scale
+histories (13M accesses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.filecule import Filecule, FileculePartition
+from repro.traces.trace import Trace
+
+
+def signature_of_file(trace: Trace, file_id: int) -> tuple[int, ...]:
+    """The access signature of one file: the sorted tuple of its job ids."""
+    return tuple(int(j) for j in trace.file_jobs(file_id))
+
+
+def find_filecules(trace: Trace) -> FileculePartition:
+    """Partition the accessed files of ``trace`` into filecules.
+
+    Returns a :class:`FileculePartition` whose filecules are ordered by
+    (descending request count, ascending first file id) — a deterministic
+    order convenient for "top filecule" selections in the transfer
+    experiments.
+
+    Files never accessed in the trace are left out of the partition
+    (label ``-1``); the filecule definition is usage-based.
+    """
+    if trace.n_accesses == 0:
+        return FileculePartition([], trace.n_files)
+
+    # file-major view of accesses
+    order = trace._file_order
+    jobs_by_file = trace.access_jobs[order]
+    ptr = trace.file_access_ptr
+
+    groups: dict[bytes, list[int]] = {}
+    for f in trace.accessed_file_ids:
+        sig = jobs_by_file[ptr[f] : ptr[f + 1]].tobytes()
+        bucket = groups.get(sig)
+        if bucket is None:
+            groups[sig] = [int(f)]
+        else:
+            bucket.append(int(f))
+
+    popularity = trace.file_popularity
+    sizes = trace.file_sizes
+
+    members: list[np.ndarray] = []
+    for file_list in groups.values():
+        members.append(np.asarray(file_list, dtype=np.int64))
+    # canonical order: most-requested first, ties by first member id
+    members.sort(key=lambda arr: (-int(popularity[arr[0]]), int(arr[0])))
+
+    filecules = [
+        Filecule(
+            filecule_id=i,
+            file_ids=arr,
+            n_requests=int(popularity[arr[0]]),
+            size_bytes=int(sizes[arr].sum()),
+        )
+        for i, arr in enumerate(members)
+    ]
+    return FileculePartition(filecules, trace.n_files)

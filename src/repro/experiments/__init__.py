@@ -1,0 +1,70 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each experiment module exposes ``run(ctx) -> ExperimentResult``; the
+registry in :mod:`repro.experiments.base` maps experiment ids (``table1``,
+``fig10``, ...) to them.  Run from the command line::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments all
+
+or through the benchmark harness (``pytest benchmarks/ --benchmark-only``),
+which executes the same code and prints the same rows.
+
+All experiments share one :class:`ExperimentContext` — a deterministic
+synthetic trace (default: the 5%-scale paper calibration, seed 7) plus its
+filecule partition — so every figure describes the *same* workload, as in
+the paper.
+"""
+
+from repro.experiments.base import (
+    EXPERIMENT_SEED,
+    ExperimentContext,
+    ExperimentResult,
+    all_experiment_ids,
+    get_context,
+    get_experiment,
+    run_experiment,
+)
+
+# Import experiment modules for their registration side effects.
+from repro.experiments import (  # noqa: F401  (registration imports)
+    table1,
+    table2,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    partial,
+    swarm,
+    replication,
+    ablation_policies,
+    ablation_dynamics,
+    ablation_grouping,
+    merge_knowledge,
+    inaccurate_replication,
+    grid,
+    ablation_optimal,
+    transfer_scheduling,
+    robustness,
+    partial_sampling,
+    characterization,
+    null_model,
+)
+
+__all__ = [
+    "EXPERIMENT_SEED",
+    "ExperimentContext",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_context",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.experiments <id|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import (
+    EXPERIMENT_SEED,
+    all_experiment_ids,
+    get_context,
+    run_experiment,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the paper's tables and figures from the calibrated "
+            "synthetic DZero workload."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids (or 'all'); known: {', '.join(all_experiment_ids())}",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("default", "small", "tiny"),
+        help="workload scale preset (default: 'default', 5%% of paper scale)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=EXPERIMENT_SEED,
+        help=f"workload seed (default: {EXPERIMENT_SEED})",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any qualitative check fails",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write a self-contained markdown report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    ids = (
+        all_experiment_ids()
+        if "all" in args.experiments
+        else list(dict.fromkeys(args.experiments))
+    )
+    unknown = [i for i in ids if i not in all_experiment_ids()]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    ctx = get_context(args.scale, args.seed)
+    print(
+        f"workload: scale={ctx.scale}, seed={ctx.seed}, {ctx.trace!r}, "
+        f"{len(ctx.partition)} filecules",
+        flush=True,
+    )
+    if args.report:
+        from repro.experiments.report import generate_report
+
+        path = generate_report(args.report, ctx, experiment_ids=ids)
+        print(f"wrote report to {path}")
+
+    failures = 0
+    for experiment_id in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(experiment_id, ctx)
+        elapsed = time.perf_counter() - t0
+        print()
+        print(result.render())
+        print(f"({elapsed:.2f}s)")
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"\n{failures} experiment(s) with failing checks", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Ablation: where does the filecule advantage come from?
+
+Compares every *grouping-aware* approach at the Figure 10 mid-sweep point
+— the comparison the paper leaves open in §4 ("We leave as future work
+the comparison of [Otoo et al.'s file-bundle] strategy with filecule LRU
+on the DZero traces") and in §8 (filecule-aware replacement variants):
+
+* ``file-lru`` — the no-grouping baseline;
+* ``file-bundle`` — Otoo-style bundle-utility eviction (popularity ×
+  bundle membership × bundle size), no prefetching, no filecule oracle;
+* ``working-set-prefetch`` — Tait&Duchamp-style *learned* co-access
+  groups, prefetching its (shrinking) predictions;
+* ``filecule-lru`` / ``filecule-lfu`` / ``filecule-gds`` — the oracle
+  grouping with three eviction disciplines.
+
+The stack-distance analysis below explains the mechanism: at filecule
+granularity the median reuse distance collapses, so *any* reasonable
+eviction discipline over filecules performs similarly — the grouping,
+not the policy, is what matters (the paper's thesis, sharpened).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.temporal import file_vs_filecule_reuse
+from repro.cache.bundle import FileBundleCache
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.filecule_variants import FileculeGDS, FileculeLFU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import sweep
+from repro.cache.working_set import WorkingSetPrefetchLRU
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.util.units import format_bytes
+
+CAPACITY_FRACTION = 0.05
+
+
+@register("ablation_grouping")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
+    factories = {
+        "file-lru": lambda c: FileLRU(c),
+        "file-bundle": lambda c: FileBundleCache(c),
+        "working-set-prefetch": lambda c: WorkingSetPrefetchLRU(
+            c, trace.file_sizes
+        ),
+        "filecule-lru": lambda c: FileculeLRU(c, partition),
+        "filecule-lfu": lambda c: FileculeLFU(c, partition),
+        "filecule-gds": lambda c: FileculeGDS(c, partition),
+    }
+    result = sweep(trace, factories, [capacity])
+    rows = tuple(
+        (
+            name,
+            metrics[0].miss_rate,
+            metrics[0].byte_miss_rate,
+            metrics[0].fetch_overhead,
+        )
+        for name, metrics in result.metrics.items()
+    )
+    miss = {name: m[0].miss_rate for name, m in result.metrics.items()}
+    overhead = {name: m[0].fetch_overhead for name, m in result.metrics.items()}
+
+    file_reuse, cule_reuse = file_vs_filecule_reuse(trace, partition)
+
+    filecule_family = ("filecule-lru", "filecule-lfu", "filecule-gds")
+    family_best = min(miss[n] for n in filecule_family)
+    family_worst = max(miss[n] for n in filecule_family)
+    checks = {
+        "every grouping-aware policy beats plain file-LRU": all(
+            miss[n] < miss["file-lru"]
+            for n in ("file-bundle", "working-set-prefetch", *filecule_family)
+        ),
+        "filecule eviction discipline is secondary "
+        "(family spread < 0.1 miss rate)": family_worst - family_best < 0.1,
+        "learned groups approach oracle hit rates": (
+            miss["working-set-prefetch"] <= 2.5 * family_worst + 0.05
+        ),
+        "but learned prefetch pays more network than the oracle": (
+            overhead["working-set-prefetch"] > overhead["filecule-lru"]
+        ),
+        "bundle eviction (no prefetch) cannot close the gap alone": (
+            miss["file-bundle"] > family_worst
+        ),
+        "reuse distance collapses at filecule granularity (>=3x)": (
+            file_reuse.median_distance >= 3 * max(cule_reuse.median_distance, 1)
+        ),
+    }
+    notes = (
+        f"cache capacity: {format_bytes(capacity, 1)} "
+        f"({CAPACITY_FRACTION:.0%} of accessed data)",
+        f"median LRU stack distance: {file_reuse.median_distance:.0f} "
+        f"distinct files vs {cule_reuse.median_distance:.0f} distinct "
+        f"filecules — Mattson's lens on why coarsening the unit is the "
+        f"whole game",
+        f"learned working-set groups reach miss "
+        f"{miss['working-set-prefetch']:.2f} without any oracle, but fetch "
+        f"{overhead['working-set-prefetch']:.0f} bytes per missed byte vs "
+        f"{overhead['filecule-lru']:.0f} for identified filecules — "
+        f"identification pays for itself in network traffic",
+    )
+    return ExperimentResult(
+        experiment_id="ablation_grouping",
+        title="Grouping-aware caching: bundles, learned groups, filecule variants",
+        headers=("policy", "miss rate", "byte miss rate", "fetch overhead"),
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )

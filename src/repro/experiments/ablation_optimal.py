@@ -1,0 +1,98 @@
+"""Ablation: online filecule policies vs clairvoyant optima.
+
+The sharpest version of the paper's thesis: compare each granularity's
+*offline-optimal* (Belady MIN with full future knowledge) against the
+online policies.  If even clairvoyant eviction at file granularity loses
+to plain online filecule-LRU, then no amount of replacement-policy
+cleverness can substitute for choosing the right management unit — the
+granularity, not the policy, carries the benefit.
+
+Also reports Mattson unit-count miss-rate curves at both granularities
+(the analytic counterpart of Figure 10) and how close filecule-LRU gets
+to its own clairvoyant bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mrc import granularity_mrcs
+from repro.cache.belady import BeladyMIN, FileculeBeladyMIN
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import sweep
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.util.units import format_bytes
+
+CAPACITY_FRACTIONS = (0.02, 0.1)
+
+
+@register("ablation_optimal")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    total = trace.total_bytes()
+    caps = [max(int(f * total), 1) for f in CAPACITY_FRACTIONS]
+    result = sweep(
+        trace,
+        {
+            "file-lru": lambda c: FileLRU(c),
+            "file-belady-min": lambda c: BeladyMIN(c, trace),
+            "filecule-lru": lambda c: FileculeLRU(c, partition),
+            "filecule-belady-min": lambda c: FileculeBeladyMIN(
+                c, trace, partition
+            ),
+        },
+        caps,
+    )
+    rows = []
+    for i, cap in enumerate(caps):
+        for name, metrics in result.metrics.items():
+            rows.append(
+                (format_bytes(cap, 1), name, metrics[i].miss_rate)
+            )
+    miss = {
+        (name, i): metrics[i].miss_rate
+        for name, metrics in result.metrics.items()
+        for i in range(len(caps))
+    }
+    checks = {}
+    for i, frac in enumerate(CAPACITY_FRACTIONS):
+        label = f"{frac:.0%} cache"
+        checks[f"{label}: clairvoyant MIN beats online LRU per granularity"] = (
+            miss[("file-belady-min", i)] <= miss[("file-lru", i)] + 1e-9
+            and miss[("filecule-belady-min", i)]
+            <= miss[("filecule-lru", i)] + 1e-9
+        )
+        checks[
+            f"{label}: online filecule-LRU beats even clairvoyant "
+            f"file-granularity MIN"
+        ] = miss[("filecule-lru", i)] < miss[("file-belady-min", i)]
+        checks[f"{label}: filecule-LRU within 2x of its clairvoyant bound"] = (
+            miss[("filecule-lru", i)]
+            <= 2.0 * miss[("filecule-belady-min", i)] + 0.02
+        )
+
+    file_curve, cule_curve = granularity_mrcs(trace, partition)
+    target = 0.8
+    k_file = file_curve.capacity_for_hit_rate(target)
+    k_cule = cule_curve.capacity_for_hit_rate(target)
+    checks["Mattson: 80% hit rate needs far fewer filecule units"] = (
+        k_cule * 3 <= k_file
+    )
+    notes = (
+        "the gap between the granularities dwarfs the gap between online "
+        "and clairvoyant eviction within a granularity — the unit of "
+        "management, not the policy, is the paper's real contribution",
+        f"Mattson unit-count curves: 80% hit rate needs {k_file} "
+        f"concurrently-held files vs {k_cule} filecules",
+        f"filecule-LRU is within "
+        f"{(miss[('filecule-lru', 1)] / max(miss[('filecule-belady-min', 1)], 1e-9) - 1):.0%} "
+        f"of its clairvoyant bound at the {CAPACITY_FRACTIONS[1]:.0%} cache",
+    )
+    return ExperimentResult(
+        experiment_id="ablation_optimal",
+        title="Online filecule policies vs clairvoyant (Belady MIN) optima",
+        headers=("cache", "policy", "miss rate"),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,103 @@
+"""Ablation: filecule-LRU against the §7 related-work baselines.
+
+The paper compares only file-LRU and filecule-LRU, leaving "comparison of
+[Otoo et al.'s bundle strategy] with filecule LRU on the DZero traces" to
+future work.  This ablation runs the wider field at one mid-sweep cache
+size: FIFO, perfect LFU, SIZE (largest-first), Greedy-Dual-Size,
+Landlord, ARC (the strongest adaptive single-file policy), group-
+prefetching LRU (dataset-of-birth groups, the Amer/Ganger style of §7),
+and filecule-LRU.
+"""
+
+from __future__ import annotations
+
+from repro.cache.arc import AdaptiveReplacementCache
+from repro.cache.fifo import FileFIFO
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.frequency import FileLFU
+from repro.cache.gds import GreedyDualSize, Landlord
+from repro.cache.lru import FileLRU
+from repro.cache.prefetch import GroupPrefetchLRU
+from repro.cache.simulator import sweep
+from repro.cache.size import LargestFirst
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.util.units import format_bytes
+
+#: Mid-sweep point of Figure 10 (5% of total data ≈ the paper's 25 TB).
+CAPACITY_FRACTION = 0.05
+
+
+@register("ablation_policies")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
+    factories = {
+        "file-fifo": lambda c: FileFIFO(c),
+        "file-lru": lambda c: FileLRU(c),
+        "file-lfu": lambda c: FileLFU(c),
+        "largest-first": lambda c: LargestFirst(c),
+        "greedy-dual-size": lambda c: GreedyDualSize(c),
+        "landlord": lambda c: Landlord(c),
+        "arc": lambda c: AdaptiveReplacementCache(c),
+        "group-prefetch-lru": lambda c: GroupPrefetchLRU(
+            c, trace.file_datasets.astype("int64"), trace.file_sizes
+        ),
+        "filecule-lru": lambda c: FileculeLRU(c, partition),
+    }
+    result = sweep(trace, factories, [capacity])
+    rows = tuple(
+        (
+            name,
+            metrics[0].miss_rate,
+            metrics[0].byte_miss_rate,
+            metrics[0].fetch_overhead,
+        )
+        for name, metrics in result.metrics.items()
+    )
+    miss = {name: m[0].miss_rate for name, m in result.metrics.items()}
+    overhead = {name: m[0].fetch_overhead for name, m in result.metrics.items()}
+    best_file_gran = min(
+        v
+        for k, v in miss.items()
+        if k in ("file-fifo", "file-lru", "file-lfu", "largest-first",
+                 "greedy-dual-size", "landlord", "arc")
+    )
+    checks = {
+        "filecule-LRU beats every file-granularity policy": (
+            miss["filecule-lru"] < best_file_gran
+        ),
+        "group-based policies beat every single-file policy": (
+            max(miss["filecule-lru"], miss["group-prefetch-lru"])
+            < best_file_gran
+        ),
+        "filecule prefetch is far cheaper than birth-dataset prefetch "
+        "(<= 25% of its fetch overhead)": (
+            overhead["filecule-lru"] <= 0.25 * overhead["group-prefetch-lru"]
+        ),
+        "single-file policies pay ~1 byte fetched per missed byte": all(
+            overhead[k] <= 1.05
+            for k in ("file-fifo", "file-lru", "file-lfu", "largest-first",
+                      "greedy-dual-size", "landlord", "arc")
+        ),
+    }
+    notes = (
+        f"cache capacity: {format_bytes(capacity, 1)} "
+        f"({CAPACITY_FRACTION:.0%} of accessed data)",
+        "usage-defined groups (filecules) get group-prefetch hit rates at "
+        "a fraction of the network cost: birth-dataset prefetching "
+        f"fetches {overhead['group-prefetch-lru']:.0f} bytes per missed "
+        f"byte vs {overhead['filecule-lru']:.0f} for filecule-LRU — "
+        "filecules are the co-access unit, larger groups only add waste",
+        f"pure-frequency LFU ({miss['file-lfu']:.2f}) vs recency LRU "
+        f"({miss['file-lru']:.2f}): scientists re-request the same data, "
+        "so popularity carries real signal here (cf. Otoo et al., §7)",
+    )
+    return ExperimentResult(
+        experiment_id="ablation_policies",
+        title="Cache policy ablation at the Figure 10 mid-sweep point",
+        headers=("policy", "miss rate", "byte miss rate", "fetch overhead"),
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )

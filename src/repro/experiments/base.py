@@ -1,0 +1,136 @@
+"""Experiment registry, shared context and result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from collections.abc import Callable
+
+from repro.core.filecule import FileculePartition
+from repro.core.identify import find_filecules
+from repro.traces.trace import Trace
+from repro.util.tables import render_table
+from repro.workload.calibration import (
+    default_config,
+    small_config,
+    tiny_config,
+)
+from repro.workload.generator import generate_trace
+
+#: The fixed seed behind every number in EXPERIMENTS.md.
+EXPERIMENT_SEED: int = 7
+
+_SCALES = {
+    "default": default_config,
+    "small": small_config,
+    "tiny": tiny_config,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """The workload every experiment runs against."""
+
+    scale: str
+    seed: int
+    trace: Trace
+    partition: FileculePartition
+
+
+@lru_cache(maxsize=4)
+def get_context(scale: str = "default", seed: int = EXPERIMENT_SEED) -> ExperimentContext:
+    """Build (once per scale/seed) the shared trace and partition."""
+    try:
+        config = _SCALES[scale]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
+        ) from None
+    trace = generate_trace(config, seed=seed)
+    return ExperimentContext(
+        scale=scale,
+        seed=seed,
+        trace=trace,
+        partition=find_filecules(trace),
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything an experiment reports.
+
+    ``rows``/``headers`` hold the table (or figure series) data;
+    ``figure_text`` an optional ASCII rendering; ``notes`` the
+    paper-vs-measured comparison lines that EXPERIMENTS.md collects.
+    ``checks`` maps named qualitative assertions (e.g. "filecule-LRU wins
+    at every capacity") to booleans — the integration tests require all
+    of them to hold.
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    figure_text: str = ""
+    notes: tuple[str, ...] = ()
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        if self.figure_text:
+            parts.append(self.figure_text)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        if self.checks:
+            parts.append("checks:")
+            parts.extend(
+                f"  [{'PASS' if ok else 'FAIL'}] {name}"
+                for name, ok in self.checks.items()
+            )
+        return "\n".join(parts)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+Runner = Callable[[ExperimentContext], ExperimentResult]
+
+_REGISTRY: dict[str, Runner] = {}
+
+
+def register(experiment_id: str) -> Callable[[Runner], Runner]:
+    """Class the decorated ``run`` function under ``experiment_id``."""
+
+    def deco(fn: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return deco
+
+
+def all_experiment_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment against the shared (or a custom) context."""
+    runner = get_experiment(experiment_id)
+    return runner(ctx or get_context())

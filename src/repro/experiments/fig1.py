@@ -1,0 +1,60 @@
+"""Figure 1: the number of input files per job.
+
+The paper reports jobs run on 108 files on average, with a heavy-tailed
+distribution reaching tens of thousands of files.  We bin the
+files-per-job distribution logarithmically and check the mean and tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.histograms import log_bins, summarize_distribution
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.traces.stats import files_per_job_distribution
+from repro.util.ascii_plot import ascii_histogram
+
+#: Paper headline: "on average 108 files per job".
+PAPER_MEAN_FILES_PER_JOB = 108.0
+
+
+@register("fig1")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    values, counts = files_per_job_distribution(ctx.trace)
+    sample = np.repeat(values, counts)
+    summary = summarize_distribution(sample)
+
+    edges = log_bins(1, max(float(sample.max()), 10.0), per_decade=2)
+    hist, _ = np.histogram(sample, bins=edges)
+    labels = [
+        f"{int(np.ceil(lo))}-{int(hi)}" for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+    rows = tuple(
+        (label, int(count)) for label, count in zip(labels, hist)
+    )
+    figure = ascii_histogram(
+        labels, hist.tolist(), title="jobs per files-per-job bucket"
+    )
+    checks = {
+        "mean files/job within 2x of the paper's 108": (
+            PAPER_MEAN_FILES_PER_JOB / 2 <= summary.mean <= PAPER_MEAN_FILES_PER_JOB * 2
+        ),
+        "distribution is heavy tailed (p99 > 5x median)": (
+            summary.p99 > 5 * summary.median
+        ),
+        "multi-file jobs dominate (median > 1 file)": summary.median > 1,
+    }
+    notes = (
+        f"mean files/job: paper=108, measured={summary.mean:.1f}",
+        f"median={summary.median:.0f}, p99={summary.p99:.0f}, "
+        f"max={summary.maximum:.0f}",
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Number of input files per job",
+        headers=("files/job", "jobs"),
+        rows=rows,
+        figure_text=figure,
+        notes=notes,
+        checks=checks,
+    )

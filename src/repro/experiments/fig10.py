@@ -1,0 +1,110 @@
+"""Figure 10: LRU miss rate, file vs filecule granularity.
+
+The paper sweeps 7 cache sizes from 1 TB to 100 TB over ~500 TB of data
+and finds: filecule-LRU's miss rate is 4–5× lower at large caches, while
+at 1 TB the difference is small (~9.5%) because the largest filecules
+(up to 17 TB) cannot be cached at all.
+
+Capacities here are expressed as the same *fractions of total accessed
+data* the paper's absolute sizes correspond to (1 TB ≈ 0.2% of DZero's
+data volume, 100 TB ≈ 20%), so the experiment is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import sweep
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.util.ascii_plot import ascii_series
+from repro.util.units import TB, format_bytes
+
+#: Cache sizes as fractions of total accessed bytes; the paper's seven
+#: points 1/2/5/10/25/50/100 TB against ≈ 500 TB of accessed data.
+CAPACITY_FRACTIONS: tuple[float, ...] = (
+    0.002,
+    0.004,
+    0.01,
+    0.02,
+    0.05,
+    0.1,
+    0.2,
+)
+
+
+def capacities_for(total_bytes: int) -> list[int]:
+    """The seven sweep capacities for a workload of ``total_bytes``."""
+    return [max(int(f * total_bytes), 1) for f in CAPACITY_FRACTIONS]
+
+
+@register("fig10")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    total = trace.total_bytes()
+    caps = capacities_for(total)
+    result = sweep(
+        trace,
+        {
+            "file-lru": lambda c: FileLRU(c),
+            "filecule-lru": lambda c: FileculeLRU(c, partition),
+        },
+        caps,
+    )
+    file_mr = result.miss_rates("file-lru")
+    cule_mr = result.miss_rates("filecule-lru")
+    factors = result.improvement_factor("file-lru", "filecule-lru")
+    rows = tuple(
+        (
+            format_bytes(cap, 1),
+            f"{frac:.1%}",
+            file_mr[i],
+            cule_mr[i],
+            factors[i],
+        )
+        for i, (cap, frac) in enumerate(zip(caps, CAPACITY_FRACTIONS))
+    )
+    figure = ascii_series(
+        [cap / TB for cap in caps],
+        {"file-lru": file_mr, "filecule-lru": cule_mr},
+        title="miss rate vs cache size (TB)",
+    )
+    checks = {
+        "filecule-LRU wins at every capacity": all(
+            c <= f for f, c in zip(file_mr, cule_mr)
+        ),
+        "large-cache factor reaches the paper's 4-5x (band 4x-9x)": (
+            4.0 <= max(factors[-3:]) <= 9.0
+        ),
+        "advantage grows with capacity (smallest factor is the minimum)": (
+            factors[0] == min(factors)
+        ),
+        "miss rates decrease with capacity (both policies)": (
+            all(a >= b - 1e-9 for a, b in zip(file_mr, file_mr[1:]))
+            and all(a >= b - 1e-9 for a, b in zip(cule_mr, cule_mr[1:]))
+        ),
+    }
+    notes = (
+        f"paper: up to 4-5x lower miss rate at large caches; measured max "
+        f"factor {max(factors):.1f}x",
+        f"paper: the difference narrows at 1 TB (~9.5%); measured factor "
+        f"shrinks to {factors[0]:.1f}x at the smallest cache "
+        f"({format_bytes(caps[0], 1)}) — see EXPERIMENTS.md for why the "
+        f"small-cache convergence is only partial at this scale",
+        f"total accessed data: {format_bytes(total, 1)}",
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Miss rate for LRU at file vs filecule granularity",
+        headers=(
+            "cache",
+            "of data",
+            "file-lru miss",
+            "filecule-lru miss",
+            "factor",
+        ),
+        rows=rows,
+        figure_text=figure,
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,75 @@
+"""Figure 11: time intervals in which a hot filecule is accessed per site.
+
+The paper selects a filecule accessed by 42 users from 6 sites in 634
+jobs and draws one first-to-last-request bar per site, concluding that
+simultaneous multi-site access is too rare for BitTorrent to pay off.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.transfer.concurrency import concurrency_profile
+from repro.transfer.intervals import (
+    job_duration_intervals,
+    select_hot_filecule,
+    site_intervals,
+)
+from repro.util.ascii_plot import ascii_intervals
+from repro.util.timeutil import SECONDS_PER_DAY
+from repro.util.units import format_bytes
+
+
+@register("fig11")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    fc = select_hot_filecule(ctx.trace, ctx.partition)
+    intervals = site_intervals(ctx.trace, fc)
+    rows = tuple(
+        (
+            iv.label,
+            iv.start / SECONDS_PER_DAY,
+            iv.end / SECONDS_PER_DAY,
+            iv.n_jobs,
+            iv.n_users,
+        )
+        for iv in intervals
+    )
+    figure = ascii_intervals(
+        [(iv.label, iv.start / SECONDS_PER_DAY, iv.end / SECONDS_PER_DAY) for iv in intervals],
+        title="per-site access intervals (days)",
+    )
+    profile = concurrency_profile(intervals)
+    running = concurrency_profile(job_duration_intervals(ctx.trace, fc))
+    job_counts = sorted((iv.n_jobs for iv in intervals), reverse=True)
+    total_jobs = sum(job_counts)
+    checks = {
+        "hot filecule spans multiple sites": len(intervals) >= 2,
+        "access is site-concentrated (top 2 sites >= 70% of jobs, "
+        "paper: 94%)": sum(job_counts[:2]) >= 0.7 * total_jobs,
+        "one site dominates job submissions": (
+            job_counts[0] >= 0.5 * total_jobs
+        ),
+        "simultaneous *running* jobs stay in the single digits "
+        "(time-weighted mean < 3)": running.mean_concurrency < 3,
+    }
+    notes = (
+        f"selected filecule: {fc.n_files} files, "
+        f"{format_bytes(fc.size_bytes)}, {fc.n_requests} jobs, "
+        f"{len(intervals)} sites "
+        f"(paper's example: 2 files, 2.2 GB, 634 jobs, 6 sites)",
+        f"sites holding it simultaneously (first-to-last spans): "
+        f"max {profile.max_concurrency}, "
+        f"time-weighted mean {profile.mean_concurrency:.2f}",
+        f"jobs actually *running* on it simultaneously: "
+        f"max {running.max_concurrency}, "
+        f"time-weighted mean {running.mean_concurrency:.2f} — the number "
+        f"that matters for swarming",
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Time intervals a filecule is accessed from various sites",
+        headers=("site", "first (day)", "last (day)", "jobs", "users"),
+        rows=rows,
+        figure_text=figure,
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,55 @@
+"""Figure 5: number of filecules per job.
+
+Jobs request datasets; datasets decompose into multiple filecules (the
+atoms of overlapping dataset definitions), so a typical job touches more
+than one filecule but far fewer filecules than files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.histograms import log_bins, summarize_distribution
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.util.ascii_plot import ascii_histogram
+
+
+@register("fig5")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    per_job = ctx.partition.filecules_per_job(ctx.trace)
+    traced = per_job[ctx.trace.files_per_job > 0]
+    summary = summarize_distribution(traced)
+
+    edges = log_bins(1, max(float(traced.max()), 10.0), per_decade=3)
+    hist, _ = np.histogram(traced, bins=edges)
+    labels = [
+        f"{int(np.ceil(lo))}-{int(hi)}" for lo, hi in zip(edges[:-1], edges[1:])
+    ]
+    rows = tuple((lab, int(c)) for lab, c in zip(labels, hist) if c)
+    figure = ascii_histogram(
+        [r[0] for r in rows], [r[1] for r in rows],
+        title="jobs per filecules-per-job bucket",
+    )
+    files_mean = float(ctx.trace.files_per_job[ctx.trace.files_per_job > 0].mean())
+    checks = {
+        "jobs span multiple filecules (mean > 1)": summary.mean > 1,
+        "filecules/job far below files/job (>=3x fewer)": (
+            summary.mean * 3 <= files_mean
+        ),
+        "every traced job touches at least one filecule": bool(traced.min() >= 1),
+    }
+    notes = (
+        f"mean filecules/job={summary.mean:.1f} vs mean files/job="
+        f"{files_mean:.1f}",
+        f"median={summary.median:.0f}, p99={summary.p99:.0f}, "
+        f"max={summary.maximum:.0f}",
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Number of filecules per job",
+        headers=("filecules/job", "jobs"),
+        rows=rows,
+        figure_text=figure,
+        notes=notes,
+        checks=checks,
+    )

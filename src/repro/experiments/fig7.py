@@ -1,0 +1,68 @@
+"""Figure 7: number of files per filecule, per data tier.
+
+Companion of Figure 6 in file counts instead of bytes.  The qualitative
+content: filecules are frequently much larger than one file (the whole
+argument for a coarser management granularity) while monatomic filecules
+also exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.histograms import summarize_distribution
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.experiments.fig6 import FIG_TIERS
+from repro.traces.records import tier_name
+
+
+@register("fig7")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    tiers = ctx.partition.dominant_tiers(ctx.trace)
+    counts = ctx.partition.files_per_filecule
+    rows = []
+    notes = []
+    for tier in FIG_TIERS:
+        sample = counts[tiers == tier]
+        summary = summarize_distribution(sample)
+        monatomic = float((sample == 1).mean()) if len(sample) else 0.0
+        rows.append(
+            (
+                tier_name(tier),
+                summary.n,
+                summary.mean,
+                summary.median,
+                summary.maximum,
+                monatomic,
+            )
+        )
+        notes.append(
+            f"{tier_name(tier)}: mean {summary.mean:.1f} files/filecule, "
+            f"{monatomic:.0%} monatomic"
+        )
+    overall_mean = float(counts.mean())
+    checks = {
+        "filecules aggregate files (overall mean > 2)": overall_mean > 2,
+        "monatomic filecules exist": bool(np.any(counts == 1)),
+        "largest filecule has 10+ files": int(counts.max()) >= 10,
+    }
+    notes.append(
+        f"overall: {len(ctx.partition)} filecules covering "
+        f"{ctx.partition.n_covered_files} files "
+        f"(mean {overall_mean:.1f} files/filecule)"
+    )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Number of files per filecule, per data tier",
+        headers=(
+            "tier",
+            "filecules",
+            "mean files",
+            "median files",
+            "max files",
+            "monatomic frac",
+        ),
+        rows=tuple(rows),
+        notes=tuple(notes),
+        checks=checks,
+    )

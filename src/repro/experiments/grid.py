@@ -1,0 +1,117 @@
+"""End-to-end grid impact: filecule awareness on the SAM substrate.
+
+The paper evaluates caching in isolation (Figure 10).  This experiment
+closes the loop on the §6 discussion by replaying the trace through the
+full grid model — per-site stations, hub tape archive with mount latency,
+hub-and-spoke WAN — under three configurations:
+
+1. file-LRU station caches (the FermiLab status quo);
+2. filecule-LRU station caches;
+3. filecule-LRU caches plus proactive filecule replication planned from
+   the first half of the history.
+
+Reported: fraction of requested bytes served locally, mean/95p job data
+stall, tape and WAN traffic.
+"""
+
+from __future__ import annotations
+
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.core.identify import find_filecules
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.replication.placement import site_budgets
+from repro.replication.strategies import FileculeReplication
+from repro.sam.catalog import ReplicaCatalog
+from repro.sam.scheduler import replay_trace
+from repro.util.units import format_bytes
+
+CACHE_FRACTION = 0.02
+
+
+@register("grid")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    capacity = max(int(CACHE_FRACTION * trace.total_bytes()), 1)
+
+    reports = {}
+    reports["file-lru stations"] = replay_trace(
+        trace,
+        cache_factory=lambda cap, site: FileLRU(cap),
+        cache_capacity=capacity,
+    )
+    reports["filecule-lru stations"] = replay_trace(
+        trace,
+        cache_factory=lambda cap, site: FileculeLRU(cap, partition),
+        cache_capacity=capacity,
+    )
+    t_lo, t_hi = trace.time_span()
+    warm = trace.subset_jobs(trace.job_starts < t_lo + 0.5 * (t_hi - t_lo))
+    plan = FileculeReplication().plan(
+        warm, find_filecules(warm), site_budgets(trace, capacity)
+    )
+    catalog = ReplicaCatalog(trace.n_files, trace.n_sites)
+    for site in range(trace.n_sites):
+        catalog.bulk_register(plan.site_files[site], site)
+    reports["+ filecule replication"] = replay_trace(
+        trace,
+        cache_factory=lambda cap, site: FileculeLRU(cap, partition),
+        cache_capacity=capacity,
+        catalog=catalog,
+    )
+
+    rows = tuple(
+        (
+            name,
+            r.local_byte_fraction,
+            r.mean_stall_seconds,
+            r.p95_stall_seconds,
+            format_bytes(r.tape_bytes, 1),
+            format_bytes(r.wan_bytes, 1),
+        )
+        for name, r in reports.items()
+    )
+    base = reports["file-lru stations"]
+    cule = reports["filecule-lru stations"]
+    repl = reports["+ filecule replication"]
+    checks = {
+        "filecule stations serve more bytes locally": (
+            cule.local_byte_fraction > base.local_byte_fraction
+        ),
+        "filecule stations cut mean data stall": (
+            cule.mean_stall_seconds < base.mean_stall_seconds
+        ),
+        "filecule prefetch does not inflate tape traffic (within 10%)": (
+            cule.tape_bytes <= 1.10 * base.tape_bytes
+        ),
+        "replication helps on top of filecule caching": (
+            repl.mean_stall_seconds <= cule.mean_stall_seconds * 1.02
+        ),
+    }
+    notes = (
+        f"station caches: {format_bytes(capacity, 1)} "
+        f"({CACHE_FRACTION:.0%} of accessed data); tape mounts pay 90 s",
+        f"mean stall: {base.mean_stall_seconds:.0f}s (file-LRU) -> "
+        f"{cule.mean_stall_seconds:.0f}s (filecule-LRU) -> "
+        f"{repl.mean_stall_seconds:.0f}s (+replication)",
+        "transfers are priced at the bytes actually pulled (whole "
+        "filecules on a prefetch): filecule stations trade roughly equal "
+        "tape/WAN traffic for far fewer stalls — the reuse hits pay back "
+        "the prefetched bytes",
+    )
+    return ExperimentResult(
+        experiment_id="grid",
+        title="Grid replay: filecule awareness end-to-end (§6)",
+        headers=(
+            "configuration",
+            "local bytes",
+            "mean stall (s)",
+            "p95 stall (s)",
+            "tape",
+            "WAN",
+        ),
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )

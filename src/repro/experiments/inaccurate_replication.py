@@ -1,0 +1,139 @@
+"""§6 experiment: replication cost under inaccurate filecule identification.
+
+"Because inaccurately identified filecules can only be larger than the
+filecules detected using global knowledge, we expect higher replication
+costs in terms of used storage and transfer costs."
+
+Two measurements:
+
+1. **Fixed-intent cost** (the paper's sentence, directly): each site
+   wants its top-K most-requested true filecules replicated.  With
+   global knowledge the cost is exactly their total size; with only local
+   knowledge the site must ship the *enclosing local filecules* —
+   supersets, by the coarsening theorem — so the byte cost can only be
+   equal or larger.  We report the inflation factor per site.
+
+2. **Fixed-budget coverage** (secondary): both planners fill the same
+   per-site budget.  Here local knowledge is *not* penalized for
+   self-serving placement — a site's coarse filecules are, from its own
+   view, perfectly co-accessed — an honest refinement of §6: inaccurate
+   identification costs extra bytes for a given *intent*, not necessarily
+   worse *self*-coverage per budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.identify import find_filecules
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.replication.evaluate import compare_strategies
+from repro.replication.strategies import (
+    FileculeReplication,
+    LocalKnowledgeFileculeReplication,
+)
+from repro.util.units import format_bytes
+
+TOP_K = 10
+BUDGET_FRACTION = 0.05
+
+
+def _fixed_intent_rows(ctx: ExperimentContext) -> tuple[list[tuple], list[float]]:
+    """Per-site byte cost of replicating its top-K true filecules."""
+    trace = ctx.trace
+    global_p = ctx.partition
+    fc_sizes = global_p.sizes_bytes
+    rows: list[tuple] = []
+    inflations: list[float] = []
+    sites = np.unique(trace.job_sites)
+    for site in sites:
+        sub = trace.subset_jobs(trace.job_sites == site)
+        if sub.n_accesses == 0:
+            continue
+        local = find_filecules(sub)
+        # the site's top-K true filecules by its own request counts
+        reps = global_p.representative_files()
+        local_jobs_per_fc = np.array(
+            [
+                int((trace.job_sites[trace.file_jobs(int(rep))] == site).sum())
+                for rep in reps
+            ]
+        )
+        wanted = np.argsort(local_jobs_per_fc, kind="stable")[::-1][:TOP_K]
+        wanted = [int(w) for w in wanted if local_jobs_per_fc[w] > 0]
+        if not wanted:
+            continue
+        intent_bytes = int(fc_sizes[list(wanted)].sum())
+        # enclosing local filecules (dedup by local label)
+        enclosing: set[int] = set()
+        for c in wanted:
+            for f in global_p[c].file_ids:
+                label = int(local.labels[f])
+                if label >= 0:
+                    enclosing.add(label)
+        shipped_bytes = int(
+            sum(local[label].size_bytes for label in enclosing)
+        )
+        inflation = shipped_bytes / intent_bytes if intent_bytes else 1.0
+        inflations.append(inflation)
+        rows.append(
+            (
+                trace.site_names[int(site)],
+                len(wanted),
+                format_bytes(intent_bytes, 1),
+                format_bytes(shipped_bytes, 1),
+                inflation,
+            )
+        )
+    return rows, inflations
+
+
+@register("inaccurate_replication")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    rows, inflations = _fixed_intent_rows(ctx)
+    checks: dict[str, bool] = {
+        "shipping cost inflation >= 1 at every site (coarsening theorem)": all(
+            x >= 1.0 - 1e-9 for x in inflations
+        ),
+        "some site pays a real premium (> 1.2x)": any(x > 1.2 for x in inflations),
+    }
+    # secondary: fixed-budget self-coverage comparison
+    budget = max(int(BUDGET_FRACTION * trace.total_bytes()), 1)
+    outcomes = compare_strategies(
+        trace,
+        [FileculeReplication(), LocalKnowledgeFileculeReplication()],
+        budget_bytes_per_site=budget,
+    )
+    by_name = {o.strategy: o for o in outcomes}
+    global_o = by_name["filecule-granularity"]
+    local_o = by_name["filecule-local-knowledge"]
+    checks["budgeted self-coverage within 20% of global knowledge"] = (
+        local_o.local_byte_fraction >= 0.8 * global_o.local_byte_fraction - 0.02
+    )
+    notes = (
+        f"fixed intent (top {TOP_K} true filecules per site): local "
+        f"knowledge ships up to {max(inflations, default=1):.1f}x the bytes "
+        f"(median {np.median(inflations) if inflations else 1:.2f}x) — the "
+        f"§6 prediction, quantified",
+        f"fixed budget ({format_bytes(budget, 1)}/site): self-coverage "
+        f"{local_o.local_byte_fraction:.2f} (local) vs "
+        f"{global_o.local_byte_fraction:.2f} (global), waste "
+        f"{1 - local_o.used_fraction:.0%} vs {1 - global_o.used_fraction:.0%} "
+        f"— a site's own coarse filecules are co-accessed from its own "
+        f"view, so self-serving placement is not penalized",
+    )
+    return ExperimentResult(
+        experiment_id="inaccurate_replication",
+        title="Replication cost under inaccurate (per-site) identification (§6)",
+        headers=(
+            "site",
+            "intent filecules",
+            "intent bytes",
+            "shipped bytes",
+            "inflation",
+        ),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

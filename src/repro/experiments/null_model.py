@@ -1,0 +1,100 @@
+"""Falsifiability control: the filecule advantage must vanish under a null.
+
+Shuffling the access table's file column preserves every marginal the
+traditional analyses see — each job's input-set size (Figure 1), each
+file's request count (popularity) and the file size catalog (Figure 3) —
+but destroys *which files appear together*.  If the pipeline is honest,
+the shuffled trace must show:
+
+* filecules collapsing toward single files (no co-access ⇒ monatomic
+  partition, up to coincidences);
+* the Figure 10 advantage disappearing (factor ≈ 1);
+
+while the real trace, measured side by side, keeps both.  This is the
+control that says the reproduction *measures* structure rather than
+assuming it.
+"""
+
+from __future__ import annotations
+
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import sweep
+from repro.core.identify import find_filecules
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.traces.combine import shuffled_null
+
+NULL_SEED = 314
+CAPACITY_FRACTION = 0.05
+
+
+@register("null_model")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    real = ctx.trace
+    real_p = ctx.partition
+    null = shuffled_null(real, seed=NULL_SEED)
+    null_p = find_filecules(null)
+
+    rows = []
+    factors = {}
+    for label, trace, partition in (
+        ("real", real, real_p),
+        ("shuffled null", null, null_p),
+    ):
+        capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
+        result = sweep(
+            trace,
+            {
+                "file": lambda c: FileLRU(c),
+                "cule": lambda c, p=partition: FileculeLRU(c, p),
+            },
+            [capacity],
+        )
+        factor = result.improvement_factor("file", "cule")[0]
+        factors[label] = factor
+        rows.append(
+            (
+                label,
+                len(partition),
+                float(partition.files_per_filecule.mean()),
+                result.miss_rates("file")[0],
+                result.miss_rates("cule")[0],
+                factor,
+            )
+        )
+    real_mean = float(real_p.files_per_filecule.mean())
+    null_mean = float(null_p.files_per_filecule.mean())
+    checks = {
+        "null filecules collapse toward single files (mean < 1.2)": (
+            null_mean < 1.2
+        ),
+        "real filecules are much larger than null ones (>= 4x)": (
+            real_mean >= 4 * null_mean
+        ),
+        "filecule advantage vanishes under the null (factor < 1.1)": (
+            factors["shuffled null"] < 1.1
+        ),
+        "and is large on the real trace (factor > 3)": factors["real"] > 3.0,
+    }
+    notes = (
+        f"the shuffle preserves files/job and per-file popularity exactly; "
+        f"only co-access dies — and with it the whole effect "
+        f"({factors['real']:.1f}x -> {factors['shuffled null']:.2f}x)",
+        "any analysis that still finds filecule structure on the null is "
+        "broken; this control runs in the benchmark suite permanently",
+    )
+    return ExperimentResult(
+        experiment_id="null_model",
+        title="Falsifiability control: shuffled-access null model",
+        headers=(
+            "trace",
+            "filecules",
+            "mean files/filecule",
+            "file-lru miss",
+            "filecule-lru miss",
+            "factor",
+        ),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,80 @@
+"""Section 6 experiment: filecule identification from partial knowledge.
+
+"Our preliminary experiments ... show [that] larger filecules are
+identified when only a part of the jobs submitted ... are considered.
+... the more job submissions, the more likely that the filecules will be
+smaller and thus more accurate.  Note that without global information,
+identified filecules can only be larger than real filecules."
+
+We identify filecules per site (each site sees only its own jobs),
+verify the can-only-be-coarser theorem, and report accuracy vs local
+activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.partial import coarsening_report, identify_per_site, is_coarsening_of
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+
+
+@register("partial")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    reports = coarsening_report(ctx.trace, group_by="site")
+    locals_ = identify_per_site(ctx.trace)
+    all_coarser = all(
+        is_coarsening_of(local, ctx.partition) for local in locals_.values()
+    )
+    rows = tuple(
+        (
+            r.group,
+            r.n_jobs,
+            r.n_files_seen,
+            r.n_local_filecules,
+            r.n_true_filecules,
+            r.exact_fraction,
+            r.inflation,
+        )
+        for r in reports
+    )
+    # does accuracy grow with activity? rank-correlate jobs vs exactness
+    multi = [r for r in reports if r.n_files_seen > 0]
+    if len(multi) >= 3:
+        rho, _ = stats.spearmanr(
+            [r.n_jobs for r in multi], [r.exact_fraction for r in multi]
+        )
+        rho = float(rho) if rho == rho else 0.0
+    else:  # pragma: no cover - degenerate workload
+        rho = 0.0
+    checks = {
+        "every local partition is a coarsening of the global one": all_coarser,
+        "inflation >= 1 everywhere (filecules only get larger)": all(
+            r.inflation >= 1.0 - 1e-9 for r in reports
+        ),
+        "more local jobs correlate with better accuracy (rho > 0)": rho > 0,
+    }
+    notes = (
+        f"theorem check: local filecules can only be coarser — "
+        f"{'holds' if all_coarser else 'VIOLATED'} at all "
+        f"{len(reports)} sites",
+        f"activity-accuracy Spearman rho={rho:.2f} "
+        f"(paper: more submissions => more accurate)",
+    )
+    return ExperimentResult(
+        experiment_id="partial",
+        title="Per-site filecule identification accuracy (§6)",
+        headers=(
+            "site",
+            "jobs",
+            "files seen",
+            "local filecules",
+            "true (restricted)",
+            "exact frac",
+            "inflation",
+        ),
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,93 @@
+"""§6's sampling experiment: identification from a fraction of the jobs.
+
+"Indeed, our preliminary experiments with this scenario show that larger
+filecules are identified when only a part of the jobs submitted, and
+thus datasets requested, are considered."
+
+We identify filecules from random job samples of growing fraction and
+measure, against the full-history partition: files covered, class count,
+exact-match fraction and inflation (restricted-true classes per local
+class).  The curve should show accuracy rising monotonically-ish with
+the observed fraction, with inflation ≥ 1 throughout (the coarsening
+theorem applies to *any* job subset, not just per-site ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dynamics import partition_similarity
+from repro.core.identify import find_filecules
+from repro.core.partial import is_coarsening_of
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.traces.combine import subsample_jobs
+
+FRACTIONS: tuple[float, ...] = (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+SAMPLE_SEED = 1234
+
+
+@register("partial_sampling")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    global_p = ctx.partition
+    rows = []
+    exacts = []
+    coarser_everywhere = True
+    for fraction in FRACTIONS:
+        sample = (
+            trace
+            if fraction >= 1.0
+            else subsample_jobs(trace, fraction, seed=SAMPLE_SEED)
+        )
+        local = find_filecules(sample)
+        coarser_everywhere &= is_coarsening_of(local, global_p)
+        sim = partition_similarity(local, global_p)
+        covered = int((local.labels >= 0).sum())
+        mean_size = (
+            float(local.files_per_filecule.mean()) if len(local) else 0.0
+        )
+        rows.append(
+            (
+                f"{fraction:.0%}",
+                sample.n_jobs,
+                covered,
+                len(local),
+                mean_size,
+                sim.exact_fraction,
+            )
+        )
+        exacts.append(sim.exact_fraction)
+    mean_sizes = [row[4] for row in rows]
+    checks = {
+        "every sample's partition is a coarsening of the truth": (
+            coarser_everywhere
+        ),
+        "full history recovers the exact partition": exacts[-1] == 1.0,
+        "accuracy at 50% of jobs beats accuracy at 5%": exacts[3] > exacts[0],
+        "sampled filecules are larger on average than true ones "
+        "(paper: 'larger filecules are identified')": (
+            mean_sizes[0] > mean_sizes[-1]
+        ),
+    }
+    notes = (
+        f"exact-match fraction climbs "
+        f"{exacts[0]:.0%} -> {exacts[2]:.0%} -> {exacts[-1]:.0%} as the "
+        f"observed job fraction grows 5% -> 25% -> 100%",
+        "the coarsening theorem applies to any partial view — random "
+        "samples behave like low-activity sites",
+    )
+    return ExperimentResult(
+        experiment_id="partial_sampling",
+        title="Identification from a sample of the jobs (§6)",
+        headers=(
+            "jobs observed",
+            "n jobs",
+            "files covered",
+            "classes",
+            "mean files/class",
+            "exact frac",
+        ),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,113 @@
+"""Section 6 quantified: proactive replication, file vs filecule granularity.
+
+Strategies observe the first half of the trace, push replicas under a
+per-site byte budget, and are scored on the second half.  Three budgets
+bracket the interesting regime (around the typical filecule size, and
+well above it).
+
+Expected shapes:
+
+* interest-aware strategies (file- and filecule-granularity) waste far
+  fewer pushed bytes than the locality-blind global baseline — the
+  geographic interest partitioning of §3.2 at work;
+* filecule granularity never ships partial co-access groups, so its
+  whole-job completion rate matches or beats file granularity, most
+  visibly at tight budgets;
+* with *complete* local history the two interest-aware plans converge —
+  file popularity inherits the filecule structure (definition property
+  3).  The paper's argument is about planning with the right abstraction,
+  not about beating an oracle file ranking; the convergence itself is
+  evidence that filecules capture the workload's true granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.replication.evaluate import compare_strategies
+from repro.replication.strategies import (
+    FileculeReplication,
+    FileGranularityReplication,
+    GlobalPopularityReplication,
+)
+from repro.util.units import format_bytes
+
+
+#: Per-site budgets as fractions of total accessed data.
+BUDGET_FRACTIONS: tuple[float, ...] = (0.01, 0.05, 0.2)
+
+
+@register("replication")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    total = trace.total_bytes()
+    budgets = [max(int(f * total), 1) for f in BUDGET_FRACTIONS]
+    strategies = [
+        FileGranularityReplication(),
+        FileculeReplication(),
+        GlobalPopularityReplication(),
+    ]
+    rows = []
+    by_budget: dict[int, dict[str, object]] = {}
+    for budget in budgets:
+        outcomes = compare_strategies(trace, strategies, budget)
+        by_budget[budget] = {o.strategy: o for o in outcomes}
+        for o in outcomes:
+            rows.append(
+                (
+                    format_bytes(budget, 1),
+                    o.strategy,
+                    o.local_byte_fraction,
+                    o.job_complete_fraction,
+                    o.used_fraction,
+                    format_bytes(o.push_bytes, 1),
+                )
+            )
+    checks: dict[str, bool] = {}
+    for budget in budgets:
+        file_o = by_budget[budget]["file-granularity"]
+        cule_o = by_budget[budget]["filecule-granularity"]
+        label = format_bytes(budget, 1)
+        checks[f"{label}: filecule job-completion >= 90% of file plan"] = (
+            cule_o.job_complete_fraction >= 0.9 * file_o.job_complete_fraction
+        )
+        checks[f"{label}: filecule waste within 10% of file plan"] = (
+            cule_o.used_fraction >= file_o.used_fraction - 0.10
+        )
+    big = budgets[-1]
+    cule_big = by_budget[big]["filecule-granularity"]
+    glob_big = by_budget[big]["global-popularity"]
+    checks[
+        "at the largest budget, interest-aware matches >=85% of the "
+        "global plan's locality at a fraction of the push cost"
+    ] = (
+        cule_big.local_byte_fraction >= 0.85 * glob_big.local_byte_fraction
+        and cule_big.push_bytes <= 0.6 * glob_big.push_bytes
+    )
+    notes = (
+        "filecule plans never ship partial co-access groups; file plans "
+        "fragment at budget boundaries",
+        "with complete history the interest-aware plans converge (file "
+        "popularity inherits filecule structure, §3 property 3) — evidence "
+        "that filecules capture the workload's true granularity",
+        f"locality-blind global replication needs "
+        f"{glob_big.push_bytes / max(cule_big.push_bytes, 1):.1f}x the "
+        f"push traffic of the interest-aware filecule plan at the largest "
+        f"budget",
+    )
+    return ExperimentResult(
+        experiment_id="replication",
+        title="Proactive replication: file vs filecule granularity (§6)",
+        headers=(
+            "budget/site",
+            "strategy",
+            "local byte frac",
+            "complete jobs",
+            "pushed-bytes used",
+            "pushed",
+        ),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

@@ -1,0 +1,84 @@
+"""Full-evaluation report generator.
+
+:func:`generate_report` runs every registered experiment against one
+context and writes a single self-contained markdown document — the
+regenerable counterpart of EXPERIMENTS.md.  Used by
+``python -m repro.experiments all`` consumers that want an artifact
+rather than terminal output::
+
+    from repro.experiments.report import generate_report
+    path = generate_report(output_path="REPORT.md")
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.experiments.base import (
+    ExperimentContext,
+    all_experiment_ids,
+    get_context,
+    run_experiment,
+)
+from repro.util.tables import render_table
+
+
+def generate_report(
+    output_path: str | Path = "REPORT.md",
+    ctx: ExperimentContext | None = None,
+    experiment_ids: list[str] | None = None,
+) -> Path:
+    """Run experiments and write a markdown report; returns the path."""
+    ctx = ctx or get_context()
+    ids = experiment_ids or all_experiment_ids()
+    unknown = [i for i in ids if i not in all_experiment_ids()]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+
+    lines: list[str] = [
+        "# Reproduction report",
+        "",
+        f"Workload: scale `{ctx.scale}`, seed `{ctx.seed}` — "
+        f"{ctx.trace.n_jobs} jobs, {ctx.trace.n_files} files, "
+        f"{ctx.trace.n_accesses} accesses, {len(ctx.partition)} filecules.",
+        "",
+    ]
+    summary_rows = []
+    sections: list[str] = []
+    for experiment_id in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(experiment_id, ctx)
+        elapsed = time.perf_counter() - t0
+        n_checks = len(result.checks)
+        n_pass = sum(result.checks.values())
+        summary_rows.append(
+            [
+                experiment_id,
+                result.title,
+                f"{n_pass}/{n_checks}",
+                f"{elapsed:.2f}s",
+            ]
+        )
+        sections.append(f"## {experiment_id}: {result.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.render())
+        sections.append("```")
+        sections.append("")
+
+    lines.append("## Check summary")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        render_table(
+            ["experiment", "title", "checks", "time"], summary_rows
+        )
+    )
+    lines.append("```")
+    lines.append("")
+    lines.extend(sections)
+
+    output_path = Path(output_path)
+    output_path.write_text("\n".join(lines))
+    return output_path

@@ -1,0 +1,73 @@
+"""Section 5 quantified: would BitTorrent help this workload?
+
+The paper's verdict rests on eyeballing Figures 11–12.  Here we simulate
+both transfer models (fluid swarm vs client-server processor sharing)
+under the *actual* request arrival times of the hottest filecules, and —
+as a control — under a synthetic flash crowd, where BitTorrent is known
+to shine.  The reproduction passes when swarming buys ≈ nothing on the
+real pattern but a large factor on the flash crowd.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.transfer.bittorrent import simulate_client_server, simulate_swarm
+from repro.transfer.comparison import bittorrent_feasibility
+from repro.util.units import GB, format_bytes
+
+
+@register("swarm")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows_data = bittorrent_feasibility(ctx.trace, ctx.partition, top_k=5)
+    rows = tuple(
+        (
+            f"filecule #{r.filecule_id}",
+            format_bytes(r.size_bytes, 1),
+            r.n_jobs,
+            r.n_users,
+            r.n_sites,
+            r.max_concurrent_users,
+            r.speedup,
+        )
+        for r in rows_data
+    )
+    # control: 40 peers requesting a 2 GB filecule simultaneously
+    size = 2 * GB
+    cs = simulate_client_server([0.0] * 40, size)
+    sw = simulate_swarm([0.0] * 40, size)
+    flash_speedup = (
+        cs.mean_download_time / sw.mean_download_time
+        if sw.mean_download_time
+        else 1.0
+    )
+    max_real_speedup = max((r.speedup for r in rows_data), default=1.0)
+    checks = {
+        "swarming gains <20% on the observed workload": max_real_speedup < 1.2,
+        "control: swarming shines under a flash crowd (>2x)": flash_speedup > 2.0,
+        "hot filecules are shared by multiple users": all(
+            r.n_users >= 2 for r in rows_data
+        ),
+    }
+    notes = (
+        f"best observed swarm speedup over client-server: "
+        f"{max_real_speedup:.2f}x (paper: load 'would hardly justify' "
+        f"BitTorrent)",
+        f"flash-crowd control speedup: {flash_speedup:.1f}x — the "
+        f"mechanism works; the workload simply lacks concurrency",
+    )
+    return ExperimentResult(
+        experiment_id="swarm",
+        title="BitTorrent feasibility under observed access patterns (§5)",
+        headers=(
+            "filecule",
+            "size",
+            "jobs",
+            "users",
+            "sites",
+            "max conc",
+            "swarm speedup",
+        ),
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )

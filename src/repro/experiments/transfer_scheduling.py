@@ -1,0 +1,84 @@
+"""§6 quantified: filecule-aware data-transfer scheduling.
+
+"Scheduling data transfers while accounting for filecules can lead to
+significant improvements."  We schedule each site's inbound transfers
+over a FIFO WAN link with a per-transfer setup cost, file-at-a-time vs
+whole-filecule batches (identical bytes either way), and measure the
+setup amortization and job data-wait improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.transfer.scheduling import compare_scheduling
+from repro.util.units import format_bytes
+
+#: Per-transfer setup cost (connection + catalog + SRM negotiation).
+SETUP_LATENCY_S = 10.0
+
+
+@register("transfer_scheduling")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    partition = ctx.partition
+    # the hub plus the two busiest remote sites
+    counts = np.bincount(trace.job_sites, minlength=trace.n_sites)
+    remote = [s for s in np.argsort(counts)[::-1] if counts[s] > 0][:3]
+    rows = []
+    checks: dict[str, bool] = {}
+    notes = []
+    for site in remote:
+        file_r, cule_r = compare_scheduling(
+            trace, partition, int(site), setup_latency_s=SETUP_LATENCY_S
+        )
+        name = trace.site_names[int(site)]
+        for r in (file_r, cule_r):
+            rows.append(
+                (
+                    name,
+                    r.strategy,
+                    r.n_transfers,
+                    format_bytes(r.bytes_moved, 1),
+                    r.setup_seconds / 3600.0,
+                    r.mean_wait_seconds / 3600.0,
+                    r.p95_wait_seconds / 3600.0,
+                )
+            )
+        checks[f"{name}: identical bytes delivered"] = (
+            file_r.bytes_moved == cule_r.bytes_moved
+        )
+        checks[f"{name}: batching cuts transfer count >= 3x"] = (
+            cule_r.n_transfers * 3 <= file_r.n_transfers
+        )
+        checks[f"{name}: batching reduces mean job data wait"] = (
+            cule_r.mean_wait_seconds <= file_r.mean_wait_seconds
+        )
+        notes.append(
+            f"{name}: {file_r.n_transfers} -> {cule_r.n_transfers} "
+            f"transfers; mean wait "
+            f"{file_r.mean_wait_seconds / 3600:.1f}h -> "
+            f"{cule_r.mean_wait_seconds / 3600:.1f}h"
+        )
+    notes.append(
+        f"setup cost {SETUP_LATENCY_S:.0f}s/transfer; both strategies move "
+        f"identical bytes — the win is pure setup amortization plus "
+        f"piggybacking on in-flight filecules"
+    )
+    return ExperimentResult(
+        experiment_id="transfer_scheduling",
+        title="Filecule-aware transfer scheduling (§6)",
+        headers=(
+            "site",
+            "strategy",
+            "transfers",
+            "bytes",
+            "setup (h)",
+            "mean wait (h)",
+            "p95 wait (h)",
+        ),
+        rows=tuple(rows),
+        notes=tuple(notes),
+        checks=checks,
+    )

@@ -1,0 +1,43 @@
+"""Proactive data replication at file vs filecule granularity (paper §6).
+
+The paper argues filecules are the right abstraction for answering "what
+files to replicate?"  This package makes that concrete:
+
+* :mod:`repro.replication.strategies` — budgeted replication planners:
+  per-site popularity ranking at file granularity, filecule granularity,
+  and a locality-blind global baseline;
+* :mod:`repro.replication.placement` — the site × filecule interest
+  matrix the planners rank with;
+* :mod:`repro.replication.evaluate` — warmup/evaluation split of a trace,
+  analytic scoring (local byte fraction, push cost, wasted pushed bytes)
+  and an optional end-to-end replay on the :mod:`repro.sam` substrate.
+"""
+
+from repro.replication.strategies import (
+    ReplicationPlan,
+    ReplicationStrategy,
+    FileGranularityReplication,
+    FileculeReplication,
+    GlobalPopularityReplication,
+    LocalKnowledgeFileculeReplication,
+)
+from repro.replication.placement import interest_matrix, site_budgets
+from repro.replication.evaluate import (
+    ReplicationOutcome,
+    evaluate_replication,
+    compare_strategies,
+)
+
+__all__ = [
+    "ReplicationPlan",
+    "ReplicationStrategy",
+    "FileGranularityReplication",
+    "FileculeReplication",
+    "GlobalPopularityReplication",
+    "LocalKnowledgeFileculeReplication",
+    "interest_matrix",
+    "site_budgets",
+    "ReplicationOutcome",
+    "evaluate_replication",
+    "compare_strategies",
+]

@@ -1,0 +1,36 @@
+"""SAM-like grid substrate: event simulation, storage, catalog, stations.
+
+The paper's experiments run on top of SAM, FermiLab's data-handling
+middleware (§2.2): stations with disk caches at every site, a mass-storage
+(tape) system at the hub, a replica catalog, and WAN transfers between
+them.  This package is a compact discrete-event model of that substrate,
+used by the replication study and the end-to-end examples:
+
+* :mod:`repro.sam.events` — deterministic event queue / simulation clock;
+* :mod:`repro.sam.storage` — FIFO bandwidth links and a tape archive with
+  mount latency;
+* :mod:`repro.sam.catalog` — replica catalog (file → sites);
+* :mod:`repro.sam.station` — a SAM station: local disk cache (any
+  :class:`repro.cache.ReplacementPolicy`) + fetch logic;
+* :mod:`repro.sam.scheduler` — replays a trace across stations and
+  aggregates grid-wide metrics.
+"""
+
+from repro.sam.events import Simulation, Event
+from repro.sam.storage import Link, TapeArchive, TransferModel
+from repro.sam.catalog import ReplicaCatalog
+from repro.sam.station import Station, StationMetrics
+from repro.sam.scheduler import GridReport, replay_trace
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Link",
+    "TapeArchive",
+    "TransferModel",
+    "ReplicaCatalog",
+    "Station",
+    "StationMetrics",
+    "GridReport",
+    "replay_trace",
+]

@@ -1,0 +1,111 @@
+"""Replica catalog: which sites hold which files.
+
+SAM "thoroughly catalogs data for content, provenance, status, location"
+(§2.2).  This model keeps the location facet: a file → sites mapping with
+registration, eviction and nearest-replica lookup, plus filecule-level
+convenience queries used by the replication strategies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.filecule import Filecule
+
+
+class ReplicaCatalog:
+    """Tracks replica locations for a fixed file catalog."""
+
+    def __init__(self, n_files: int, n_sites: int, hub_site: int = 0) -> None:
+        if n_files < 0 or n_sites < 1:
+            raise ValueError("need n_files >= 0 and n_sites >= 1")
+        if not 0 <= hub_site < n_sites:
+            raise ValueError(f"hub site {hub_site} out of range")
+        self.n_files = n_files
+        self.n_sites = n_sites
+        self.hub_site = hub_site
+        self._sites_of: dict[int, set[int]] = defaultdict(set)
+        self._files_at: dict[int, set[int]] = defaultdict(set)
+
+    def _check(self, file_id: int, site: int | None = None) -> None:
+        if not 0 <= file_id < self.n_files:
+            raise KeyError(f"file id {file_id} out of range")
+        if site is not None and not 0 <= site < self.n_sites:
+            raise KeyError(f"site {site} out of range")
+
+    def register(self, file_id: int, site: int) -> None:
+        """Record that ``site`` now holds a replica of ``file_id``."""
+        self._check(file_id, site)
+        self._sites_of[file_id].add(site)
+        self._files_at[site].add(file_id)
+
+    def unregister(self, file_id: int, site: int) -> None:
+        """Drop a replica record (idempotent)."""
+        self._check(file_id, site)
+        self._sites_of[file_id].discard(site)
+        self._files_at[site].discard(file_id)
+
+    def locate(self, file_id: int) -> frozenset[int]:
+        """Disk-resident replica sites; the tape archive at the hub is
+        always an implicit source of last resort and is *not* listed."""
+        self._check(file_id)
+        return frozenset(self._sites_of[file_id])
+
+    def has_replica(self, file_id: int, site: int) -> bool:
+        self._check(file_id, site)
+        return site in self._sites_of[file_id]
+
+    def files_at(self, site: int) -> frozenset[int]:
+        if not 0 <= site < self.n_sites:
+            raise KeyError(f"site {site} out of range")
+        return frozenset(self._files_at[site])
+
+    def best_source(self, file_id: int, dst_site: int) -> int:
+        """Pick the source site for a fetch to ``dst_site``.
+
+        Preference: a same-site replica (free), else any disk replica
+        (deterministically the lowest site id), else the hub (tape).
+        """
+        self._check(file_id, dst_site)
+        sites = self._sites_of[file_id]
+        if dst_site in sites:
+            return dst_site
+        if sites:
+            return min(sites)
+        return self.hub_site
+
+    # -- filecule-level helpers -------------------------------------------
+    def filecule_presence(self, filecule: Filecule, site: int) -> float:
+        """Fraction of the filecule's files with a replica at ``site``.
+
+        The §6 discussion keys replication decisions on "the status of the
+        filecule (partially or not-replicated) on the destination storage";
+        this is that status.
+        """
+        if not 0 <= site < self.n_sites:
+            raise KeyError(f"site {site} out of range")
+        held = self._files_at[site]
+        present = sum(1 for f in filecule.file_ids if int(f) in held)
+        return present / filecule.n_files
+
+    def register_filecule(
+        self, filecule: Filecule, site: int
+    ) -> None:
+        """Register every member file of a filecule at ``site``."""
+        for f in filecule.file_ids:
+            self.register(int(f), site)
+
+    def bulk_register(self, file_ids: Iterable[int], site: int) -> None:
+        for f in file_ids:
+            self.register(int(f), site)
+
+    def site_bytes(self, site: int, file_sizes: np.ndarray) -> int:
+        """Total bytes of replicas held at ``site``."""
+        held = self.files_at(site)
+        if not held:
+            return 0
+        idx = np.fromiter(held, dtype=np.int64, count=len(held))
+        return int(np.asarray(file_sizes)[idx].sum())

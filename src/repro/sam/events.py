@@ -1,0 +1,98 @@
+"""Deterministic discrete-event simulation core.
+
+A minimal heap-based scheduler: events are (time, sequence, callback)
+triples; ties in time break by scheduling order, so runs are fully
+deterministic.  Callbacks may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """One scheduled callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulation:
+    """An event queue with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, clock is already at {self.now}"
+            )
+        event = Event(time=float(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at a time/event bound.
+
+        ``until`` executes all events with time <= until; ``max_events``
+        is a safety valve against runaway scheduling loops.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events — "
+                    f"likely a scheduling loop"
+                )
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+            executed += 1

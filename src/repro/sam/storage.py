@@ -1,0 +1,134 @@
+"""Storage and network cost models: FIFO links and a tape archive.
+
+Transfers are modeled analytically as FIFO servers: a link (or tape
+drive pool) has a ``busy_until`` horizon; a new transfer starts at
+``max(now, busy_until)``, runs for ``latency + bytes/bandwidth`` and
+pushes the horizon forward.  This captures queueing delay under load
+without per-packet simulation — the right granularity for multi-month
+traces of multi-gigabyte transfers.
+"""
+
+from __future__ import annotations
+
+from repro.sam.events import Simulation
+
+
+class Link:
+    """A FIFO network link with fixed bandwidth and per-transfer latency."""
+
+    def __init__(
+        self, sim: Simulation, bandwidth_bps: float, latency_s: float = 0.05
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        self._sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.busy_until = 0.0
+        self.bytes_moved = 0
+        self.transfers = 0
+
+    def service_time(self, nbytes: int) -> float:
+        """Pure service time of one transfer, excluding queueing."""
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+    def enqueue(self, nbytes: int) -> float:
+        """Admit a transfer now; returns its absolute completion time."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        start = max(self._sim.now, self.busy_until)
+        finish = start + self.service_time(nbytes)
+        self.busy_until = finish
+        self.bytes_moved += nbytes
+        self.transfers += 1
+        return finish
+
+    @property
+    def queue_delay(self) -> float:
+        """Current backlog a new transfer would wait behind."""
+        return max(0.0, self.busy_until - self._sim.now)
+
+
+class TapeArchive:
+    """The hub's mass-storage system: mount latency + shared drive pool.
+
+    DZero's raw and derived data live on tape behind Enstore; a cache
+    miss that reaches the archive pays a mount penalty and shares the
+    drive bandwidth FIFO, like :class:`Link` with a big latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth_bps: float = 8 * 30e6,  # ~30 MB/s LTO-era drive pool
+        mount_latency_s: float = 90.0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if mount_latency_s < 0:
+            raise ValueError(f"mount latency must be >= 0, got {mount_latency_s}")
+        self._link = Link(sim, bandwidth_bps, mount_latency_s)
+
+    def stage(self, nbytes: int) -> float:
+        """Stage ``nbytes`` from tape; returns absolute completion time."""
+        return self._link.enqueue(nbytes)
+
+    @property
+    def bytes_staged(self) -> int:
+        return self._link.bytes_moved
+
+    @property
+    def mounts(self) -> int:
+        return self._link.transfers
+
+
+class TransferModel:
+    """Site-to-site transfer cost: hub-and-spoke WAN topology.
+
+    Each site has one WAN link; a transfer from site A to site B queues on
+    both ends (bottleneck FIFO: completion is the later of the two).  The
+    hub (site of the mass-storage system) typically has a fatter link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        n_sites: int,
+        hub_site: int = 0,
+        wan_bandwidth_bps: float = 8 * 12.5e6,  # 100 Mb/s spokes
+        hub_bandwidth_bps: float = 8 * 125e6,  # 1 Gb/s hub
+        latency_s: float = 0.05,
+    ) -> None:
+        if n_sites < 1:
+            raise ValueError(f"need at least one site, got {n_sites}")
+        if not 0 <= hub_site < n_sites:
+            raise ValueError(f"hub site {hub_site} out of range")
+        self._sim = sim
+        self.hub_site = hub_site
+        self.links = [
+            Link(
+                sim,
+                hub_bandwidth_bps if s == hub_site else wan_bandwidth_bps,
+                latency_s,
+            )
+            for s in range(n_sites)
+        ]
+
+    def transfer(self, src_site: int, dst_site: int, nbytes: int) -> float:
+        """Move bytes between sites; returns absolute completion time.
+
+        Intra-site moves are free (shared local storage, §5's assumption
+        that users of one institution share local data access).
+        """
+        if src_site == dst_site:
+            return self._sim.now
+        t_src = self.links[src_site].enqueue(nbytes)
+        t_dst = self.links[dst_site].enqueue(nbytes)
+        return max(t_src, t_dst)
+
+    def wan_bytes(self) -> int:
+        """Total bytes that crossed any WAN link (each transfer counted
+        once per endpoint)."""
+        return sum(link.bytes_moved for link in self.links)

@@ -1,0 +1,93 @@
+"""SAM-style trace schema, container, I/O, filtering and statistics.
+
+The DZero experiment logs two kinds of traces through the SAM data-handling
+middleware (paper §2.3):
+
+* **file traces** — which files each job ("project") requested, and
+* **application traces** — job metadata: user, submission node, start/stop
+  time, application family and data tier.
+
+:class:`repro.traces.Trace` holds both, column-oriented on numpy arrays so
+that the workload characterization of §3 is fully vectorized.  Real SAM
+exports can be loaded via :mod:`repro.traces.io`; the calibrated synthetic
+generator in :mod:`repro.workload` produces the same structure.
+"""
+
+from repro.traces.records import (
+    TIER_RAW,
+    TIER_RECONSTRUCTED,
+    TIER_ROOTTUPLE,
+    TIER_THUMBNAIL,
+    TIER_OTHER,
+    TIER_NAMES,
+    tier_code,
+    tier_name,
+    FileMeta,
+    JobMeta,
+)
+from repro.traces.trace import Trace, TraceValidationError
+from repro.traces.io import (
+    write_trace_csv,
+    read_trace_csv,
+    write_trace_jsonl,
+    read_trace_jsonl,
+)
+from repro.traces.combine import (
+    concat_traces,
+    shift_time,
+    shuffled_null,
+    subsample_jobs,
+)
+from repro.traces.filters import (
+    filter_jobs,
+    filter_by_tier,
+    filter_by_domain,
+    filter_by_time,
+    filter_by_site,
+    split_epochs,
+)
+from repro.traces.stats import (
+    TraceSummary,
+    summarize,
+    tier_table,
+    domain_table,
+    files_per_job_distribution,
+    daily_activity,
+    file_size_distribution,
+)
+
+__all__ = [
+    "TIER_RAW",
+    "TIER_RECONSTRUCTED",
+    "TIER_ROOTTUPLE",
+    "TIER_THUMBNAIL",
+    "TIER_OTHER",
+    "TIER_NAMES",
+    "tier_code",
+    "tier_name",
+    "FileMeta",
+    "JobMeta",
+    "Trace",
+    "TraceValidationError",
+    "write_trace_csv",
+    "read_trace_csv",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "concat_traces",
+    "shift_time",
+    "shuffled_null",
+    "subsample_jobs",
+    "filter_jobs",
+    "filter_by_tier",
+    "filter_by_domain",
+    "filter_by_time",
+    "filter_by_site",
+    "split_epochs",
+    "TraceSummary",
+    "summarize",
+    "tier_table",
+    "domain_table",
+    "files_per_job_distribution",
+    "daily_activity",
+    "file_size_distribution",
+]

@@ -1,0 +1,91 @@
+"""Trace filtering: per-tier, per-domain, per-site, per-time sub-traces.
+
+All filters go through :meth:`repro.traces.Trace.subset_jobs`, which keeps
+the file/user/node catalogs intact — file ids remain globally comparable,
+which the per-tier figures (6–8) and the §6 partial-knowledge experiments
+rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.records import tier_code
+from repro.traces.trace import Trace
+
+
+def filter_jobs(trace: Trace, mask: np.ndarray) -> Trace:
+    """Keep jobs where ``mask`` is True (thin alias of ``subset_jobs``)."""
+    return trace.subset_jobs(mask)
+
+
+def filter_by_tier(trace: Trace, tier: str | int) -> Trace:
+    """Keep jobs whose dataset belongs to the given data tier."""
+    code = tier_code(tier)
+    return trace.subset_jobs(trace.job_tiers == code)
+
+
+def filter_by_domain(trace: Trace, domain: str | int) -> Trace:
+    """Keep jobs submitted from nodes in the given Internet domain.
+
+    ``domain`` may be a name from ``trace.domain_names`` (e.g. ``".gov"``)
+    or a domain code.
+    """
+    if isinstance(domain, str):
+        try:
+            code = trace.domain_names.index(domain)
+        except ValueError:
+            raise ValueError(
+                f"unknown domain {domain!r}; trace has {trace.domain_names}"
+            ) from None
+    else:
+        code = domain
+        if not 0 <= code < trace.n_domains:
+            raise ValueError(f"domain code out of range: {code}")
+    return trace.subset_jobs(trace.job_domains == code)
+
+
+def filter_by_site(trace: Trace, site: str | int) -> Trace:
+    """Keep jobs submitted from nodes at the given site."""
+    if isinstance(site, str):
+        try:
+            code = trace.site_names.index(site)
+        except ValueError:
+            raise ValueError(
+                f"unknown site {site!r}; trace has {len(trace.site_names)} sites"
+            ) from None
+    else:
+        code = site
+        if not 0 <= code < trace.n_sites:
+            raise ValueError(f"site code out of range: {code}")
+    return trace.subset_jobs(trace.job_sites == code)
+
+
+def filter_by_time(trace: Trace, start: float, end: float) -> Trace:
+    """Keep jobs that *start* within ``[start, end)`` seconds."""
+    if end < start:
+        raise ValueError(f"time window end {end} precedes start {start}")
+    mask = (trace.job_starts >= start) & (trace.job_starts < end)
+    return trace.subset_jobs(mask)
+
+
+def split_epochs(trace: Trace, n_epochs: int) -> list[Trace]:
+    """Split the trace window into ``n_epochs`` equal-duration sub-traces.
+
+    Used by the filecule-dynamics study (paper §8 future work: "analyze
+    filecules formed at different times").  Every job lands in exactly one
+    epoch, bucketed by its start time; the final epoch is closed on the
+    right so the last job is not dropped.
+    """
+    if n_epochs < 1:
+        raise ValueError(f"need at least one epoch, got {n_epochs}")
+    t_lo, t_hi = trace.time_span()
+    edges = np.linspace(t_lo, t_hi, n_epochs + 1)
+    epochs = []
+    for k in range(n_epochs):
+        if k == n_epochs - 1:
+            mask = (trace.job_starts >= edges[k]) & (trace.job_starts <= edges[k + 1])
+        else:
+            mask = (trace.job_starts >= edges[k]) & (trace.job_starts < edges[k + 1])
+        epochs.append(trace.subset_jobs(mask))
+    return epochs

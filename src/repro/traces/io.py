@@ -1,0 +1,268 @@
+"""Trace serialization: directory-of-CSV and single-file JSONL formats.
+
+Two interchange formats are provided so real SAM history exports can be
+brought into the toolkit:
+
+* **CSV directory** (``write_trace_csv`` / ``read_trace_csv``) — one file
+  per table (``files.csv``, ``jobs.csv``, ``accesses.csv``, ``users.csv``,
+  ``nodes.csv``) plus ``meta.json`` with the site/domain name tables.  This
+  matches how database dumps usually arrive and scales to millions of rows.
+* **JSONL** (``write_trace_jsonl`` / ``read_trace_jsonl``) — one
+  self-contained line-delimited JSON file where each job row embeds its
+  input file list.  Convenient for small fixtures and for shipping example
+  traces inside a repository.
+
+Both round-trip exactly: ``read(write(t))`` reproduces every column.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+_CSV_TABLES = ("files", "jobs", "accesses", "users", "nodes")
+
+
+def write_trace_csv(trace: Trace, directory: str | Path) -> Path:
+    """Write ``trace`` as a directory of CSV tables; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "files.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["file_id", "size_bytes", "tier", "dataset_id"])
+        for i in range(trace.n_files):
+            writer.writerow(
+                [
+                    i,
+                    int(trace.file_sizes[i]),
+                    int(trace.file_tiers[i]),
+                    int(trace.file_datasets[i]),
+                ]
+            )
+
+    with open(directory / "jobs.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["job_id", "label", "user_id", "node_id", "tier", "start", "end"]
+        )
+        for j in range(trace.n_jobs):
+            writer.writerow(
+                [
+                    j,
+                    int(trace.job_labels[j]),
+                    int(trace.job_users[j]),
+                    int(trace.job_nodes[j]),
+                    int(trace.job_tiers[j]),
+                    repr(float(trace.job_starts[j])),
+                    repr(float(trace.job_ends[j])),
+                ]
+            )
+
+    with open(directory / "accesses.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["job_id", "file_id"])
+        for j, f in zip(trace.access_jobs, trace.access_files):
+            writer.writerow([int(j), int(f)])
+
+    with open(directory / "users.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user_id", "domain_id"])
+        for u in range(trace.n_users):
+            writer.writerow([u, int(trace.user_domains[u])])
+
+    with open(directory / "nodes.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["node_id", "site_id", "domain_id"])
+        for n in range(trace.n_nodes):
+            writer.writerow(
+                [n, int(trace.node_sites[n]), int(trace.node_domains[n])]
+            )
+
+    with open(directory / "meta.json", "w") as fh:
+        json.dump(
+            {
+                "format": "repro-trace-csv",
+                "version": 1,
+                "site_names": list(trace.site_names),
+                "domain_names": list(trace.domain_names),
+            },
+            fh,
+            indent=2,
+        )
+    return directory
+
+
+def _read_csv_columns(path: Path, expected_header: list[str]) -> list[list[str]]:
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != expected_header:
+            raise ValueError(
+                f"{path.name}: unexpected header {header!r}, "
+                f"expected {expected_header!r}"
+            )
+        rows = list(reader)
+    if not rows:
+        return [[] for _ in expected_header]
+    cols = list(map(list, zip(*rows)))
+    return cols
+
+
+def read_trace_csv(directory: str | Path) -> Trace:
+    """Load a trace previously written by :func:`write_trace_csv`."""
+    directory = Path(directory)
+    for table in _CSV_TABLES:
+        if not (directory / f"{table}.csv").exists():
+            raise FileNotFoundError(directory / f"{table}.csv")
+    with open(directory / "meta.json") as fh:
+        meta = json.load(fh)
+    if meta.get("format") != "repro-trace-csv":
+        raise ValueError(f"{directory}: not a repro trace directory")
+
+    fcols = _read_csv_columns(
+        directory / "files.csv", ["file_id", "size_bytes", "tier", "dataset_id"]
+    )
+    jcols = _read_csv_columns(
+        directory / "jobs.csv",
+        ["job_id", "label", "user_id", "node_id", "tier", "start", "end"],
+    )
+    acols = _read_csv_columns(directory / "accesses.csv", ["job_id", "file_id"])
+    ucols = _read_csv_columns(directory / "users.csv", ["user_id", "domain_id"])
+    ncols = _read_csv_columns(
+        directory / "nodes.csv", ["node_id", "site_id", "domain_id"]
+    )
+
+    return Trace(
+        file_sizes=np.array(fcols[1], dtype=np.int64),
+        file_tiers=np.array(fcols[2], dtype=np.int16),
+        file_datasets=np.array(fcols[3], dtype=np.int32),
+        job_users=np.array(jcols[2], dtype=np.int32),
+        job_nodes=np.array(jcols[3], dtype=np.int32),
+        job_tiers=np.array(jcols[4], dtype=np.int16),
+        job_starts=np.array(jcols[5], dtype=np.float64),
+        job_ends=np.array(jcols[6], dtype=np.float64),
+        access_jobs=np.array(acols[0], dtype=np.int64),
+        access_files=np.array(acols[1], dtype=np.int64),
+        user_domains=np.array(ucols[1], dtype=np.int16),
+        node_sites=np.array(ncols[1], dtype=np.int32),
+        node_domains=np.array(ncols[2], dtype=np.int16),
+        site_names=meta["site_names"],
+        domain_names=meta["domain_names"],
+        job_labels=np.array(jcols[1], dtype=np.int64),
+    )
+
+
+def write_trace_jsonl(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as one line-delimited JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "format": "repro-trace-jsonl",
+                    "version": 1,
+                    "site_names": list(trace.site_names),
+                    "domain_names": list(trace.domain_names),
+                    "user_domains": trace.user_domains.tolist(),
+                    "node_sites": trace.node_sites.tolist(),
+                    "node_domains": trace.node_domains.tolist(),
+                }
+            )
+            + "\n"
+        )
+        for i in range(trace.n_files):
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "file",
+                        "id": i,
+                        "size": int(trace.file_sizes[i]),
+                        "tier": int(trace.file_tiers[i]),
+                        "dataset": int(trace.file_datasets[i]),
+                    }
+                )
+                + "\n"
+            )
+        for j in range(trace.n_jobs):
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "job",
+                        "id": j,
+                        "label": int(trace.job_labels[j]),
+                        "user": int(trace.job_users[j]),
+                        "node": int(trace.job_nodes[j]),
+                        "tier": int(trace.job_tiers[j]),
+                        "start": float(trace.job_starts[j]),
+                        "end": float(trace.job_ends[j]),
+                        "files": [int(f) for f in trace.job_files(j)],
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> Trace:
+    """Load a trace previously written by :func:`write_trace_jsonl`."""
+    meta = None
+    files: list[dict] = []
+    jobs: list[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "file":
+                files.append(record)
+            elif kind == "job":
+                jobs.append(record)
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if meta is None:
+        raise ValueError(f"{path}: missing meta record")
+    if meta.get("format") != "repro-trace-jsonl":
+        raise ValueError(f"{path}: not a repro jsonl trace")
+    files.sort(key=lambda r: r["id"])
+    jobs.sort(key=lambda r: r["id"])
+    if [r["id"] for r in files] != list(range(len(files))):
+        raise ValueError(f"{path}: file ids are not dense 0..n-1")
+    if [r["id"] for r in jobs] != list(range(len(jobs))):
+        raise ValueError(f"{path}: job ids are not dense 0..n-1")
+
+    access_jobs: list[int] = []
+    access_files: list[int] = []
+    for r in jobs:
+        access_jobs.extend([r["id"]] * len(r["files"]))
+        access_files.extend(r["files"])
+
+    return Trace(
+        file_sizes=[r["size"] for r in files],
+        file_tiers=[r["tier"] for r in files],
+        file_datasets=[r["dataset"] for r in files],
+        job_users=[r["user"] for r in jobs],
+        job_nodes=[r["node"] for r in jobs],
+        job_tiers=[r["tier"] for r in jobs],
+        job_starts=[r["start"] for r in jobs],
+        job_ends=[r["end"] for r in jobs],
+        access_jobs=access_jobs,
+        access_files=access_files,
+        user_domains=meta["user_domains"],
+        node_sites=meta["node_sites"],
+        node_domains=meta["node_domains"],
+        site_names=meta["site_names"],
+        domain_names=meta["domain_names"],
+        job_labels=[r["label"] for r in jobs],
+    )

@@ -1,0 +1,110 @@
+"""Record types and data-tier vocabulary for SAM-style traces.
+
+SAM organizes physics data in "tiers" defined by the format of the physics
+events (paper §2.2): *raw* detector output, *reconstructed* and *thumbnail*
+outputs of the reconstruction pass, and *root-tuple* highly-processed
+events.  Jobs whose dataset tier is not one of these (monte-carlo
+configuration, calibration, …) are bucketed as *other*, mirroring the
+"Others" row of Table 1 — those jobs carry no file-level trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Tier codes.  Stable small ints so tier columns fit in ``int16``.
+TIER_RAW: int = 0
+TIER_RECONSTRUCTED: int = 1
+TIER_THUMBNAIL: int = 2
+TIER_ROOTTUPLE: int = 3
+TIER_OTHER: int = 4
+
+#: Canonical tier spelling, indexable by tier code.
+TIER_NAMES: tuple[str, ...] = (
+    "raw",
+    "reconstructed",
+    "thumbnail",
+    "root-tuple",
+    "other",
+)
+
+_TIER_ALIASES = {
+    "raw": TIER_RAW,
+    "reconstructed": TIER_RECONSTRUCTED,
+    "reco": TIER_RECONSTRUCTED,
+    "thumbnail": TIER_THUMBNAIL,
+    "tmb": TIER_THUMBNAIL,
+    "root-tuple": TIER_ROOTTUPLE,
+    "roottuple": TIER_ROOTTUPLE,
+    "root_tuple": TIER_ROOTTUPLE,
+    "other": TIER_OTHER,
+    "others": TIER_OTHER,
+}
+
+
+def tier_code(name: str | int) -> int:
+    """Map a tier name (or already-valid code) to its integer code."""
+    if isinstance(name, int):
+        if 0 <= name < len(TIER_NAMES):
+            return name
+        raise ValueError(f"tier code out of range: {name}")
+    try:
+        return _TIER_ALIASES[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown data tier: {name!r}") from None
+
+
+def tier_name(code: int) -> str:
+    """Map a tier code to its canonical name."""
+    if not 0 <= code < len(TIER_NAMES):
+        raise ValueError(f"tier code out of range: {code}")
+    return TIER_NAMES[code]
+
+
+@dataclass(frozen=True, slots=True)
+class FileMeta:
+    """Row view of one file in a trace (convenience object, not storage).
+
+    Attributes mirror the SAM file catalog fields the paper's analysis
+    needs: a stable integer id, the logical file name, size in bytes, the
+    data tier, and the id of the dataset the file was produced into.
+    """
+
+    file_id: int
+    name: str
+    size_bytes: int
+    tier: int
+    dataset_id: int
+
+    @property
+    def tier_label(self) -> str:
+        return tier_name(self.tier)
+
+
+@dataclass(frozen=True, slots=True)
+class JobMeta:
+    """Row view of one job ("project" in SAM terminology).
+
+    ``file_ids`` is the job's full input set — jobs in this workload read
+    whole datasets (paper §2.2: "an application running on a dataset
+    defines a job").  Jobs of tier *other* have an empty input set, like
+    the half of the paper's jobs for which no file trace exists.
+    """
+
+    job_id: int
+    user_id: int
+    node_id: int
+    site_id: int
+    domain_id: int
+    tier: int
+    start_time: float
+    end_time: float
+    file_ids: tuple[int, ...] = field(default=())
+
+    @property
+    def duration_hours(self) -> float:
+        return (self.end_time - self.start_time) / 3600.0
+
+    @property
+    def tier_label(self) -> str:
+        return tier_name(self.tier)

@@ -1,0 +1,202 @@
+"""Vectorized trace statistics backing Tables 1–2 and Figures 1–3.
+
+Everything in this module is a pure function of a :class:`Trace`; the
+experiment modules only format what is computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.traces.records import (
+    TIER_OTHER,
+    TIER_RECONSTRUCTED,
+    TIER_ROOTTUPLE,
+    TIER_THUMBNAIL,
+    tier_name,
+)
+from repro.traces.trace import Trace
+from repro.util.timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Headline numbers of a trace (paper §1: 234k jobs, 1.13M files, ...)."""
+
+    n_jobs: int
+    n_jobs_with_files: int
+    n_users: int
+    n_sites: int
+    n_domains: int
+    n_files_accessed: int
+    n_accesses: int
+    total_bytes_accessed: int
+    mean_files_per_job: float
+    span_days: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_jobs} jobs ({self.n_jobs_with_files} with file traces) "
+            f"by {self.n_users} users from {self.n_domains} domains; "
+            f"{self.n_accesses} accesses to {self.n_files_accessed} files "
+            f"({self.total_bytes_accessed / GB:.1f} GB), "
+            f"{self.mean_files_per_job:.1f} files/job over {self.span_days:.0f} days"
+        )
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the headline characteristics of a trace."""
+    with_files = trace.files_per_job > 0
+    t_lo, t_hi = trace.time_span()
+    n_with = int(with_files.sum())
+    return TraceSummary(
+        n_jobs=trace.n_jobs,
+        n_jobs_with_files=n_with,
+        n_users=len(np.unique(trace.job_users)) if trace.n_jobs else 0,
+        n_sites=len(np.unique(trace.job_sites)) if trace.n_jobs else 0,
+        n_domains=len(np.unique(trace.job_domains)) if trace.n_jobs else 0,
+        n_files_accessed=len(trace.accessed_file_ids),
+        n_accesses=trace.n_accesses,
+        total_bytes_accessed=trace.total_bytes(),
+        mean_files_per_job=(
+            float(trace.files_per_job[with_files].mean()) if n_with else 0.0
+        ),
+        span_days=(t_hi - t_lo) / SECONDS_PER_DAY,
+    )
+
+
+#: Tier order of the paper's Table 1.
+TABLE1_TIERS: tuple[int, ...] = (
+    TIER_RECONSTRUCTED,
+    TIER_ROOTTUPLE,
+    TIER_THUMBNAIL,
+    TIER_OTHER,
+)
+
+
+def tier_table(trace: Trace) -> list[dict]:
+    """Per-tier rows of Table 1 plus the "All" row.
+
+    Columns: users, jobs, distinct files, mean input per job (MB) and mean
+    wall time per job (hours).  Tiers without file traces (``other``) get
+    ``None`` for the file-derived columns, matching the paper's "N/A".
+    """
+    rows: list[dict] = []
+    for tier in TABLE1_TIERS:
+        mask = trace.job_tiers == tier
+        n_jobs = int(mask.sum())
+        row: dict = {
+            "tier": tier_name(tier).capitalize(),
+            "users": int(len(np.unique(trace.job_users[mask]))) if n_jobs else 0,
+            "jobs": n_jobs,
+            "files": None,
+            "input_mb": None,
+            "hours": None,
+        }
+        if n_jobs:
+            row["hours"] = float(
+                (trace.job_ends[mask] - trace.job_starts[mask]).mean()
+                / SECONDS_PER_HOUR
+            )
+            tier_files = np.unique(trace.access_files[mask[trace.access_jobs]])
+            if len(tier_files):
+                row["files"] = int(len(tier_files))
+                row["input_mb"] = float(trace.job_input_bytes[mask].mean() / MB)
+        rows.append(row)
+    # "All" row over every job, file columns aggregated over traced jobs.
+    all_row: dict = {
+        "tier": "All",
+        "users": int(len(np.unique(trace.job_users))) if trace.n_jobs else 0,
+        "jobs": trace.n_jobs,
+        "files": None,
+        "input_mb": None,
+        "hours": (
+            float((trace.job_ends - trace.job_starts).mean() / SECONDS_PER_HOUR)
+            if trace.n_jobs
+            else None
+        ),
+    }
+    rows.append(all_row)
+    return rows
+
+
+def domain_table(
+    trace: Trace,
+    filecule_counter: Callable[[Trace], int] | None = None,
+) -> list[dict]:
+    """Per-domain rows of Table 2, sorted by job count (descending).
+
+    Columns: jobs, submission nodes, sites, users, filecules (if a counter
+    is supplied — typically ``lambda t: len(find_filecules(t))`` — kept as a
+    callable to avoid coupling the trace layer to :mod:`repro.core`),
+    distinct files, and total accessed data in GB.
+    """
+    rows: list[dict] = []
+    for code, name in enumerate(trace.domain_names):
+        mask = trace.job_domains == code
+        n_jobs = int(mask.sum())
+        if n_jobs == 0:
+            continue
+        sub = trace.subset_jobs(mask)
+        files = sub.accessed_file_ids
+        rows.append(
+            {
+                "domain": name,
+                "jobs": n_jobs,
+                "nodes": int(len(np.unique(trace.job_nodes[mask]))),
+                "sites": int(len(np.unique(trace.job_sites[mask]))),
+                "users": int(len(np.unique(trace.job_users[mask]))),
+                "filecules": (
+                    int(filecule_counter(sub)) if filecule_counter else None
+                ),
+                "files": int(len(files)),
+                "data_gb": float(sub.total_bytes() / GB),
+            }
+        )
+    rows.sort(key=lambda r: r["jobs"], reverse=True)
+    return rows
+
+
+def files_per_job_distribution(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """(distinct file counts, number of jobs with that count) — Figure 1.
+
+    Only jobs with file traces participate (the paper's Figure 1 covers the
+    115,895 traced jobs).
+    """
+    per_job = trace.files_per_job
+    per_job = per_job[per_job > 0]
+    return np.unique(per_job, return_counts=True)
+
+
+def daily_activity(trace: Trace) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(day index, jobs started, file requests issued) per day — Figure 2."""
+    if trace.n_jobs == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    job_days = (trace.job_starts // SECONDS_PER_DAY).astype(np.int64)
+    n_days = int(job_days.max()) + 1
+    jobs_per_day = np.bincount(job_days, minlength=n_days)
+    requests_per_day = np.bincount(
+        job_days[trace.access_jobs],
+        minlength=n_days,
+    )
+    days = np.arange(n_days, dtype=np.int64)
+    return days, jobs_per_day, requests_per_day
+
+
+def file_size_distribution(
+    trace: Trace, accessed_only: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """(distinct sizes, file counts) — Figure 3.
+
+    By default only files that appear in the trace are counted, matching
+    the paper (its catalog *is* the set of requested files).
+    """
+    sizes = trace.file_sizes
+    if accessed_only:
+        sizes = sizes[trace.accessed_file_ids]
+    return np.unique(sizes, return_counts=True)

@@ -1,0 +1,63 @@
+"""Data-transfer analyses: access intervals, concurrency, swarm transfers.
+
+Section 5 of the paper asks whether BitTorrent-style swarming would help
+DZero: "are there enough users who simultaneously use/request the same
+data?"  The paper answers by plotting, for a popular filecule, the time
+interval between first and last request per site (Figure 11) and per user
+(Figure 12) and observing that simultaneous access is rare.
+
+This package computes those interval charts
+(:mod:`repro.transfer.intervals`), quantifies overlap with a sweep-line
+concurrency profile (:mod:`repro.transfer.concurrency`), and goes one step
+beyond the paper with an explicit fluid-model swarm simulator
+(:mod:`repro.transfer.bittorrent`) that prices the actual benefit of
+swarming vs client-server under the observed arrival pattern.
+"""
+
+from repro.transfer.intervals import (
+    AccessInterval,
+    filecule_access_times,
+    job_duration_intervals,
+    site_intervals,
+    user_intervals,
+    select_hot_filecule,
+)
+from repro.transfer.concurrency import (
+    ConcurrencyProfile,
+    concurrency_profile,
+)
+from repro.transfer.bittorrent import (
+    SwarmConfig,
+    TransferResult,
+    simulate_swarm,
+    simulate_client_server,
+)
+from repro.transfer.comparison import (
+    FeasibilityRow,
+    bittorrent_feasibility,
+)
+from repro.transfer.scheduling import (
+    TransferScheduleReport,
+    compare_scheduling,
+    schedule_transfers,
+)
+
+__all__ = [
+    "AccessInterval",
+    "filecule_access_times",
+    "job_duration_intervals",
+    "site_intervals",
+    "user_intervals",
+    "select_hot_filecule",
+    "ConcurrencyProfile",
+    "concurrency_profile",
+    "SwarmConfig",
+    "TransferResult",
+    "simulate_swarm",
+    "simulate_client_server",
+    "FeasibilityRow",
+    "bittorrent_feasibility",
+    "TransferScheduleReport",
+    "compare_scheduling",
+    "schedule_transfers",
+]

@@ -1,0 +1,121 @@
+"""Per-site and per-user access intervals for a filecule (Figures 11–12).
+
+"Each horizontal line corresponds to the interval between the first and
+the last request for the filecule considered submitted per site" (§5).
+The same analysis is repeated per user for Figure 12.  The paper notes
+the optimistic assumption baked into these charts: data is assumed to
+stay stored at the site/user for the whole interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filecule import Filecule, FileculePartition
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class AccessInterval:
+    """One Gantt row: a group's first-to-last request span for a filecule."""
+
+    label: str
+    group_id: int
+    start: float
+    end: float
+    n_jobs: int
+    n_users: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def filecule_access_times(trace: Trace, filecule: Filecule) -> np.ndarray:
+    """Start times of all jobs that request the filecule (sorted)."""
+    jobs = trace.file_jobs(int(filecule.file_ids[0]))
+    return np.sort(trace.job_starts[jobs])
+
+
+def _intervals_by(
+    trace: Trace,
+    filecule: Filecule,
+    group_codes: np.ndarray,
+    names: tuple[str, ...] | list[str],
+) -> list[AccessInterval]:
+    jobs = trace.file_jobs(int(filecule.file_ids[0]))
+    if len(jobs) == 0:
+        return []
+    groups = group_codes[jobs]
+    starts = trace.job_starts[jobs]
+    users = trace.job_users[jobs]
+    rows: list[AccessInterval] = []
+    for g in np.unique(groups):
+        mask = groups == g
+        rows.append(
+            AccessInterval(
+                label=str(names[int(g)]),
+                group_id=int(g),
+                start=float(starts[mask].min()),
+                end=float(starts[mask].max()),
+                n_jobs=int(mask.sum()),
+                n_users=int(len(np.unique(users[mask]))),
+            )
+        )
+    rows.sort(key=lambda r: r.start)
+    return rows
+
+
+def job_duration_intervals(
+    trace: Trace, filecule: Filecule
+) -> list[tuple[float, float]]:
+    """(start, end) wall-time interval of every job using the filecule.
+
+    Unlike the first-to-last-request spans of Figures 11–12 (which assume
+    data is retained between uses), these are the periods a job is
+    actually *running* against the data — the concurrency that matters
+    for an on-line transfer protocol.
+    """
+    jobs = trace.file_jobs(int(filecule.file_ids[0]))
+    return [
+        (float(trace.job_starts[j]), float(trace.job_ends[j])) for j in jobs
+    ]
+
+
+def site_intervals(trace: Trace, filecule: Filecule) -> list[AccessInterval]:
+    """First-to-last request interval per submission site (Figure 11).
+
+    The paper treats a site as one entity because users of one institution
+    share local storage.
+    """
+    return _intervals_by(trace, filecule, trace.job_sites, trace.site_names)
+
+
+def user_intervals(trace: Trace, filecule: Filecule) -> list[AccessInterval]:
+    """First-to-last request interval per user (Figure 12)."""
+    user_names = [f"user{u}" for u in range(trace.n_users)]
+    return _intervals_by(trace, filecule, trace.job_users, user_names)
+
+
+def select_hot_filecule(
+    trace: Trace,
+    partition: FileculePartition,
+    min_requests: int = 2,
+) -> Filecule:
+    """Pick the filecule with the largest user population.
+
+    This mirrors the paper's §5 selection ("we focus on a small set of
+    filecules with larger numbers of users ... accessed by 42 users from 6
+    sites in 634 jobs"), preferring higher request counts on ties.
+    """
+    if len(partition) == 0:
+        raise ValueError("partition has no filecules")
+    users = partition.users_per_filecule(trace)
+    requests = partition.requests
+    eligible = np.flatnonzero(requests >= min_requests)
+    if len(eligible) == 0:
+        eligible = np.arange(len(partition))
+    best = eligible[np.lexsort((-requests[eligible], -users[eligible]))[0]]
+    return partition[int(best)]

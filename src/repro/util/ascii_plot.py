@@ -1,0 +1,148 @@
+"""Terminal-friendly plots for regenerating the paper's figures.
+
+The benchmark harness must *print* each figure's data.  These renderers
+draw quick ASCII approximations (histogram bars, XY series, Gantt-style
+interval charts for Figures 11–12) so a human can eyeball the shape without
+a plotting stack, while the underlying numeric series remain available for
+assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+_BAR = "#"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def ascii_histogram(
+    labels: Sequence[object],
+    counts: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render labeled counts as horizontal bars scaled to ``width``."""
+    if len(labels) != len(counts):
+        raise ValueError(
+            f"labels ({len(labels)}) and counts ({len(counts)}) differ in length"
+        )
+    lines = [title] if title else []
+    if not counts:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(max(counts), 1e-12)
+    label_w = max(len(str(lab)) for lab in labels)
+    count_w = max(len(_fmt(c)) for c in counts)
+    for lab, count in zip(labels, counts):
+        bar = _BAR * max(0, round(width * count / peak))
+        if count > 0 and not bar:
+            bar = _BAR  # never render a nonzero bucket as empty
+        lines.append(f"{str(lab):>{label_w}} | {_fmt(count):>{count_w}} | {bar}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    ys: dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 72,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """Scatter one or more named series on a shared character grid.
+
+    Each series gets a distinct glyph; a legend line maps glyphs to names.
+    ``logy`` plots log10(y) for positive values (zeros are clamped to the
+    smallest positive value present), which matches how the paper displays
+    heavy-tailed distributions.
+    """
+    if not ys:
+        raise ValueError("need at least one series")
+    glyphs = "*o+x@%&$"
+    xs = list(x)
+    all_y: list[float] = []
+    for name, series in ys.items():
+        if len(series) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(series)} points, x has {len(xs)}"
+            )
+        all_y.extend(float(v) for v in series)
+    if not xs:
+        return (title or "") + "\n(empty)"
+
+    def transform(v: float, floor: float) -> float:
+        if not logy:
+            return v
+        return math.log10(max(v, floor))
+
+    positive = [v for v in all_y if v > 0]
+    floor = min(positive) if positive else 1.0
+    ty = [transform(v, floor) for v in all_y]
+    y_lo, y_hi = min(ty), max(ty)
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, series) in enumerate(ys.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for xi, yi in zip(xs, series):
+            col = round((width - 1) * (xi - x_lo) / x_span)
+            row = round((height - 1) * (transform(float(yi), floor) - y_lo) / y_span)
+            grid[height - 1 - row][col] = glyph
+
+    lines = [title] if title else []
+    y_label_hi = f"{(10 ** y_hi if logy else y_hi):.3g}"
+    y_label_lo = f"{(10 ** y_lo if logy else y_lo):.3g}"
+    lines.append(f"y: {y_label_lo} .. {y_label_hi}" + ("  (log scale)" if logy else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:.6g} .. {x_hi:.6g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_intervals(
+    rows: Sequence[tuple[str, float, float]],
+    t_lo: float | None = None,
+    t_hi: float | None = None,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """Gantt-style chart: one labeled ``=====`` bar per (label, start, end).
+
+    This is the rendering used for Figures 11 and 12 (time intervals during
+    which a filecule is accessed per site / per user).
+    """
+    lines = [title] if title else []
+    if not rows:
+        lines.append("(no intervals)")
+        return "\n".join(lines)
+    starts = [r[1] for r in rows]
+    ends = [r[2] for r in rows]
+    lo = min(starts) if t_lo is None else t_lo
+    hi = max(ends) if t_hi is None else t_hi
+    span = (hi - lo) or 1.0
+    label_w = max(len(r[0]) for r in rows)
+    for label, start, end in rows:
+        if end < start:
+            raise ValueError(f"interval for {label!r} ends before it starts")
+        a = round((width - 1) * (start - lo) / span)
+        b = round((width - 1) * (end - lo) / span)
+        bar = [" "] * width
+        for i in range(a, b + 1):
+            bar[i] = "="
+        bar[a] = "["
+        bar[min(b, width - 1)] = "]"
+        lines.append(f"{label:>{label_w}} |{''.join(bar)}|")
+    lines.append(f"{'':>{label_w}}  t: {lo:.6g} .. {hi:.6g}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering used by every experiment report.
+
+The benchmark harness regenerates the paper's tables as monospace text; a
+single shared renderer keeps formatting consistent and trivially testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N/A"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.4g}"
+        return f"{value:.2f}"
+    if value is None:
+        return "N/A"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render a list of rows as an aligned monospace table.
+
+    ``rows`` may contain any mix of str/int/float/None; floats are formatted
+    compactly and ``None``/NaN render as ``N/A`` (matching the paper's
+    tables).  The first column is always left-aligned (row labels).
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            if j == 0 or not align_right:
+                parts.append(cell.ljust(widths[j]))
+            else:
+                parts.append(cell.rjust(widths[j]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

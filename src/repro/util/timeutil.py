@@ -1,0 +1,31 @@
+"""Time helpers for trace timestamps.
+
+Trace timestamps are plain ``float`` seconds since the start of the trace
+window (the paper's window is Jan 2003 – May 2005).  Keeping them relative
+avoids timezone/calendar concerns entirely; experiments only ever need
+*durations* and *day bucketing*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR: int = 3600
+#: Number of seconds in one day.
+SECONDS_PER_DAY: int = 24 * SECONDS_PER_HOUR
+
+
+def day_index(timestamps: np.ndarray | float) -> np.ndarray | int:
+    """Map timestamps (seconds) to integer day indices from trace start."""
+    result = np.floor_divide(np.asarray(timestamps), SECONDS_PER_DAY).astype(np.int64)
+    if np.ndim(timestamps) == 0:
+        return int(result)
+    return result
+
+
+def span_days(start: float, end: float) -> float:
+    """Length of ``[start, end]`` in (fractional) days."""
+    if end < start:
+        raise ValueError(f"interval end {end} precedes start {start}")
+    return (end - start) / SECONDS_PER_DAY

@@ -1,0 +1,78 @@
+"""Byte-size units and human-readable formatting.
+
+The paper reports sizes in MB/GB/TB (decimal binary-ish usage typical of
+storage papers).  We standardize on *binary* multiples internally — a
+"1 GB raw file" is ``1 * GB`` bytes — because only ratios matter for every
+experiment; what matters is consistency, which these constants provide.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: One kibibyte in bytes.
+KB: int = 1024
+#: One mebibyte in bytes.
+MB: int = 1024 * KB
+#: One gibibyte in bytes.
+GB: int = 1024 * MB
+#: One tebibyte in bytes.
+TB: int = 1024 * GB
+#: One pebibyte in bytes.
+PB: int = 1024 * TB
+
+_SUFFIXES = [("PB", PB), ("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)]
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGTP]?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+    "TB": TB,
+    "T": TB,
+    "PB": PB,
+    "P": PB,
+}
+
+
+def format_bytes(n: float, precision: int = 2) -> str:
+    """Render a byte count with the largest suffix that keeps it >= 1.
+
+    >>> format_bytes(3 * GB)
+    '3.00 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n!r}")
+    for suffix, factor in _SUFFIXES:
+        if n >= factor:
+            return f"{n / factor:.{precision}f} {suffix}"
+    return f"{int(n)} B"
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string like ``"1.5 TB"`` or ``"100GB"`` into bytes.
+
+    Integers and floats pass through (rounded to int).  Raises
+    :class:`ValueError` for unrecognized input.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return int(text)
+    match = _PARSE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse size: {text!r}")
+    unit = match.group("unit").upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(float(match.group("num")) * _UNIT_FACTORS[unit])

@@ -1,0 +1,69 @@
+"""Calibrated synthetic DZero/SAM workload generator.
+
+The paper's traces (SAM history DB, Jan 2003 – May 2005) are proprietary.
+This package generates synthetic traces with the same schema and the same
+structural properties that drive every experiment (DESIGN.md §2):
+
+* jobs request whole *datasets* — overlapping groups of files — which is
+  what makes filecules exist and gives the heavy-tailed files-per-job
+  distribution of Figure 1;
+* per-tier file populations with domain-specific size rules (raw ≈ 1 GB
+  fixed; others heavy-tailed) — Figure 3 and Table 1;
+* a user/site/domain hierarchy with the extreme activity skew of Table 2;
+* flattened (non-Zipf) dataset popularity with geographic interest
+  partitioning — Figure 8 / §3.2;
+* bursty, multi-month temporal activity — Figure 2.
+
+Entry points: :func:`generate_trace` plus the presets in
+:mod:`repro.workload.calibration`.
+"""
+
+from repro.workload.distributions import (
+    bounded_pareto,
+    bounded_lognormal,
+    flattened_zipf_weights,
+    sample_categorical,
+    daily_rate_profile,
+)
+from repro.workload.config import (
+    TierConfig,
+    DomainConfig,
+    WorkloadConfig,
+)
+from repro.workload.calibration import (
+    paper_config,
+    default_config,
+    small_config,
+    tiny_config,
+)
+from repro.workload.datasets import FilePopulation, DatasetCatalog, build_population
+from repro.workload.generator import generate_trace
+from repro.workload.validate import (
+    CalibrationResult,
+    CalibrationTarget,
+    paper_targets,
+    validate_calibration,
+)
+
+__all__ = [
+    "bounded_pareto",
+    "bounded_lognormal",
+    "flattened_zipf_weights",
+    "sample_categorical",
+    "daily_rate_profile",
+    "TierConfig",
+    "DomainConfig",
+    "WorkloadConfig",
+    "paper_config",
+    "default_config",
+    "small_config",
+    "tiny_config",
+    "FilePopulation",
+    "DatasetCatalog",
+    "build_population",
+    "generate_trace",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "paper_targets",
+    "validate_calibration",
+]

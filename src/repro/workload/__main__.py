@@ -1,0 +1,77 @@
+"""Command-line trace generator: ``python -m repro.workload``.
+
+Generates a calibrated synthetic SAM trace and writes it in an
+interchange format, for driving external tools or inspecting workloads::
+
+    python -m repro.workload --scale small --seed 42 --format jsonl \
+        --out traces/small42.jsonl
+    python -m repro.workload --scale default --format csv --out traces/d7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.traces.io import write_trace_csv, write_trace_jsonl
+from repro.traces.stats import summarize
+from repro.workload.calibration import (
+    default_config,
+    paper_config,
+    small_config,
+    tiny_config,
+)
+from repro.workload.generator import generate_trace
+
+_SCALES = {
+    "tiny": tiny_config,
+    "small": small_config,
+    "default": default_config,
+    "paper": paper_config,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Generate a calibrated synthetic DZero/SAM trace.",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(_SCALES),
+        help="population preset (paper = full DZero scale; default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--format",
+        default="jsonl",
+        choices=("jsonl", "csv"),
+        help="jsonl: one self-contained file; csv: a directory of tables",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        help="output path (file for jsonl, directory for csv)",
+    )
+    args = parser.parse_args(argv)
+
+    config = _SCALES[args.scale]()
+    t0 = time.perf_counter()
+    trace = generate_trace(config, seed=args.seed)
+    generated = time.perf_counter() - t0
+    print(f"generated '{config.name}' (seed {args.seed}) in {generated:.1f}s")
+    print(f"  {summarize(trace)}")
+
+    t0 = time.perf_counter()
+    if args.format == "jsonl":
+        path = write_trace_jsonl(trace, args.out)
+    else:
+        path = write_trace_csv(trace, args.out)
+    print(f"wrote {path} in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Workload generator configuration.
+
+A :class:`WorkloadConfig` fully determines the synthetic trace (together
+with a seed): the per-tier file/dataset populations, the per-domain
+user/site structure, job counts and the temporal window.  The calibrated
+presets live in :mod:`repro.workload.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.traces.records import tier_code
+
+
+@dataclass(frozen=True, slots=True)
+class TierConfig:
+    """Population and job model of one data tier.
+
+    Attributes
+    ----------
+    name:
+        Tier name (must resolve through :func:`repro.traces.tier_code`).
+    n_files:
+        Files in this tier's catalog.
+    n_datasets:
+        Dataset definitions (metadata queries) over this tier.  Datasets
+        are intervals over the tier's run-ordered file axis; overlapping
+        intervals are what give filecules a non-trivial structure.
+    file_size_mean, file_size_sigma, file_size_min, file_size_max:
+        Lognormal file-size model in bytes.  ``sigma = 0`` produces
+        constant-size files (the paper's 1 GB raw tier).
+    dataset_len_mean, dataset_len_sigma, dataset_len_max:
+        Lognormal model of dataset length in files (min is 1).
+    job_weight:
+        Relative share of traced jobs that run on this tier.
+    duration_hours_mean, duration_hours_sigma:
+        Lognormal wall-time model (Table 1's Time/Job column).
+    popularity_alpha, popularity_floor:
+        Flattened-Zipf dataset popularity (see
+        :func:`repro.workload.distributions.flattened_zipf_weights`).
+    """
+
+    name: str
+    n_files: int
+    n_datasets: int
+    file_size_mean: float
+    file_size_sigma: float
+    file_size_min: float
+    file_size_max: float
+    dataset_len_mean: float
+    dataset_len_sigma: float
+    dataset_len_max: float
+    job_weight: float
+    duration_hours_mean: float
+    duration_hours_sigma: float = 0.6
+    #: Calibrated so the default-scale trace reproduces Figure 9's shape:
+    #: ~95% of filecules requested < 50 times, tens requested > 300 times,
+    #: while the head stays flatter than a clean Zipf (Figure 8 / §3.2).
+    popularity_alpha: float = 1.1
+    popularity_floor: float = 0.3
+
+    def __post_init__(self) -> None:
+        tier_code(self.name)  # validates the name
+        if self.n_files < 0 or self.n_datasets < 0:
+            raise ValueError(f"tier {self.name}: negative population")
+        if self.n_files and self.n_datasets and self.n_files < 1:
+            raise ValueError(f"tier {self.name}: datasets without files")
+        if self.job_weight < 0:
+            raise ValueError(f"tier {self.name}: negative job weight")
+        if self.n_files:
+            if not 0 < self.file_size_min <= self.file_size_max:
+                raise ValueError(f"tier {self.name}: bad file size bounds")
+            if self.file_size_mean <= 0:
+                raise ValueError(f"tier {self.name}: bad file size mean")
+        if self.n_datasets:
+            if self.dataset_len_mean < 1 or self.dataset_len_max < 1:
+                raise ValueError(f"tier {self.name}: bad dataset length model")
+        if self.duration_hours_mean <= 0:
+            raise ValueError(f"tier {self.name}: bad duration mean")
+
+    @property
+    def code(self) -> int:
+        return tier_code(self.name)
+
+
+@dataclass(frozen=True, slots=True)
+class DomainConfig:
+    """User/site structure of one Internet domain (one Table 2 row).
+
+    ``user_weight`` sets how many of the configured users call this domain
+    home; activity skew then follows from per-user activity draws plus the
+    per-domain ``activity_boost`` (the paper's .gov row dwarfs the rest
+    because FermiLab hosts both the most users and the most active ones).
+    """
+
+    name: str
+    n_sites: int
+    n_nodes: int
+    user_weight: float
+    activity_boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1 or self.n_nodes < self.n_sites:
+            raise ValueError(
+                f"domain {self.name}: need nodes >= sites >= 1 "
+                f"(got sites={self.n_sites}, nodes={self.n_nodes})"
+            )
+        if self.user_weight < 0 or self.activity_boost <= 0:
+            raise ValueError(f"domain {self.name}: bad weights")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Complete generator configuration.
+
+    Attributes
+    ----------
+    tiers, domains:
+        Population structure (see :class:`TierConfig`,
+        :class:`DomainConfig`).  The first domain is the *hub* (FermiLab's
+        ``.gov``): remote users submit a fraction of their jobs from hub
+        nodes.
+    n_users:
+        Total user population across domains.
+    n_traced_jobs:
+        Jobs with file-level traces (the paper's 115,895).
+    n_other_jobs:
+        Jobs of the "other" tier with application traces only.
+    span_days:
+        Trace window length (the paper's ≈ 820 days).
+    user_activity_alpha:
+        Pareto tail exponent of per-user activity.
+    home_bias:
+        Probability a job is submitted from the user's home domain rather
+        than the hub.
+    locality_boost:
+        Multiplier applied to a dataset's popularity weight for users of
+        the dataset's home domain — the geographic interest partitioning
+        of §3.2.
+    multi_dataset_prob:
+        Probability a job requests two datasets instead of one.
+    """
+
+    tiers: tuple[TierConfig, ...]
+    domains: tuple[DomainConfig, ...]
+    n_users: int
+    n_traced_jobs: int
+    n_other_jobs: int
+    span_days: float
+    user_activity_alpha: float = 1.2
+    home_bias: float = 0.85
+    locality_boost: float = 8.0
+    multi_dataset_prob: float = 0.12
+    #: Mean wall time of untraced ("other" tier) jobs — Table 1's 7.68 h.
+    other_duration_hours_mean: float = 7.68
+    name: str = field(default="custom")
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("need at least one tier")
+        if not self.domains:
+            raise ValueError("need at least one domain")
+        if self.n_users < 1:
+            raise ValueError("need at least one user")
+        if self.n_traced_jobs < 0 or self.n_other_jobs < 0:
+            raise ValueError("negative job counts")
+        if self.span_days <= 0:
+            raise ValueError("span_days must be positive")
+        if not 0 <= self.home_bias <= 1:
+            raise ValueError("home_bias must be in [0, 1]")
+        if not 0 <= self.multi_dataset_prob <= 1:
+            raise ValueError("multi_dataset_prob must be in [0, 1]")
+        if self.locality_boost < 1:
+            raise ValueError("locality_boost must be >= 1")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        dnames = [d.name for d in self.domains]
+        if len(set(dnames)) != len(dnames):
+            raise ValueError(f"duplicate domain names: {dnames}")
+
+    @property
+    def n_files(self) -> int:
+        return sum(t.n_files for t in self.tiers)
+
+    @property
+    def n_datasets(self) -> int:
+        return sum(t.n_datasets for t in self.tiers)
+
+    @property
+    def n_jobs(self) -> int:
+        return self.n_traced_jobs + self.n_other_jobs
+
+    def scaled(self, factor: float, name: str | None = None) -> "WorkloadConfig":
+        """Scale population counts by ``factor``, keeping intensive
+        quantities (sizes, durations, files-per-job) unchanged.
+
+        Used to derive laptop-scale presets from the paper-scale
+        calibration; every count is kept at least 1 so tiny scales remain
+        structurally complete.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+
+        def s(n: int) -> int:
+            return max(1, int(round(n * factor)))
+
+        tiers = tuple(
+            replace(t, n_files=s(t.n_files), n_datasets=s(t.n_datasets))
+            for t in self.tiers
+        )
+        domains = tuple(
+            replace(
+                d,
+                n_sites=max(1, int(round(d.n_sites * math.sqrt(factor)))),
+                n_nodes=max(1, int(round(d.n_nodes * math.sqrt(factor)))),
+            )
+            for d in self.domains
+        )
+        # keep nodes >= sites after independent rounding
+        domains = tuple(
+            replace(d, n_nodes=max(d.n_nodes, d.n_sites)) for d in domains
+        )
+        return replace(
+            self,
+            tiers=tiers,
+            domains=domains,
+            n_users=s(self.n_users),
+            n_traced_jobs=s(self.n_traced_jobs),
+            n_other_jobs=s(self.n_other_jobs),
+            name=name or f"{self.name}-x{factor:g}",
+        )

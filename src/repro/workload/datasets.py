@@ -1,0 +1,197 @@
+"""File population and dataset catalog construction.
+
+In SAM, a *dataset* is the result of a metadata query ("runs 145000–145999
+of the thumbnail tier") and jobs run on datasets (paper §2.2).  We model a
+tier's files as an axis ordered by run number and a dataset as a
+length-L interval on that axis.  Overlapping intervals — different queries
+selecting overlapping run ranges — are exactly what produces multi-file
+filecules smaller than whole datasets: the filecules of the resulting
+trace are the atoms of the interval arrangement, restricted to the
+combinations of datasets jobs actually requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_generator, spawn_children
+from repro.workload.config import WorkloadConfig
+from repro.workload.distributions import (
+    bounded_lognormal,
+    flattened_zipf_weights,
+    sample_categorical,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FilePopulation:
+    """The generated file catalog.
+
+    ``tier_ranges`` maps tier code → (first file id, one-past-last); file
+    ids are contiguous per tier so dataset intervals are simple ranges.
+    """
+
+    sizes: np.ndarray
+    tiers: np.ndarray
+    datasets_of_birth: np.ndarray
+    tier_ranges: dict[int, tuple[int, int]]
+
+    @property
+    def n_files(self) -> int:
+        return len(self.sizes)
+
+    def total_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetCatalog:
+    """Dataset definitions: per-dataset tier, file interval, popularity.
+
+    Attributes
+    ----------
+    tier_codes:
+        Tier of each dataset.
+    starts, lengths:
+        Global-file-id interval ``[start, start+length)`` of each dataset.
+    base_weights:
+        Flattened-Zipf popularity weight of each dataset (normalized per
+        tier).
+    home_domains:
+        Domain whose users favour this dataset (geographic interest
+        partitioning, §3.2).
+    """
+
+    tier_codes: np.ndarray
+    starts: np.ndarray
+    lengths: np.ndarray
+    base_weights: np.ndarray
+    home_domains: np.ndarray
+
+    @property
+    def n_datasets(self) -> int:
+        return len(self.starts)
+
+    def files_of(self, dataset_id: int) -> np.ndarray:
+        """File ids of one dataset (a contiguous range)."""
+        a = int(self.starts[dataset_id])
+        return np.arange(a, a + int(self.lengths[dataset_id]), dtype=np.int64)
+
+    def datasets_of_tier(self, tier: int) -> np.ndarray:
+        """Dataset ids belonging to one tier."""
+        return np.flatnonzero(self.tier_codes == tier)
+
+    def total_files(self, dataset_ids: np.ndarray) -> int:
+        """Sum of lengths (with multiplicity) of the given datasets."""
+        return int(self.lengths[np.asarray(dataset_ids, dtype=np.int64)].sum())
+
+
+def build_population(
+    config: WorkloadConfig, seed=None
+) -> tuple[FilePopulation, DatasetCatalog]:
+    """Generate the file catalog and dataset definitions for ``config``.
+
+    Deterministic given (config, seed).  Each tier gets an independent RNG
+    child so editing one tier's parameters does not change another tier's
+    draw (see :func:`repro.util.rng.spawn_children`).
+    """
+    rng = as_generator(seed)
+    tier_rngs = spawn_children(rng, len(config.tiers) + 1)
+    domain_rng = tier_rngs[-1]
+
+    sizes_parts: list[np.ndarray] = []
+    tiers_parts: list[np.ndarray] = []
+    birth_parts: list[np.ndarray] = []
+    tier_ranges: dict[int, tuple[int, int]] = {}
+
+    ds_tier: list[np.ndarray] = []
+    ds_start: list[np.ndarray] = []
+    ds_len: list[np.ndarray] = []
+    ds_weight: list[np.ndarray] = []
+
+    offset = 0
+    for tier_cfg, trng in zip(config.tiers, tier_rngs):
+        code = tier_cfg.code
+        n = tier_cfg.n_files
+        tier_ranges[code] = (offset, offset + n)
+
+        if tier_cfg.file_size_sigma > 0:
+            sizes = bounded_lognormal(
+                trng,
+                tier_cfg.file_size_mean,
+                tier_cfg.file_size_sigma,
+                tier_cfg.file_size_min,
+                tier_cfg.file_size_max,
+                size=n,
+            )
+        else:
+            sizes = np.full(n, tier_cfg.file_size_mean, dtype=np.float64)
+        sizes_parts.append(sizes.astype(np.int64))
+        tiers_parts.append(np.full(n, code, dtype=np.int16))
+
+        n_ds = tier_cfg.n_datasets if n else 0
+        if n_ds:
+            raw_len = bounded_lognormal(
+                trng,
+                tier_cfg.dataset_len_mean,
+                tier_cfg.dataset_len_sigma,
+                1.0,
+                min(tier_cfg.dataset_len_max, n),
+                size=n_ds,
+            )
+            lengths = np.maximum(1, np.rint(raw_len)).astype(np.int64)
+            lengths = np.minimum(lengths, n)
+            starts = (
+                trng.random(n_ds) * (n - lengths + 1)
+            ).astype(np.int64) + offset
+            weights = flattened_zipf_weights(
+                n_ds, tier_cfg.popularity_alpha, tier_cfg.popularity_floor
+            )
+            ds_tier.append(np.full(n_ds, code, dtype=np.int16))
+            ds_start.append(starts)
+            ds_len.append(lengths)
+            ds_weight.append(weights)
+
+            # "producing dataset" metadata: nearest covering block index
+            block = max(1, int(round(tier_cfg.dataset_len_mean)))
+            birth_parts.append(
+                (np.arange(n, dtype=np.int64) // block).astype(np.int32)
+            )
+        else:
+            birth_parts.append(np.zeros(n, dtype=np.int32))
+
+        offset += n
+
+    tier_codes = (
+        np.concatenate(ds_tier) if ds_tier else np.zeros(0, dtype=np.int16)
+    )
+    n_total_ds = len(tier_codes)
+    domain_weights = np.array(
+        [d.user_weight for d in config.domains], dtype=np.float64
+    )
+    home_domains = (
+        sample_categorical(domain_rng, domain_weights, n_total_ds).astype(np.int16)
+        if n_total_ds
+        else np.zeros(0, dtype=np.int16)
+    )
+
+    population = FilePopulation(
+        sizes=np.concatenate(sizes_parts) if sizes_parts else np.zeros(0, np.int64),
+        tiers=np.concatenate(tiers_parts) if tiers_parts else np.zeros(0, np.int16),
+        datasets_of_birth=(
+            np.concatenate(birth_parts) if birth_parts else np.zeros(0, np.int32)
+        ),
+        tier_ranges=tier_ranges,
+    )
+    catalog = DatasetCatalog(
+        tier_codes=tier_codes,
+        starts=np.concatenate(ds_start) if ds_start else np.zeros(0, np.int64),
+        lengths=np.concatenate(ds_len) if ds_len else np.zeros(0, np.int64),
+        base_weights=(
+            np.concatenate(ds_weight) if ds_weight else np.zeros(0, np.float64)
+        ),
+        home_domains=home_domains,
+    )
+    return population, catalog

@@ -1,0 +1,159 @@
+"""Workload calibration validation.
+
+Checks a generated (or real) trace against a set of named statistical
+targets — by default the paper's headline numbers — and reports
+target vs measured with tolerance verdicts.  Used to keep the generator
+honest when its parameters are tuned, and available to users calibrating
+custom configurations against their own communities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.filecule import FileculePartition
+from repro.core.identify import find_filecules
+from repro.traces.trace import Trace
+
+#: A target: (measure function, expected value, relative tolerance).
+Measure = Callable[[Trace, FileculePartition], float]
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationTarget:
+    """One named calibration target with a relative tolerance band."""
+
+    name: str
+    expected: float
+    rel_tolerance: float
+    measure: Measure
+
+    def evaluate(
+        self, trace: Trace, partition: FileculePartition
+    ) -> "CalibrationResult":
+        measured = float(self.measure(trace, partition))
+        lo = self.expected * (1 - self.rel_tolerance)
+        hi = self.expected * (1 + self.rel_tolerance)
+        return CalibrationResult(
+            name=self.name,
+            expected=self.expected,
+            measured=measured,
+            rel_tolerance=self.rel_tolerance,
+            ok=lo <= measured <= hi,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Outcome of one target check."""
+
+    name: str
+    expected: float
+    measured: float
+    rel_tolerance: float
+    ok: bool
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of measured from expected."""
+        if self.expected == 0:
+            return float("inf") if self.measured else 0.0
+        return self.measured / self.expected - 1.0
+
+
+def _mean_files_per_job(trace: Trace, partition: FileculePartition) -> float:
+    fpj = trace.files_per_job[trace.files_per_job > 0]
+    return float(fpj.mean()) if len(fpj) else 0.0
+
+
+def _filecule_file_ratio(trace: Trace, partition: FileculePartition) -> float:
+    accessed = len(trace.accessed_file_ids)
+    return len(partition) / accessed if accessed else 0.0
+
+
+def _traced_job_fraction(trace: Trace, partition: FileculePartition) -> float:
+    if trace.n_jobs == 0:
+        return 0.0
+    return float((trace.files_per_job > 0).mean())
+
+
+def _hub_job_share(trace: Trace, partition: FileculePartition) -> float:
+    if trace.n_jobs == 0:
+        return 0.0
+    return float((trace.job_domains == 0).mean())
+
+
+def _single_user_filecule_fraction(
+    trace: Trace, partition: FileculePartition
+) -> float:
+    if len(partition) == 0:
+        return 0.0
+    return float((partition.users_per_filecule(trace) == 1).mean())
+
+
+def _mean_filecules_per_job(trace: Trace, partition: FileculePartition) -> float:
+    per_job = partition.filecules_per_job(trace)
+    traced = per_job[trace.files_per_job > 0]
+    return float(traced.mean()) if len(traced) else 0.0
+
+
+def paper_targets() -> list[CalibrationTarget]:
+    """The paper-derived calibration targets with their tolerance bands.
+
+    Tolerances are deliberately generous for tail-sensitive statistics:
+    the point is regression detection, not overfitting to one seed.
+    """
+    return [
+        CalibrationTarget(
+            "mean files per job (paper: 108)",
+            108.0,
+            0.5,
+            _mean_files_per_job,
+        ),
+        CalibrationTarget(
+            "filecules / accessed files (Table 2: ~0.10)",
+            0.10,
+            0.5,
+            _filecule_file_ratio,
+        ),
+        CalibrationTarget(
+            "traced job fraction (Table 1: 113830/234792)",
+            113_830 / 234_792,
+            0.15,
+            _traced_job_fraction,
+        ),
+        CalibrationTarget(
+            "hub (.gov) share of jobs (Table 2 skew)",
+            0.85,
+            0.2,
+            _hub_job_share,
+        ),
+        CalibrationTarget(
+            "single-user filecule fraction (Fig 4: ~10%)",
+            0.10,
+            0.8,
+            _single_user_filecule_fraction,
+        ),
+        CalibrationTarget(
+            "mean filecules per job (implied by Figs 1/5)",
+            11.0,
+            0.7,
+            _mean_filecules_per_job,
+        ),
+    ]
+
+
+def validate_calibration(
+    trace: Trace,
+    partition: FileculePartition | None = None,
+    targets: list[CalibrationTarget] | None = None,
+) -> list[CalibrationResult]:
+    """Evaluate every target against ``trace``; returns one result each."""
+    if partition is None:
+        partition = find_filecules(trace)
+    if targets is None:
+        targets = paper_targets()
+    return [t.evaluate(trace, partition) for t in targets]

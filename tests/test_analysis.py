@@ -1,0 +1,169 @@
+"""Unit tests for the analysis toolkit (histograms, Zipf fit, correlation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import popularity_size_correlation
+from repro.analysis.histograms import (
+    cdf_points,
+    ccdf_points,
+    log_bins,
+    quantiles,
+    summarize_distribution,
+)
+from repro.analysis.popularity import (
+    fit_zipf,
+    popularity_by_tier,
+    top_k_by_requests,
+)
+from repro.core.identify import find_filecules
+from tests.conftest import make_trace
+
+
+class TestLogBins:
+    def test_covers_range(self):
+        edges = log_bins(1, 1000, per_decade=3)
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] >= 1000
+
+    def test_monotone(self):
+        edges = log_bins(0.5, 500)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_degenerate_range(self):
+        edges = log_bins(10, 10)
+        assert len(edges) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_bins(0, 10)
+        with pytest.raises(ValueError):
+            log_bins(10, 1)
+        with pytest.raises(ValueError):
+            log_bins(1, 10, per_decade=0)
+
+
+class TestCdfCcdf:
+    def test_cdf_reaches_one(self):
+        x, y = cdf_points(np.array([1, 2, 2, 3]))
+        assert x.tolist() == [1, 2, 3]
+        assert y[-1] == pytest.approx(1.0)
+        assert y.tolist() == pytest.approx([0.25, 0.75, 1.0])
+
+    def test_ccdf_starts_at_one(self):
+        x, y = ccdf_points(np.array([1, 2, 2, 3]))
+        assert y[0] == pytest.approx(1.0)
+        assert y.tolist() == pytest.approx([1.0, 0.75, 0.25])
+
+    def test_empty(self):
+        assert len(cdf_points(np.array([]))[0]) == 0
+        assert len(ccdf_points(np.array([]))[0]) == 0
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        s = summarize_distribution(np.arange(1, 101))
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.median == pytest.approx(50.5)
+        assert s.minimum == 1 and s.maximum == 100
+
+    def test_empty_summary_nan(self):
+        s = summarize_distribution(np.array([]))
+        assert s.n == 0
+        assert np.isnan(s.mean)
+
+    def test_quantiles(self):
+        q = quantiles(np.arange(101), qs=(0.5,))
+        assert q[0.5] == pytest.approx(50.0)
+
+    def test_quantiles_empty(self):
+        q = quantiles(np.array([]), qs=(0.5,))
+        assert np.isnan(q[0.5])
+
+    def test_row_shape(self):
+        assert len(summarize_distribution(np.array([1.0])).row()) == 8
+
+
+class TestZipfFit:
+    def test_pure_zipf_detected(self):
+        ranks = np.arange(1, 2001)
+        freqs = 1e6 / ranks  # alpha = 1 exactly
+        fit = fit_zipf(freqs)
+        assert fit.alpha == pytest.approx(1.0, abs=0.02)
+        assert fit.r_squared > 0.999
+        assert fit.is_zipf_like
+
+    def test_flattened_head_not_zipf(self):
+        ranks = np.arange(1, 2001)
+        freqs = 1e6 / ranks + 5e3  # uniform floor flattens everything
+        fit = fit_zipf(freqs)
+        assert not fit.is_zipf_like
+
+    def test_uniform_not_zipf(self):
+        fit = fit_zipf(np.full(100, 7.0))
+        assert fit.alpha == pytest.approx(0.0, abs=1e-6)
+        assert not fit.is_zipf_like
+
+    def test_too_few_points(self):
+        fit = fit_zipf(np.array([5.0, 3.0]))
+        assert np.isnan(fit.alpha)
+
+    def test_zeros_ignored(self):
+        fit = fit_zipf(np.array([100.0, 10.0, 1.0, 0.0, 0.0]))
+        assert fit.n_ranks == 3
+
+
+class TestPopularityHelpers:
+    def test_popularity_by_tier(self):
+        t = make_trace(
+            [[0, 1], [2]],
+            file_tiers=[1, 1, 2],
+        )
+        p = find_filecules(t)
+        by_tier = popularity_by_tier(t, p)
+        assert set(by_tier) == {1, 2}
+        assert by_tier[1].tolist() == [1]
+        assert by_tier[2].tolist() == [1]
+
+    def test_top_k(self):
+        t = make_trace([[0], [0], [1]])
+        p = find_filecules(t)
+        top = top_k_by_requests(p, k=1)
+        assert p[int(top[0])].n_requests == 2
+
+    def test_top_k_validation(self):
+        t = make_trace([[0]])
+        with pytest.raises(ValueError):
+            top_k_by_requests(find_filecules(t), k=-1)
+
+
+class TestCorrelation:
+    def test_uncorrelated(self):
+        rng = np.random.default_rng(0)
+        t = make_trace(
+            [
+                sorted(rng.choice(50, size=5, replace=False).tolist())
+                for _ in range(60)
+            ],
+            n_files=50,
+            file_sizes=rng.integers(1, 100, size=50).tolist(),
+        )
+        report = popularity_size_correlation(find_filecules(t))
+        assert abs(report.pearson_r) < 0.5
+
+    def test_degenerate_returns_zero(self):
+        t = make_trace([[0], [1]])
+        report = popularity_size_correlation(find_filecules(t))
+        assert report.pearson_r == 0.0
+        assert report.is_negligible
+
+    def test_strong_correlation_detected(self):
+        # popularity == size by construction
+        jobs = []
+        for f in range(20):
+            jobs.extend([[f]] * (f + 1))
+        t = make_trace(jobs, file_sizes=[(f + 1) * 10 for f in range(20)])
+        report = popularity_size_correlation(find_filecules(t))
+        assert report.pearson_r > 0.95
+        assert not report.is_negligible

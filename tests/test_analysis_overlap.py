@@ -1,0 +1,80 @@
+"""Unit tests for job input-set overlap diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overlap import (
+    job_set_reuse,
+    pairwise_jaccard_sample,
+)
+from tests.conftest import make_trace
+
+
+class TestJobSetReuse:
+    def test_counts(self):
+        t = make_trace([[0, 1], [0, 1], [2], []])
+        reuse = job_set_reuse(t)
+        assert reuse.n_traced_jobs == 3
+        assert reuse.n_distinct_sets == 2
+        assert reuse.reuse_fraction == pytest.approx(1 / 3)
+        assert reuse.max_set_requests == 2
+        assert reuse.mean_requests_per_set == pytest.approx(1.5)
+
+    def test_no_traced_jobs(self):
+        t = make_trace([[], []], n_files=1)
+        reuse = job_set_reuse(t)
+        assert reuse.n_traced_jobs == 0
+        assert reuse.reuse_fraction == 0.0
+
+    def test_all_identical(self):
+        t = make_trace([[0, 1]] * 5)
+        reuse = job_set_reuse(t)
+        assert reuse.n_distinct_sets == 1
+        assert reuse.reuse_fraction == pytest.approx(0.8)
+
+    def test_generated_workload_has_reuse(self, tiny_trace):
+        """The dataset model guarantees recurring input sets."""
+        reuse = job_set_reuse(tiny_trace)
+        assert reuse.reuse_fraction > 0.3
+        assert reuse.max_set_requests >= 2
+
+
+class TestPairwiseJaccard:
+    def test_identical_pair_is_one(self):
+        t = make_trace([[0, 1], [0, 1]])
+        sample = pairwise_jaccard_sample(t, n_pairs=100, seed=0)
+        assert sample.identical_fraction == 1.0
+
+    def test_disjoint_pair_is_zero(self):
+        t = make_trace([[0], [1]])
+        sample = pairwise_jaccard_sample(t, n_pairs=200, seed=0)
+        # pairs of the same job score 1; distinct jobs score 0
+        assert sample.disjoint_fraction + sample.identical_fraction == 1.0
+        assert sample.partial_fraction == 0.0
+
+    def test_partial_overlap_detected(self):
+        t = make_trace([[0, 1, 2], [1, 2, 3]])
+        sample = pairwise_jaccard_sample(t, n_pairs=400, seed=0)
+        assert sample.partial_fraction > 0.0
+        # J({0,1,2},{1,2,3}) = 2/4
+        partial = sample.jaccards[(sample.jaccards > 0) & (sample.jaccards < 1)]
+        assert np.allclose(partial, 0.5)
+
+    def test_deterministic(self, tiny_trace):
+        a = pairwise_jaccard_sample(tiny_trace, n_pairs=50, seed=9)
+        b = pairwise_jaccard_sample(tiny_trace, n_pairs=50, seed=9)
+        np.testing.assert_array_equal(a.jaccards, b.jaccards)
+
+    def test_degenerate_inputs(self):
+        t = make_trace([[0]])
+        assert pairwise_jaccard_sample(t, n_pairs=10).n_pairs == 0
+        t2 = make_trace([[0], [1]])
+        assert pairwise_jaccard_sample(t2, n_pairs=0).n_pairs == 0
+        with pytest.raises(ValueError):
+            pairwise_jaccard_sample(t2, n_pairs=-1)
+
+    def test_generated_workload_has_partial_overlap(self, tiny_trace):
+        """Partial overlaps are what create sub-dataset filecules."""
+        sample = pairwise_jaccard_sample(tiny_trace, n_pairs=500, seed=1)
+        assert sample.partial_fraction > 0.0
+        assert 0.0 <= sample.mean_nonzero_jaccard <= 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for stack-distance / temporal-locality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import (
+    file_vs_filecule_reuse,
+    reuse_report,
+    stack_distances,
+)
+from repro.core.identify import find_filecules
+from tests.conftest import make_trace
+
+
+class TestStackDistances:
+    def test_first_references(self):
+        assert stack_distances([7, 8, 9]).tolist() == [-1, -1, -1]
+
+    def test_immediate_rereference(self):
+        assert stack_distances([5, 5, 5]).tolist() == [-1, 0, 0]
+
+    def test_classic_pattern(self):
+        # a b c a : distance of final a is 2 (b and c in between)
+        assert stack_distances([0, 1, 2, 0]).tolist() == [-1, -1, -1, 2]
+
+    def test_repeats_between_do_not_double_count(self):
+        # a b b a : only ONE distinct unit between the two a's
+        assert stack_distances([0, 1, 1, 0]).tolist() == [-1, -1, 0, 1]
+
+    def test_interleaved(self):
+        assert stack_distances([0, 1, 0, 1]).tolist() == [-1, -1, 1, 1]
+
+    def test_empty(self):
+        assert len(stack_distances([])) == 0
+
+    def test_against_naive_reference(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 12, size=200)
+        fast = stack_distances(stream)
+        last_seen: dict[int, int] = {}
+        for i, unit in enumerate(stream):
+            unit = int(unit)
+            if unit in last_seen:
+                expected = len(set(stream[last_seen[unit] + 1 : i].tolist()))
+                assert fast[i] == expected, f"position {i}"
+            else:
+                assert fast[i] == -1
+            last_seen[unit] = i
+
+
+class TestReuseReport:
+    def test_fields(self):
+        report = reuse_report(np.array([0, 1, 0, 1, 0]), ks=(1, 2))
+        assert report.n_requests == 5
+        assert report.n_units == 2
+        assert report.cold_fraction == pytest.approx(0.4)
+        # warm distances are all 1 -> below k=2 but not k=1
+        assert report.hit_rate_at[2] == pytest.approx(3 / 5)
+        assert report.hit_rate_at[1] == 0.0
+
+    def test_mattson_property_matches_lru_simulation(self):
+        """P[distance < k] equals the hit rate of a k-unit LRU."""
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 10, size=500)
+        for k in (2, 4, 8):
+            report = reuse_report(stream, ks=(k,))
+            # simulate a unit-count LRU of capacity k
+            from collections import OrderedDict
+
+            cache: OrderedDict[int, None] = OrderedDict()
+            hits = 0
+            for unit in stream:
+                unit = int(unit)
+                if unit in cache:
+                    hits += 1
+                    cache.move_to_end(unit)
+                else:
+                    if len(cache) >= k:
+                        cache.popitem(last=False)
+                    cache[unit] = None
+            assert report.hit_rate_at[k] == pytest.approx(hits / len(stream))
+
+    def test_empty_stream(self):
+        report = reuse_report(np.array([]))
+        assert report.n_requests == 0
+        assert np.isnan(report.median_distance)
+
+
+class TestFileVsFilecule:
+    def test_filecule_stream_shorter_distances(self, small_trace, small_partition):
+        file_report, cule_report = file_vs_filecule_reuse(
+            small_trace, small_partition
+        )
+        assert cule_report.n_units < file_report.n_units
+        assert cule_report.median_distance <= file_report.median_distance
+
+    def test_mismatched_partition_rejected(self):
+        # the partition does not cover file 2, which the trace accesses
+        t = make_trace([[0, 1], [2]], n_files=3)
+        p_partial = find_filecules(make_trace([[0, 1]], n_files=3))
+        with pytest.raises(ValueError):
+            file_vs_filecule_reuse(t, p_partial)

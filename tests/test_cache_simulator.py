@@ -1,0 +1,102 @@
+"""Unit tests for the trace-replay cache simulator."""
+
+import pytest
+
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import simulate, sweep
+from repro.core.identify import find_filecules
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    return make_trace(
+        [[0, 1], [0, 1], [2], [0, 1]],
+        file_sizes=[10, 10, 10],
+    )
+
+
+class TestSimulate:
+    def test_request_count(self, trace):
+        m = simulate(trace, lambda c: FileLRU(c), capacity=100)
+        assert m.requests == trace.n_accesses
+
+    def test_cold_misses_only_when_everything_fits(self, trace):
+        m = simulate(trace, lambda c: FileLRU(c), capacity=1000)
+        assert m.misses == 3  # files 0, 1, 2 each miss exactly once
+
+    def test_all_miss_when_nothing_fits(self, trace):
+        m = simulate(trace, lambda c: FileLRU(c), capacity=5)
+        assert m.misses == m.requests
+        assert m.bypasses == m.requests
+
+    def test_name_default_and_override(self, trace):
+        assert simulate(trace, lambda c: FileLRU(c), 10).name == "file-lru"
+        assert simulate(trace, lambda c: FileLRU(c), 10, name="x").name == "x"
+
+    def test_capacity_recorded(self, trace):
+        assert simulate(trace, lambda c: FileLRU(c), 77).capacity_bytes == 77
+
+
+class TestSweep:
+    def test_grid_shape(self, trace):
+        partition = find_filecules(trace)
+        res = sweep(
+            trace,
+            {
+                "a": lambda c: FileLRU(c),
+                "b": lambda c: FileculeLRU(c, partition),
+            },
+            [50, 100],
+        )
+        assert res.capacities == (50, 100)
+        assert set(res.metrics) == {"a", "b"}
+        assert len(res.metrics["a"]) == 2
+
+    def test_miss_rates_and_factor(self, trace):
+        partition = find_filecules(trace)
+        res = sweep(
+            trace,
+            {
+                "file": lambda c: FileLRU(c),
+                "cule": lambda c: FileculeLRU(c, partition),
+            },
+            [1000],
+        )
+        assert res.miss_rates("file")[0] > res.miss_rates("cule")[0]
+        factor = res.improvement_factor("file", "cule")[0]
+        assert factor > 1.0
+
+    def test_factor_inf_on_zero_miss(self):
+        t = make_trace([[0], [0]], file_sizes=[10])
+        res = sweep(
+            t,
+            {
+                "warm": lambda c: FileLRU(c),
+                "cold": lambda c: FileLRU(1),
+            },
+            [100],
+        )
+        # contender with zero misses is impossible here; test inf path directly
+        from repro.cache.base import CacheMetrics
+        from repro.cache.simulator import SweepResult
+
+        res2 = SweepResult(
+            capacities=(1,),
+            metrics={
+                "base": (CacheMetrics(requests=10, hits=5),),
+                "perfect": (CacheMetrics(requests=10, hits=10),),
+            },
+        )
+        assert res2.improvement_factor("base", "perfect") == [float("inf")]
+
+    def test_empty_args_rejected(self, trace):
+        with pytest.raises(ValueError):
+            sweep(trace, {}, [10])
+        with pytest.raises(ValueError):
+            sweep(trace, {"a": lambda c: FileLRU(c)}, [])
+
+    def test_byte_miss_rates(self, trace):
+        res = sweep(trace, {"a": lambda c: FileLRU(c)}, [1000])
+        assert 0.0 <= res.byte_miss_rates("a")[0] <= 1.0

@@ -1,0 +1,63 @@
+"""Tests for the command-line entry points and the report generator."""
+
+import pytest
+
+from repro.experiments.base import get_context
+from repro.experiments.report import generate_report
+from repro.traces.io import read_trace_jsonl, read_trace_csv
+from repro.workload.__main__ import main as workload_main
+
+
+class TestWorkloadCli:
+    def test_jsonl_export(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = workload_main(
+            ["--scale", "tiny", "--seed", "3", "--format", "jsonl", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        trace = read_trace_jsonl(out)
+        assert trace.n_jobs > 0
+        printed = capsys.readouterr().out
+        assert "generated 'tiny'" in printed
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "csvdir"
+        code = workload_main(
+            ["--scale", "tiny", "--seed", "3", "--format", "csv", "--out", str(out)]
+        )
+        assert code == 0
+        trace = read_trace_csv(out)
+        assert trace.n_jobs > 0
+
+    def test_export_matches_direct_generation(self, tmp_path, tiny_trace):
+        out = tmp_path / "t.jsonl"
+        workload_main(
+            ["--scale", "tiny", "--seed", "3", "--format", "jsonl", "--out", str(out)]
+        )
+        loaded = read_trace_jsonl(out)
+        assert loaded.n_jobs == tiny_trace.n_jobs
+        assert loaded.n_accesses == tiny_trace.n_accesses
+
+    def test_requires_out(self):
+        with pytest.raises(SystemExit):
+            workload_main(["--scale", "tiny"])
+
+
+class TestReportGenerator:
+    def test_subset_report(self, tmp_path):
+        ctx = get_context("small", seed=7)
+        path = generate_report(
+            tmp_path / "REPORT.md", ctx, experiment_ids=["fig3", "fig9"]
+        )
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "## fig3" in text
+        assert "## fig9" in text
+        assert "Check summary" in text
+        assert "fig10" not in text
+
+    def test_unknown_id_rejected(self, tmp_path):
+        ctx = get_context("small", seed=7)
+        with pytest.raises(KeyError):
+            generate_report(tmp_path / "r.md", ctx, experiment_ids=["nope"])

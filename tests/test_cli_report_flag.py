@@ -1,0 +1,52 @@
+"""Tests for the --report CLI flag and the analyze-trace adoption path."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+
+REPO = Path(__file__).parent.parent
+
+
+class TestReportFlag:
+    def test_report_written(self, tmp_path, capsys):
+        report = tmp_path / "r.md"
+        code = experiments_main(
+            ["fig3", "--scale", "small", "--seed", "7", "--report", str(report)]
+        )
+        assert code == 0
+        text = report.read_text()
+        assert "# Reproduction report" in text
+        assert "## fig3" in text
+        out = capsys.readouterr().out
+        assert "wrote report to" in out
+
+
+class TestAnalyzeTraceExample:
+    def test_end_to_end_on_exported_trace(self, tmp_path, tiny_trace):
+        from repro.traces.io import write_trace_jsonl
+
+        path = write_trace_jsonl(tiny_trace, tmp_path / "t.jsonl")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "examples" / "analyze_trace.py"), str(path)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "filecules over" in proc.stdout
+        assert "per-tier characteristics" in proc.stdout
+        assert "cache check" in proc.stdout
+
+    def test_usage_message_without_args(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "examples" / "analyze_trace.py")],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "Usage" in proc.stdout or "usage" in proc.stdout

@@ -1,0 +1,84 @@
+"""Unit tests for filecule dynamics / partition similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import (
+    epoch_stability,
+    partition_similarity,
+)
+from repro.core.identify import find_filecules
+from tests.conftest import make_trace
+
+
+class TestPartitionSimilarity:
+    def test_identical_partitions(self, classic_trace):
+        p = find_filecules(classic_trace)
+        sim = partition_similarity(p, p)
+        assert sim.exact_fraction == 1.0
+        assert sim.rand_index == 1.0
+        assert sim.n_common_files == 7
+
+    def test_disjoint_coverage(self):
+        a = find_filecules(make_trace([[0]], n_files=2))
+        b = find_filecules(make_trace([[1]], n_files=2))
+        sim = partition_similarity(a, b)
+        assert sim.n_common_files == 0
+        assert sim.exact_fraction == 1.0
+
+    def test_split_detected(self):
+        merged = find_filecules(make_trace([[0, 1]]))
+        split = find_filecules(make_trace([[0, 1], [0]]))
+        sim = partition_similarity(merged, split)
+        assert sim.n_common_files == 2
+        assert sim.exact_fraction == 0.0
+        assert sim.rand_index == 0.0  # the single pair disagrees
+
+    def test_partial_agreement(self):
+        # {0,1},{2,3} vs {0,1},{2},{3}: files 0,1 exact; 2,3 not
+        a = find_filecules(make_trace([[0, 1], [2, 3]], n_files=4))
+        b = find_filecules(make_trace([[0, 1], [2, 3], [2]], n_files=4))
+        sim = partition_similarity(a, b)
+        assert sim.exact_fraction == pytest.approx(0.5)
+        # pairs: (0,1) together/together agree; (2,3) together/apart disagree;
+        # 4 cross pairs apart/apart agree -> 5/6
+        assert sim.rand_index == pytest.approx(5 / 6)
+
+    def test_symmetry(self, tiny_trace):
+        from repro.traces.filters import split_epochs
+
+        e0, e1 = split_epochs(tiny_trace, 2)
+        pa, pb = find_filecules(e0), find_filecules(e1)
+        ab = partition_similarity(pa, pb)
+        ba = partition_similarity(pb, pa)
+        assert ab.rand_index == pytest.approx(ba.rand_index)
+        assert ab.exact_fraction == pytest.approx(ba.exact_fraction)
+        assert ab.n_common_files == ba.n_common_files
+
+    def test_size_mismatch_rejected(self):
+        a = find_filecules(make_trace([[0]], n_files=1))
+        b = find_filecules(make_trace([[0]], n_files=2))
+        with pytest.raises(ValueError):
+            partition_similarity(a, b)
+
+
+class TestEpochStability:
+    def test_rows_shape(self, tiny_trace):
+        rows = epoch_stability(tiny_trace, 3)
+        assert len(rows) == 2
+        assert rows[0].epoch_a == 0 and rows[0].epoch_b == 1
+        for row in rows:
+            assert 0.0 <= row.similarity.rand_index <= 1.0
+            assert 0.0 <= row.similarity.exact_fraction <= 1.0
+
+    def test_jobs_accounted(self, tiny_trace):
+        rows = epoch_stability(tiny_trace, 2)
+        assert rows[0].n_jobs_a + rows[0].n_jobs_b == tiny_trace.n_jobs
+
+    def test_stable_workload_fully_stable(self):
+        # same jobs in both halves -> identical epoch partitions
+        jobs = [[0, 1], [2], [0, 1], [2]]
+        t = make_trace(jobs, job_starts=[0.0, 1.0, 100.0, 101.0])
+        (row,) = epoch_stability(t, 2)
+        assert row.similarity.exact_fraction == 1.0
+        assert row.similarity.rand_index == 1.0

@@ -1,0 +1,153 @@
+"""Unit tests for exact filecule identification."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules, signature_of_file
+from repro.core.properties import assert_partition_valid
+from tests.conftest import make_trace
+
+
+class TestClassicExample:
+    def test_expected_partition(self, classic_trace):
+        partition = find_filecules(classic_trace)
+        groups = sorted(
+            tuple(fc.file_ids.tolist()) for fc in partition
+        )
+        assert groups == [(0, 1), (2, 3), (4,), (5,), (6,)]
+
+    def test_unaccessed_file_has_no_label(self, classic_trace):
+        partition = find_filecules(classic_trace)
+        assert partition.labels[7] == -1
+        assert partition.filecule_of(7) is None
+
+    def test_requests_match_definition(self, classic_trace):
+        partition = find_filecules(classic_trace)
+        fc01 = partition.filecule_of(0)
+        assert fc01.n_requests == 3  # jobs 0, 2, 4
+        fc4 = partition.filecule_of(4)
+        assert fc4.n_requests == 2  # jobs 1, 2
+
+    def test_partition_order_by_popularity(self, classic_trace):
+        partition = find_filecules(classic_trace)
+        requests = partition.requests
+        assert all(requests[i] >= requests[i + 1] for i in range(len(requests) - 1))
+
+    def test_valid(self, classic_trace):
+        assert_partition_valid(classic_trace, find_filecules(classic_trace))
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        partition = find_filecules(make_trace([], n_files=3))
+        assert len(partition) == 0
+        assert partition.labels.tolist() == [-1, -1, -1]
+
+    def test_single_job_single_filecule(self):
+        partition = find_filecules(make_trace([[0, 1, 2]]))
+        assert len(partition) == 1
+        assert partition[0].n_files == 3
+        assert partition[0].n_requests == 1
+
+    def test_identical_jobs_do_not_split(self):
+        partition = find_filecules(make_trace([[0, 1], [0, 1], [0, 1]]))
+        assert len(partition) == 1
+        assert partition[0].n_requests == 3
+
+    def test_disjoint_jobs(self):
+        partition = find_filecules(make_trace([[0], [1], [2]]))
+        assert len(partition) == 3
+
+    def test_nested_jobs_split(self):
+        # job 1 requests a subset of job 0 -> split
+        partition = find_filecules(make_trace([[0, 1, 2], [0, 1]]))
+        groups = sorted(tuple(fc.file_ids.tolist()) for fc in partition)
+        assert groups == [(0, 1), (2,)]
+
+    def test_chain_of_overlaps(self):
+        # sliding windows produce per-file signatures all distinct except ends
+        partition = find_filecules(
+            make_trace([[0, 1, 2], [1, 2, 3], [2, 3, 4]])
+        )
+        groups = sorted(tuple(fc.file_ids.tolist()) for fc in partition)
+        assert groups == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_sizes_accumulated(self):
+        partition = find_filecules(
+            make_trace([[0, 1]], file_sizes=[10, 30])
+        )
+        assert partition[0].size_bytes == 40
+
+
+class TestSignature:
+    def test_signature_of_file(self, classic_trace):
+        assert signature_of_file(classic_trace, 0) == (0, 2, 4)
+        assert signature_of_file(classic_trace, 5) == (3,)
+        assert signature_of_file(classic_trace, 7) == ()
+
+    def test_same_filecule_iff_same_signature(self, classic_trace):
+        partition = find_filecules(classic_trace)
+        files = classic_trace.accessed_file_ids
+        for a in files:
+            for b in files:
+                same_sig = signature_of_file(classic_trace, int(a)) == (
+                    signature_of_file(classic_trace, int(b))
+                )
+                same_fc = partition.labels[a] == partition.labels[b]
+                assert same_sig == same_fc
+
+
+class TestGeneratedTrace:
+    def test_valid_on_generated(self, tiny_trace, tiny_partition):
+        assert_partition_valid(tiny_trace, tiny_partition)
+
+    def test_covers_exactly_accessed_files(self, tiny_trace, tiny_partition):
+        covered = np.flatnonzero(tiny_partition.labels >= 0)
+        np.testing.assert_array_equal(covered, tiny_trace.accessed_file_ids)
+
+    def test_popularity_equals_member_popularity(self, tiny_trace, tiny_partition):
+        pop = tiny_trace.file_popularity
+        for fc in tiny_partition:
+            member_pops = pop[fc.file_ids]
+            assert np.all(member_pops == fc.n_requests)
+
+    def test_deterministic(self, tiny_trace):
+        p1 = find_filecules(tiny_trace)
+        p2 = find_filecules(tiny_trace)
+        np.testing.assert_array_equal(p1.labels, p2.labels)
+
+
+class TestTierPurity:
+    def test_generated_filecules_are_tier_pure(self, tiny_trace, tiny_partition):
+        """Datasets never span tiers, so neither can filecules.
+
+        This justifies computing the per-tier Figures 6-8 by grouping the
+        full-trace partition by dominant tier rather than re-identifying
+        per tier.
+        """
+        for fc in tiny_partition:
+            tiers = set(tiny_trace.file_tiers[fc.file_ids].tolist())
+            assert len(tiers) == 1, (
+                f"filecule #{fc.filecule_id} spans tiers {tiers}"
+            )
+
+    def test_per_tier_identification_matches_grouping(self, tiny_trace, tiny_partition):
+        """Identifying on a tier-filtered trace yields a coarsening of the
+        full partition restricted to that tier (tier sub-traces drop the
+        cross-tier jobs, but jobs are tier-pure, so it is in fact equal)."""
+        from repro.core.identify import find_filecules
+        from repro.traces.filters import filter_by_tier
+        from repro.traces.records import TIER_THUMBNAIL
+
+        sub = filter_by_tier(tiny_trace, TIER_THUMBNAIL)
+        sub_partition = find_filecules(sub)
+        sub_groups = sorted(
+            tuple(fc.file_ids.tolist()) for fc in sub_partition
+        )
+        tiers = tiny_partition.dominant_tiers(tiny_trace)
+        full_groups = sorted(
+            tuple(fc.file_ids.tolist())
+            for fc in tiny_partition
+            if tiers[fc.filecule_id] == TIER_THUMBNAIL
+        )
+        assert sub_groups == full_groups

@@ -1,0 +1,155 @@
+"""Unit tests for streaming (incremental) filecule identification."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.core.incremental import IncrementalFileculeIdentifier
+from tests.conftest import make_trace
+
+
+def batch_groups(trace):
+    return sorted(
+        tuple(sorted(fc.file_ids.tolist())) for fc in find_filecules(trace)
+    )
+
+
+def incremental_groups(trace):
+    ident = IncrementalFileculeIdentifier()
+    ident.observe_trace(trace)
+    return sorted(tuple(sorted(c)) for c in ident.classes())
+
+
+class TestRefinementSteps:
+    def test_single_job(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2, 3])
+        assert ident.n_classes == 1
+        assert ident.classes() == [frozenset({1, 2, 3})]
+
+    def test_subset_splits(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2, 3])
+        ident.observe_job([2, 3])
+        assert sorted(tuple(sorted(c)) for c in ident.classes()) == [
+            (1,),
+            (2, 3),
+        ]
+
+    def test_full_class_request_does_not_split(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2])
+        ident.observe_job([1, 2])
+        assert ident.n_classes == 1
+        cid = ident.class_of(1)
+        assert ident.requests_of_class(cid) == 2
+
+    def test_new_and_old_files_mixed(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2])
+        ident.observe_job([2, 3])
+        # 1 alone (seen once), 2 alone (seen twice), 3 alone (seen once)
+        assert sorted(tuple(sorted(c)) for c in ident.classes()) == [
+            (1,),
+            (2,),
+            (3,),
+        ]
+        assert ident.requests_of_class(ident.class_of(2)) == 2
+
+    def test_empty_job_counts_but_changes_nothing(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1])
+        ident.observe_job([])
+        assert ident.n_jobs_observed == 2
+        assert ident.n_classes == 1
+
+    def test_class_of_unseen(self):
+        assert IncrementalFileculeIdentifier().class_of(5) is None
+
+    def test_classes_only_split_never_merge(self):
+        ident = IncrementalFileculeIdentifier()
+        rng = np.random.default_rng(0)
+        previous = 0
+        for _ in range(30):
+            job = rng.choice(20, size=rng.integers(1, 6), replace=False)
+            ident.observe_job(job.tolist())
+            assert ident.n_classes >= previous
+            previous = ident.n_classes
+
+
+class TestEquivalenceWithBatch:
+    def test_classic(self, classic_trace):
+        assert batch_groups(classic_trace) == incremental_groups(classic_trace)
+
+    def test_random_traces(self):
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            n_files = int(rng.integers(1, 15))
+            n_jobs = int(rng.integers(1, 12))
+            jobs = [
+                sorted(
+                    rng.choice(
+                        n_files,
+                        size=rng.integers(1, n_files + 1),
+                        replace=False,
+                    ).tolist()
+                )
+                for _ in range(n_jobs)
+            ]
+            trace = make_trace(jobs, n_files=n_files)
+            assert batch_groups(trace) == incremental_groups(trace)
+
+    def test_generated_trace(self, tiny_trace):
+        assert batch_groups(tiny_trace) == incremental_groups(tiny_trace)
+
+    def test_request_counts_match(self, tiny_trace):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_trace(tiny_trace)
+        batch = find_filecules(tiny_trace)
+        by_members_batch = {
+            frozenset(fc.file_ids.tolist()): fc.n_requests for fc in batch
+        }
+        for members in ident.classes():
+            cid = ident.class_of(next(iter(members)))
+            assert ident.requests_of_class(cid) == by_members_batch[members]
+
+
+class TestPartitionSnapshot:
+    def test_snapshot_matches_batch(self, classic_trace):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_trace(classic_trace)
+        snap = ident.partition(
+            n_files=classic_trace.n_files, sizes=classic_trace.file_sizes
+        )
+        batch = find_filecules(classic_trace)
+        assert sorted(tuple(fc.file_ids.tolist()) for fc in snap) == sorted(
+            tuple(fc.file_ids.tolist()) for fc in batch
+        )
+        # canonical order is popularity-descending in both
+        assert [fc.n_requests for fc in snap] == [fc.n_requests for fc in batch]
+
+    def test_snapshot_sizes(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([0, 1])
+        snap = ident.partition(sizes=np.array([10, 20]))
+        assert snap[0].size_bytes == 30
+
+    def test_snapshot_without_sizes(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([0])
+        assert ident.partition()[0].size_bytes == 0
+
+    def test_incremental_growth_pattern(self):
+        """Feeding a prefix then the rest equals feeding everything."""
+        jobs = [[0, 1, 2, 3], [0, 1], [2], [0, 1, 2, 3, 4]]
+        full = IncrementalFileculeIdentifier()
+        for job in jobs:
+            full.observe_job(job)
+        resumed = IncrementalFileculeIdentifier()
+        for job in jobs[:2]:
+            resumed.observe_job(job)
+        for job in jobs[2:]:
+            resumed.observe_job(job)
+        assert sorted(map(tuple, map(sorted, full.classes()))) == sorted(
+            map(tuple, map(sorted, resumed.classes()))
+        )

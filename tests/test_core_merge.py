@@ -1,0 +1,128 @@
+"""Unit tests for distributed partition merging (meet of partitions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import partition_similarity
+from repro.core.identify import find_filecules
+from repro.core.merge import (
+    merge_accuracy_curve,
+    merge_all,
+    merge_partitions,
+)
+from repro.core.partial import identify_per_site
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def two_site_trace():
+    """Site 0 sees jobs 0,1; site 1 sees job 2 (see test_core_partial)."""
+    return make_trace(
+        [[0, 1, 2], [3], [0, 1]],
+        job_nodes=[0, 0, 1],
+        node_sites=[0, 1],
+        node_domains=[0, 1],
+        site_names=["s0", "s1"],
+        domain_names=[".a", ".b"],
+    )
+
+
+def groups_of(partition):
+    return sorted(tuple(fc.file_ids.tolist()) for fc in partition)
+
+
+class TestMergeTwo:
+    def test_meet_refines_both(self, two_site_trace):
+        locals_ = identify_per_site(two_site_trace)
+        merged = merge_partitions(locals_[0], locals_[1])
+        # s0: {0,1,2},{3}; s1: {0,1} -> meet: {0,1},{2},{3}
+        assert groups_of(merged) == [(0, 1), (2,), (3,)]
+
+    def test_meet_of_all_sites_is_global(self, two_site_trace):
+        locals_ = identify_per_site(two_site_trace)
+        merged = merge_all(list(locals_.values()))
+        global_p = find_filecules(two_site_trace)
+        assert groups_of(merged) == groups_of(global_p)
+
+    def test_commutative(self, two_site_trace):
+        locals_ = identify_per_site(two_site_trace)
+        ab = merge_partitions(locals_[0], locals_[1])
+        ba = merge_partitions(locals_[1], locals_[0])
+        assert groups_of(ab) == groups_of(ba)
+
+    def test_idempotent(self, two_site_trace):
+        p = find_filecules(two_site_trace)
+        merged = merge_partitions(p, p)
+        assert groups_of(merged) == groups_of(p)
+
+    def test_observed_by_one_side_only(self):
+        a = find_filecules(make_trace([[0, 1]], n_files=4))
+        b = find_filecules(make_trace([[2, 3]], n_files=4))
+        merged = merge_partitions(a, b)
+        assert groups_of(merged) == [(0, 1), (2, 3)]
+
+    def test_empty_partitions(self):
+        a = find_filecules(make_trace([], n_files=3))
+        merged = merge_partitions(a, a)
+        assert len(merged) == 0
+
+    def test_size_mismatch_rejected(self):
+        a = find_filecules(make_trace([[0]], n_files=1))
+        b = find_filecules(make_trace([[0]], n_files=2))
+        with pytest.raises(ValueError):
+            merge_partitions(a, b)
+
+    def test_merge_all_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_all([])
+
+
+class TestMergeTheorem:
+    def test_global_recovery_on_generated_trace(self, tiny_trace, tiny_partition):
+        locals_ = identify_per_site(tiny_trace)
+        merged = merge_all(list(locals_.values()))
+        sim = partition_similarity(merged, tiny_partition)
+        assert sim.exact_fraction == 1.0
+        assert sim.rand_index == 1.0
+
+    def test_random_traces(self):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            n_sites = int(rng.integers(2, 5))
+            jobs = [
+                sorted(
+                    rng.choice(12, size=rng.integers(1, 6), replace=False).tolist()
+                )
+                for _ in range(int(rng.integers(2, 10)))
+            ]
+            trace = make_trace(
+                jobs,
+                n_files=12,
+                job_nodes=[j % n_sites for j in range(len(jobs))],
+                node_sites=list(range(n_sites)),
+                node_domains=[0] * n_sites,
+                site_names=[f"s{i}" for i in range(n_sites)],
+            )
+            locals_ = identify_per_site(trace)
+            merged = merge_all(list(locals_.values()))
+            assert groups_of(merged) == groups_of(find_filecules(trace))
+
+
+class TestAccuracyCurve:
+    def test_monotone_and_complete(self, tiny_trace, tiny_partition):
+        points = merge_accuracy_curve(tiny_trace, tiny_partition)
+        exact = [p.exact_fraction for p in points]
+        assert all(a <= b + 1e-12 for a, b in zip(exact, exact[1:]))
+        assert exact[-1] == 1.0
+        assert points[-1].rand_index == 1.0
+
+    def test_ordered_by_activity(self, tiny_trace):
+        points = merge_accuracy_curve(tiny_trace)
+        assert points[0].n_observers == 1
+        # the first observer is the busiest site (hub)
+        assert points[0].observer.startswith("gov")
+
+    def test_coverage_grows(self, tiny_trace, tiny_partition):
+        points = merge_accuracy_curve(tiny_trace, tiny_partition)
+        covered = [p.n_files_covered for p in points]
+        assert all(a <= b for a, b in zip(covered, covered[1:]))

@@ -1,0 +1,104 @@
+"""Unit tests for partial-knowledge identification (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.core.partial import (
+    coarsening_report,
+    identify_per_domain,
+    identify_per_site,
+    is_coarsening_of,
+)
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def two_site_trace():
+    """Site 0 sees jobs {0,1}; site 1 sees job {2}.
+
+    Global filecules: {0,1} (jobs 0,2), {2} (job 0), {3} (job 1).
+    Site 1 alone sees only job 2 = [0,1] -> one class {0,1}.
+    Site 0 alone sees jobs [0,1,2],[3] -> classes {0,1,2},{3} — coarser!
+    """
+    return make_trace(
+        [[0, 1, 2], [3], [0, 1]],
+        job_nodes=[0, 0, 1],
+        node_sites=[0, 1],
+        node_domains=[0, 1],
+        site_names=["s0", "s1"],
+        domain_names=[".a", ".b"],
+    )
+
+
+class TestPerSiteIdentification:
+    def test_partitions_per_site(self, two_site_trace):
+        locals_ = identify_per_site(two_site_trace)
+        assert set(locals_) == {0, 1}
+        s0 = sorted(tuple(fc.file_ids.tolist()) for fc in locals_[0])
+        assert s0 == [(0, 1, 2), (3,)]
+        s1 = sorted(tuple(fc.file_ids.tolist()) for fc in locals_[1])
+        assert s1 == [(0, 1)]
+
+    def test_per_domain(self, two_site_trace):
+        locals_ = identify_per_domain(two_site_trace)
+        assert set(locals_) == {0, 1}
+
+
+class TestCoarseningTheorem:
+    def test_local_is_coarsening(self, two_site_trace):
+        global_p = find_filecules(two_site_trace)
+        for local in identify_per_site(two_site_trace).values():
+            assert is_coarsening_of(local, global_p)
+
+    def test_non_coarsening_detected(self, two_site_trace):
+        global_p = find_filecules(two_site_trace)
+        # a partition separating files 0 and 1 contradicts the global {0,1}
+        fake = find_filecules(make_trace([[0], [1, 2], [3]]))
+        assert not is_coarsening_of(global_p, fake)
+
+    def test_trivial_when_no_overlap(self):
+        a = find_filecules(make_trace([[0]], n_files=2))
+        b = find_filecules(make_trace([[1]], n_files=2))
+        assert is_coarsening_of(a, b)
+
+    def test_generated_trace_theorem(self, tiny_trace, tiny_partition):
+        for local in identify_per_site(tiny_trace).values():
+            assert is_coarsening_of(local, tiny_partition)
+
+
+class TestCoarseningReport:
+    def test_report_rows(self, two_site_trace):
+        reports = coarsening_report(two_site_trace, group_by="site")
+        assert [r.group for r in reports] == ["s0", "s1"]
+        s0, s1 = reports
+        # site 0: locally {0,1,2} and {3}; truth restricted: {0,1},{2},{3}
+        assert s0.n_local_filecules == 2
+        assert s0.n_true_filecules == 3
+        assert s0.n_exact == 1  # only {3} exact
+        assert s0.inflation == pytest.approx(1.5)
+        # site 1: locally {0,1}; truth restricted: {0,1} -> exact
+        assert s1.n_local_filecules == 1
+        assert s1.n_exact == 1
+        assert s1.exact_fraction == 1.0
+        assert s1.inflation == pytest.approx(1.0)
+
+    def test_inflation_at_least_one(self, tiny_trace):
+        for r in coarsening_report(tiny_trace, group_by="domain"):
+            assert r.inflation >= 1.0 - 1e-12
+
+    def test_bad_group_by(self, two_site_trace):
+        with pytest.raises(ValueError):
+            coarsening_report(two_site_trace, group_by="country")
+
+    def test_accepts_precomputed_global(self, two_site_trace):
+        global_p = find_filecules(two_site_trace)
+        reports = coarsening_report(
+            two_site_trace, global_partition=global_p
+        )
+        assert len(reports) == 2
+
+    def test_mismatched_global_rejected(self, two_site_trace):
+        foreign = find_filecules(make_trace([[0]], n_files=4))
+        with pytest.raises(ValueError, match="same underlying trace"):
+            coarsening_report(two_site_trace, global_partition=foreign)

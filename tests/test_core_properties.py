@@ -1,0 +1,91 @@
+"""Unit tests for partition invariant validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.filecule import Filecule, FileculePartition
+from repro.core.identify import find_filecules
+from repro.core.properties import (
+    FileculeInvariantError,
+    assert_partition_valid,
+    partition_is_valid,
+)
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    return make_trace([[0, 1], [0, 1], [2]])
+
+
+def partition_from(groups, trace, requests=None):
+    filecules = []
+    pop = trace.file_popularity
+    for i, members in enumerate(groups):
+        arr = np.asarray(members, dtype=np.int64)
+        filecules.append(
+            Filecule(
+                i,
+                arr,
+                n_requests=(
+                    requests[i] if requests is not None else int(pop[arr[0]])
+                ),
+                size_bytes=int(trace.file_sizes[arr].sum()),
+            )
+        )
+    return FileculePartition(filecules, trace.n_files)
+
+
+class TestValidator:
+    def test_correct_partition_passes(self, trace):
+        assert partition_is_valid(trace, find_filecules(trace))
+
+    def test_uncovered_accessed_file(self, trace):
+        p = partition_from([[0, 1]], trace)
+        with pytest.raises(FileculeInvariantError, match="coverage"):
+            assert_partition_valid(trace, p)
+
+    def test_covering_unaccessed_file(self):
+        t = make_trace([[0]], n_files=2)
+        p = partition_from([[0], [1]], t, requests=[1, 0])
+        with pytest.raises(FileculeInvariantError, match="coverage"):
+            assert_partition_valid(t, p)
+
+    def test_mixed_signature_group(self, trace):
+        p = partition_from([[0, 1, 2]], trace, requests=[2])
+        with pytest.raises(FileculeInvariantError, match="different access"):
+            assert_partition_valid(trace, p)
+
+    def test_wrong_request_count(self, trace):
+        p = partition_from([[0, 1], [2]], trace, requests=[5, 1])
+        with pytest.raises(FileculeInvariantError, match="claims 5 requests"):
+            assert_partition_valid(trace, p)
+
+    def test_non_maximal_partition(self, trace):
+        # files 0 and 1 share a signature but are placed in two filecules
+        p = partition_from([[0], [1], [2]], trace)
+        with pytest.raises(FileculeInvariantError, match="not maximal"):
+            assert_partition_valid(trace, p)
+
+    def test_catalog_size_mismatch(self, trace):
+        p = partition_from([[0, 1], [2]], trace)
+        other = make_trace([[0, 1], [0, 1], [2]], n_files=7)
+        with pytest.raises(FileculeInvariantError, match="catalog"):
+            assert_partition_valid(other, p)
+
+    def test_wrong_size_bytes(self, trace):
+        fc_bad = Filecule(0, np.array([0, 1]), 2, size_bytes=12345)
+        fc_ok = Filecule(1, np.array([2]), 1, 1)
+        p = FileculePartition([fc_bad, fc_ok], trace.n_files)
+        with pytest.raises(FileculeInvariantError, match="size"):
+            assert_partition_valid(trace, p)
+
+    def test_zero_size_tolerated(self, trace):
+        """Partitions from incremental snapshots without sizes are valid."""
+        fc1 = Filecule(0, np.array([0, 1]), 2, size_bytes=0)
+        fc2 = Filecule(1, np.array([2]), 1, size_bytes=0)
+        p = FileculePartition([fc1, fc2], trace.n_files)
+        assert_partition_valid(trace, p)
+
+    def test_boolean_form(self, trace):
+        assert not partition_is_valid(trace, partition_from([[0, 1]], trace))

@@ -1,0 +1,37 @@
+"""Execute the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.core.incremental
+import repro.util.units
+
+MODULES_WITH_DOCTESTS = [
+    repro.util.units,
+    repro.core.incremental,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
+
+
+def test_readme_quickstart_snippet():
+    """The README's quickstart block must stay runnable (on tiny scale)."""
+    from repro import tiny_config, generate_trace, find_filecules
+    from repro.cache import FileLRU, FileculeLRU, simulate
+
+    trace = generate_trace(tiny_config(), seed=42)
+    filecules = find_filecules(trace)
+    assert len(filecules) > 0
+
+    capacity = max(int(0.05 * trace.total_bytes()), 1)
+    file_lru = simulate(trace, lambda c: FileLRU(c), capacity)
+    cule_lru = simulate(trace, lambda c: FileculeLRU(c, filecules), capacity)
+    assert cule_lru.miss_rate <= file_lru.miss_rate

@@ -1,0 +1,116 @@
+"""Integration tests: every experiment runs and its qualitative checks hold.
+
+These run on the 'small' scale (≈ 600 traced jobs) so the whole module
+stays under a minute; the benchmark harness exercises the default scale.
+"""
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_context,
+    get_experiment,
+    run_experiment,
+)
+
+#: Checks that need default-scale statistics and are allowed to be
+#: flaky at 'small' scale (3 users / 12 sites only).
+SCALE_SENSITIVE = {
+    ("fig9", "a hot head exists (max >= 10x median requests)"),
+    ("fig4", "significant multi-user sharing (max users >= 5)"),
+    ("fig12", "several users share the filecule"),
+    (
+        "fig12",
+        "more activity visible than in the per-site view "
+        "(paper: 'periods when 10 users might store copies')",
+    ),
+    ("table2", "hub dominates (>5x the next domain)"),
+    ("fig10", "large-cache factor reaches the paper's 4-5x (band 4x-9x)"),
+    ("null_model", "null filecules collapse toward single files (mean < 1.2)"),
+    ("fig6", "root-tuple has multi-file-scale filecules"),
+    ("fig6", "every tier contributes filecules"),
+    ("table1", "Reconstructed input/job within 2x of paper"),
+    ("table1", "Root-tuple input/job within 2x of paper"),
+    ("table1", "Thumbnail input/job within 2x of paper"),
+    (
+        "replication",
+        "at the largest budget, interest-aware matches >=85% of the "
+        "global plan's locality at a fraction of the push cost",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context("small", seed=7)
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        ids = all_experiment_ids()
+        for required in (
+            "table1",
+            "table2",
+            *(f"fig{i}" for i in range(1, 13)),
+            "partial",
+            "swarm",
+            "replication",
+            "ablation_policies",
+            "ablation_dynamics",
+        ):
+            assert required in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_context("galactic")
+
+
+@pytest.mark.parametrize("experiment_id", all_experiment_ids())
+class TestEveryExperiment:
+    def test_runs_and_renders(self, experiment_id, ctx):
+        result = run_experiment(experiment_id, ctx)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.rows, f"{experiment_id} produced no rows"
+        rendered = result.render()
+        assert experiment_id in rendered
+        assert result.title in rendered
+
+    def test_checks_hold(self, experiment_id, ctx):
+        result = run_experiment(experiment_id, ctx)
+        failing = [
+            name
+            for name, ok in result.checks.items()
+            if not ok and (experiment_id, name) not in SCALE_SENSITIVE
+        ]
+        assert not failing, f"{experiment_id}: failing checks {failing}"
+
+
+class TestContextSharing:
+    def test_context_cached(self):
+        assert get_context("small", seed=7) is get_context("small", seed=7)
+
+    def test_partition_matches_trace(self, ctx):
+        assert ctx.partition.n_files == ctx.trace.n_files
+
+
+class TestCli:
+    def test_main_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["fig3", "--scale", "small", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig3" in out
+        assert "workload:" in out
+
+    def test_main_unknown_id(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,150 @@
+"""Content-level tests of experiment outputs (beyond "checks pass").
+
+These pin down the *semantics* of each experiment's rows so refactors of
+the rendering/registry cannot silently change what is reported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import get_context, run_experiment
+from repro.experiments.fig10 import CAPACITY_FRACTIONS, capacities_for
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context("small", seed=7)
+
+
+class TestTable1Content:
+    def test_row_order_and_all_row(self, ctx):
+        result = run_experiment("table1", ctx)
+        tiers = [row[0] for row in result.rows]
+        assert tiers == [
+            "Reconstructed",
+            "Root-tuple",
+            "Thumbnail",
+            "Other",
+            "All",
+        ]
+        all_row = result.rows[-1]
+        assert all_row[2] == ctx.trace.n_jobs  # jobs column
+
+    def test_other_tier_has_na_files(self, ctx):
+        result = run_experiment("table1", ctx)
+        other = result.rows[3]
+        assert other[3] is None and other[4] is None
+
+
+class TestTable2Content:
+    def test_sorted_by_jobs_descending(self, ctx):
+        result = run_experiment("table2", ctx)
+        jobs = [row[1] for row in result.rows]
+        assert jobs == sorted(jobs, reverse=True)
+
+    def test_job_totals_match_trace(self, ctx):
+        result = run_experiment("table2", ctx)
+        assert sum(row[1] for row in result.rows) == ctx.trace.n_jobs
+
+    def test_filecule_counts_positive_where_files(self, ctx):
+        result = run_experiment("table2", ctx)
+        for row in result.rows:
+            if row[6]:  # files
+                assert row[5] >= 1  # filecules
+
+
+class TestFig10Content:
+    def test_capacities_cover_seven_points(self, ctx):
+        result = run_experiment("fig10", ctx)
+        assert len(result.rows) == len(CAPACITY_FRACTIONS) == 7
+
+    def test_factor_column_consistent(self, ctx):
+        result = run_experiment("fig10", ctx)
+        for row in result.rows:
+            _, _, file_mr, cule_mr, factor = row
+            if cule_mr > 0:
+                assert factor == pytest.approx(file_mr / cule_mr, rel=1e-6)
+
+    def test_capacities_helper(self):
+        caps = capacities_for(1000)
+        assert len(caps) == 7
+        assert caps == sorted(caps)
+        assert caps[0] >= 1
+
+
+class TestFig4Fig5Content:
+    def test_fig4_counts_sum_to_filecules(self, ctx):
+        result = run_experiment("fig4", ctx)
+        assert sum(row[1] for row in result.rows) == len(ctx.partition)
+
+    def test_fig5_counts_sum_to_traced_jobs(self, ctx):
+        result = run_experiment("fig5", ctx)
+        traced = int((ctx.trace.files_per_job > 0).sum())
+        assert sum(row[1] for row in result.rows) == traced
+
+
+class TestFig9Content:
+    def test_bucket_sum(self, ctx):
+        result = run_experiment("fig9", ctx)
+        assert sum(row[1] for row in result.rows) == len(ctx.partition)
+
+
+class TestFig11Fig12Content:
+    def test_fig11_job_totals_match_requests(self, ctx):
+        result = run_experiment("fig11", ctx)
+        from repro.transfer.intervals import select_hot_filecule
+
+        fc = select_hot_filecule(ctx.trace, ctx.partition)
+        assert sum(row[3] for row in result.rows) == fc.n_requests
+
+    def test_fig12_covers_all_users_of_the_filecule(self, ctx):
+        result = run_experiment("fig12", ctx)
+        from repro.transfer.intervals import select_hot_filecule
+
+        fc = select_hot_filecule(ctx.trace, ctx.partition)
+        users = ctx.partition.users_per_filecule(ctx.trace)
+        assert len(result.rows) == int(users[fc.filecule_id])
+
+
+class TestPartialContent:
+    def test_rows_sorted_by_activity(self, ctx):
+        result = run_experiment("partial", ctx)
+        jobs = [row[1] for row in result.rows]
+        assert jobs == sorted(jobs, reverse=True)
+
+    def test_inflation_consistency(self, ctx):
+        result = run_experiment("partial", ctx)
+        for row in result.rows:
+            _, _, _, n_local, n_true, _, inflation = row
+            if n_local:
+                assert inflation == pytest.approx(n_true / n_local, rel=1e-6)
+
+
+class TestMergeKnowledgeContent:
+    def test_one_row_per_active_site(self, ctx):
+        result = run_experiment("merge_knowledge", ctx)
+        active_sites = len(np.unique(ctx.trace.job_sites))
+        assert len(result.rows) == active_sites
+
+    def test_final_row_exact(self, ctx):
+        result = run_experiment("merge_knowledge", ctx)
+        assert result.rows[-1][4] == 1.0  # exact fraction
+        assert result.rows[-1][5] == 1.0  # rand index
+
+
+class TestSwarmContent:
+    def test_speedups_at_least_one(self, ctx):
+        result = run_experiment("swarm", ctx)
+        for row in result.rows:
+            assert row[-1] >= 1.0 - 1e-9
+
+
+class TestRenderingStability:
+    @pytest.mark.parametrize(
+        "experiment_id", ["table1", "fig10", "partial", "swarm"]
+    )
+    def test_render_contains_all_headers(self, experiment_id, ctx):
+        result = run_experiment(experiment_id, ctx)
+        rendered = result.render()
+        for header in result.headers:
+            assert header in rendered

@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategies generate random job streams; the properties are the paper's
+definitional invariants (§3), the incremental/batch equivalence, the
+coarsening theorem (§6), cache occupancy safety, and the concurrency
+profile's conservation laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import simulate
+from repro.core.dynamics import partition_similarity
+from repro.core.identify import find_filecules
+from repro.core.incremental import IncrementalFileculeIdentifier
+from repro.core.partial import identify_per_site, is_coarsening_of
+from repro.core.properties import assert_partition_valid
+from repro.transfer.concurrency import concurrency_profile
+from repro.util.rng import stable_seed
+from repro.workload.distributions import (
+    bounded_lognormal,
+    bounded_pareto,
+    flattened_zipf_weights,
+    sample_categorical,
+)
+from repro.workload.generator import _apportion
+from tests.conftest import make_trace
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+job_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=14), min_size=1, max_size=8),
+    min_size=1,
+    max_size=16,
+)
+
+
+def trace_from_jobs(jobs, n_sites=1):
+    n_jobs = len(jobs)
+    nodes = [j % n_sites for j in range(n_jobs)]
+    return make_trace(
+        jobs,
+        n_files=15,
+        job_nodes=nodes,
+        node_sites=list(range(n_sites)),
+        node_domains=[0] * n_sites,
+        site_names=[f"s{i}" for i in range(n_sites)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# filecule invariants
+# ---------------------------------------------------------------------------
+
+
+class TestFileculeInvariants:
+    @given(job_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_partition_always_valid(self, jobs):
+        trace = trace_from_jobs(jobs)
+        assert_partition_valid(trace, find_filecules(trace))
+
+    @given(job_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_incremental_equals_batch(self, jobs):
+        trace = trace_from_jobs(jobs)
+        ident = IncrementalFileculeIdentifier()
+        for job in jobs:
+            ident.observe_job(job)
+        batch = sorted(
+            tuple(sorted(fc.file_ids.tolist()))
+            for fc in find_filecules(trace)
+        )
+        streaming = sorted(tuple(sorted(c)) for c in ident.classes())
+        assert batch == streaming
+
+    @given(job_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_job_permutation_invariance(self, jobs):
+        """The filecule partition is independent of job order."""
+        trace_fwd = trace_from_jobs(jobs)
+        trace_rev = trace_from_jobs(jobs[::-1])
+        groups_fwd = sorted(
+            frozenset(fc.file_ids.tolist())
+            for fc in find_filecules(trace_fwd)
+        )
+        groups_rev = sorted(
+            frozenset(fc.file_ids.tolist())
+            for fc in find_filecules(trace_rev)
+        )
+        assert groups_fwd == groups_rev
+
+    @given(job_lists, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_local_partition_is_coarsening(self, jobs, n_sites):
+        trace = trace_from_jobs(jobs, n_sites=n_sites)
+        global_p = find_filecules(trace)
+        for local in identify_per_site(trace).values():
+            assert is_coarsening_of(local, global_p)
+
+    @given(job_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_self_similarity_is_perfect(self, jobs):
+        p = find_filecules(trace_from_jobs(jobs))
+        sim = partition_similarity(p, p)
+        assert sim.exact_fraction == 1.0
+        assert sim.rand_index == 1.0
+
+
+# ---------------------------------------------------------------------------
+# cache safety
+# ---------------------------------------------------------------------------
+
+
+class TestCacheProperties:
+    @given(job_lists, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_occupancy_bounded_and_metrics_consistent(self, jobs, capacity):
+        trace = trace_from_jobs(jobs)
+        metrics = simulate(trace, lambda c: FileLRU(c), capacity)
+        assert metrics.requests == trace.n_accesses
+        assert 0 <= metrics.hits <= metrics.requests
+        assert 0.0 <= metrics.miss_rate <= 1.0
+        assert 0.0 <= metrics.byte_miss_rate <= 1.0
+
+    @given(job_lists, st.integers(min_value=1, max_value=40))
+    @settings(max_examples=80, deadline=None)
+    def test_filecule_lru_never_worse_than_file_lru(self, jobs, capacity):
+        """With prefetch accounting, filecule-LRU dominates file-LRU...
+
+        ...on identical-content grounds: every filecule load is exactly the
+        set of files file-LRU would load for the same job, so hits can only
+        be gained.  (Not a theorem for adversarial non-co-accessed traces;
+        here traces are genuine job streams, where it holds.)
+        """
+        trace = trace_from_jobs(jobs)
+        partition = find_filecules(trace)
+        m_file = simulate(trace, lambda c: FileLRU(c), capacity)
+        m_cule = simulate(
+            trace, lambda c: FileculeLRU(c, partition), capacity
+        )
+        assert m_cule.hits >= m_file.hits - len(jobs)  # slack for bypasses
+
+    @given(job_lists, st.integers(min_value=15, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_equivalence(self, jobs, capacity):
+        """Holds whenever no filecule bypasses the cache: capacity >= 15
+        covers the worst case (files are 1 byte, at most 15 files)."""
+        trace = trace_from_jobs(jobs)
+        partition = find_filecules(trace)
+        m_file = simulate(trace, lambda c: FileLRU(c), capacity)
+        m_cons = simulate(
+            trace,
+            lambda c: FileculeLRU(c, partition, intra_job_hits=False),
+            capacity,
+        )
+        assert m_cons.hits == m_file.hits
+
+
+# ---------------------------------------------------------------------------
+# concurrency profile conservation
+# ---------------------------------------------------------------------------
+
+interval_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestConcurrencyProperties:
+    @given(interval_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_mass_conservation(self, raw):
+        """Integral of the profile equals the summed interval lengths."""
+        intervals = [(a, a + d) for a, d in raw]
+        p = concurrency_profile(intervals)
+        total_mass = float((p.counts[:-1] * np.diff(p.times)).sum())
+        expected = sum(d for _, d in raw)
+        assert total_mass == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(interval_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_max_bounded_by_interval_count(self, raw):
+        intervals = [(a, a + d) for a, d in raw]
+        p = concurrency_profile(intervals)
+        assert 1 <= p.max_concurrency <= len(intervals)
+        assert p.counts.min() >= 0
+
+
+# ---------------------------------------------------------------------------
+# samplers
+# ---------------------------------------------------------------------------
+
+
+class TestSamplerProperties:
+    @given(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_pareto_in_bounds(self, alpha, lo, span, seed):
+        x = bounded_pareto(seed, alpha, lo, lo + span, size=64)
+        assert np.all(x >= lo - 1e-12)
+        assert np.all(x <= lo + span + 1e-9)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=0.01, max_value=3.0),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_lognormal_in_bounds(self, mean, sigma, seed):
+        lo, hi = mean / 100.0, mean * 100.0
+        x = bounded_lognormal(seed, mean, sigma, lo, hi, size=64)
+        assert np.all(x >= lo) and np.all(x <= hi)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_zipf_weights_normalized_decreasing(self, n, alpha, floor):
+        w = flattened_zipf_weights(n, alpha, floor)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) <= 1e-15)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+        ).filter(lambda ws: sum(ws) > 0),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_categorical_only_positive_weights(self, weights, seed):
+        idx = sample_categorical(seed, np.array(weights), 32)
+        assert np.all(np.asarray(weights)[idx] > 0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=12
+        ).filter(lambda ws: sum(ws) > 0),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_apportion_conserves_total(self, weights, total):
+        shares = _apportion(np.array(weights), total)
+        assert shares.sum() == total
+        assert np.all(shares >= 0)
+        assert np.all(shares[np.array(weights) == 0] == 0)
+
+    @given(st.lists(st.text(max_size=8) | st.integers(), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_seed_range(self, parts):
+        s = stable_seed(*parts)
+        assert 0 <= s < 2**63
+        assert s == stable_seed(*parts)
+

@@ -1,0 +1,142 @@
+"""Second property-test battery: serialization, merging, scheduling,
+clairvoyance and unit parsing."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.belady import BeladyMIN
+from repro.cache.lru import FileLRU
+from repro.cache.simulator import simulate
+from repro.core.identify import find_filecules
+from repro.core.merge import merge_all, merge_partitions
+from repro.core.partial import identify_per_site
+from repro.traces.io import (
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.transfer.scheduling import compare_scheduling
+from repro.util.units import format_bytes, parse_size
+from tests.conftest import make_trace
+from tests.test_traces_io import assert_traces_equal
+
+job_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=6),
+    min_size=1,
+    max_size=12,
+)
+
+
+def trace_from(jobs, n_sites=1, sizes=None):
+    nodes = [j % n_sites for j in range(len(jobs))]
+    return make_trace(
+        jobs,
+        n_files=12,
+        file_sizes=sizes,
+        job_nodes=nodes,
+        node_sites=list(range(n_sites)),
+        node_domains=[0] * n_sites,
+        site_names=[f"s{i}" for i in range(n_sites)],
+    )
+
+
+class TestSerializationProperties:
+    @given(job_lists, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_jsonl_roundtrip(self, jobs, size_seed):
+        rng = np.random.default_rng(size_seed)
+        sizes = rng.integers(1, 1000, size=12).tolist()
+        trace = trace_from(jobs, sizes=sizes)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.jsonl"
+            assert_traces_equal(
+                trace, read_trace_jsonl(write_trace_jsonl(trace, path))
+            )
+
+    @given(job_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_filecules(self, jobs):
+        trace = trace_from(jobs)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.jsonl"
+            loaded = read_trace_jsonl(write_trace_jsonl(trace, path))
+        a = sorted(tuple(fc.file_ids.tolist()) for fc in find_filecules(trace))
+        b = sorted(tuple(fc.file_ids.tolist()) for fc in find_filecules(loaded))
+        assert a == b
+
+
+class TestMergeProperties:
+    @given(job_lists, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_meet_of_all_observers_is_global(self, jobs, n_sites):
+        trace = trace_from(jobs, n_sites=n_sites)
+        locals_ = list(identify_per_site(trace).values())
+        merged = merge_all(locals_)
+        global_p = find_filecules(trace)
+        assert sorted(tuple(fc.file_ids.tolist()) for fc in merged) == sorted(
+            tuple(fc.file_ids.tolist()) for fc in global_p
+        )
+
+    @given(job_lists, st.integers(min_value=2, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, jobs, n_sites):
+        trace = trace_from(jobs, n_sites=n_sites)
+        locals_ = list(identify_per_site(trace).values())
+        if len(locals_) < 2:
+            return
+        ab = merge_partitions(locals_[0], locals_[1])
+        ba = merge_partitions(locals_[1], locals_[0])
+        assert sorted(tuple(fc.file_ids.tolist()) for fc in ab) == sorted(
+            tuple(fc.file_ids.tolist()) for fc in ba
+        )
+
+    @given(job_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_idempotent(self, jobs):
+        p = find_filecules(trace_from(jobs))
+        merged = merge_partitions(p, p)
+        assert sorted(tuple(fc.file_ids.tolist()) for fc in merged) == sorted(
+            tuple(fc.file_ids.tolist()) for fc in p
+        )
+
+
+class TestSchedulingProperties:
+    @given(job_lists, st.floats(min_value=0.0, max_value=60.0))
+    @settings(max_examples=60, deadline=None)
+    def test_batching_invariants(self, jobs, setup):
+        trace = trace_from(jobs)
+        partition = find_filecules(trace)
+        f, c = compare_scheduling(
+            trace, partition, 0, setup_latency_s=setup
+        )
+        assert f.bytes_moved == c.bytes_moved
+        assert c.n_transfers <= f.n_transfers
+        assert c.mean_wait_seconds <= f.mean_wait_seconds + 1e-6
+        assert c.setup_seconds <= f.setup_seconds + 1e-9
+
+
+class TestClairvoyanceProperties:
+    @given(job_lists, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_min_never_worse_than_lru(self, jobs, capacity):
+        """Unit-size Belady MIN dominates LRU at every capacity."""
+        trace = trace_from(jobs)  # unit-size files
+        m_lru = simulate(trace, lambda c: FileLRU(c), capacity)
+        m_min = simulate(trace, lambda c: BeladyMIN(c, trace), capacity)
+        assert m_min.misses <= m_lru.misses
+
+
+class TestUnitsProperties:
+    @given(st.integers(min_value=0, max_value=2**55))
+    @settings(max_examples=200, deadline=None)
+    def test_format_parse_roundtrip_within_precision(self, n):
+        """parse(format(n)) stays within the printed precision."""
+        text = format_bytes(n, precision=3)
+        back = parse_size(text)
+        if n < 1024:
+            assert back == n
+        else:
+            assert back == pytest.approx(n, rel=2e-3)

@@ -1,0 +1,177 @@
+"""Unit tests for replication planning and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.replication.evaluate import (
+    compare_strategies,
+    evaluate_replication,
+)
+from repro.replication.placement import (
+    file_interest_matrix,
+    interest_matrix,
+    site_budgets,
+)
+from repro.replication.strategies import (
+    FileculeReplication,
+    FileGranularityReplication,
+    GlobalPopularityReplication,
+)
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    """Two sites with disjoint interests plus one shared filecule.
+
+    Site 0 repeatedly reads {0,1}; site 1 reads {2,3} and {4}.  Each
+    site's second-half (evaluation) requests repeat exactly what it
+    requested during the first-half (warmup) window.
+    """
+    jobs = [[0, 1], [2, 3], [4], [0, 1], [2, 3], [4]]
+    return make_trace(
+        jobs,
+        file_sizes=[10, 10, 10, 10, 10],
+        job_nodes=[0, 1, 1, 0, 1, 1],
+        node_sites=[0, 1],
+        node_domains=[0, 1],
+        site_names=["s0", "s1"],
+        domain_names=[".a", ".b"],
+        job_starts=[0.0, 1.0, 2.0, 100.0, 101.0, 102.0],
+        job_durations=[1.0] * 6,  # keep the time span close to the starts
+    )
+
+
+class TestPlacementMatrices:
+    def test_interest_matrix(self, trace):
+        partition = find_filecules(trace)
+        m = interest_matrix(trace, partition)
+        assert m.shape == (2, len(partition))
+        # the {0,1} filecule is requested twice from site 0, never from 1
+        label = int(partition.labels[0])
+        assert m[0, label] == 2
+        assert m[1, label] == 0
+
+    def test_file_interest_matrix(self, trace):
+        m = file_interest_matrix(trace)
+        assert m[0, 0] == 2
+        assert m[1, 2] == 2
+        assert m[0, 4] == 0 and m[1, 4] == 2
+
+    def test_site_budgets_uniform(self, trace):
+        b = site_budgets(trace, 100)
+        assert b.tolist() == [100, 100]
+
+    def test_site_budgets_weighted(self, trace):
+        b = site_budgets(trace, 100, weight_by_activity=True)
+        assert b.sum() == pytest.approx(200, abs=2)
+
+    def test_negative_budget(self, trace):
+        with pytest.raises(ValueError):
+            site_budgets(trace, -1)
+
+
+class TestStrategies:
+    def test_file_plan_respects_budget(self, trace):
+        partition = find_filecules(trace)
+        plan = FileGranularityReplication().plan(
+            trace, partition, np.array([25, 25])
+        )
+        assert all(b <= 25 for b in plan.site_bytes)
+
+    def test_filecule_plan_ships_whole_groups(self, trace):
+        partition = find_filecules(trace)
+        plan = FileculeReplication().plan(trace, partition, np.array([100, 0]))
+        pushed = set(plan.site_files[0].tolist())
+        for fc in partition:
+            members = set(fc.file_ids.tolist())
+            # all or nothing
+            assert members <= pushed or not (members & pushed)
+
+    def test_filecule_plan_skips_oversized(self, trace):
+        partition = find_filecules(trace)
+        # budget of 15 cannot hold the 20-byte filecules, only {4}:
+        # site 1 gets its 10-byte {4}; site 0 wants only {0,1} (20 bytes)
+        plan = FileculeReplication().plan(trace, partition, np.array([15, 15]))
+        assert plan.site_files[0].tolist() == []
+        assert plan.site_files[1].tolist() == [4]
+
+    def test_interest_aware_plans_local(self, trace):
+        partition = find_filecules(trace)
+        plan = FileculeReplication().plan(trace, partition, np.array([20, 20]))
+        assert set(plan.site_files[0].tolist()) <= {0, 1, 4}
+        assert set(plan.site_files[1].tolist()) <= {2, 3, 4}
+
+    def test_global_plan_same_everywhere(self, trace):
+        partition = find_filecules(trace)
+        plan = GlobalPopularityReplication().plan(
+            trace, partition, np.array([30, 30])
+        )
+        assert plan.site_files[0].tolist() == plan.site_files[1].tolist()
+
+    def test_budget_length_checked(self, trace):
+        partition = find_filecules(trace)
+        with pytest.raises(ValueError):
+            FileculeReplication().plan(trace, partition, np.array([10]))
+
+
+class TestEvaluation:
+    def test_perfect_plan_scores_one(self, trace):
+        out = evaluate_replication(
+            trace,
+            FileculeReplication(),
+            budget_bytes_per_site=1000,
+            warmup_fraction=0.5,
+        )
+        # warmup jobs cover exactly the files requested later at each site
+        assert out.local_byte_fraction == pytest.approx(1.0)
+        assert out.job_complete_fraction == pytest.approx(1.0)
+        assert out.used_fraction == pytest.approx(1.0)
+
+    def test_zero_budget(self, trace):
+        out = evaluate_replication(
+            trace, FileculeReplication(), budget_bytes_per_site=0
+        )
+        assert out.push_bytes == 0
+        assert out.local_byte_fraction == 0.0
+        assert out.used_fraction == 0.0
+
+    def test_bad_warmup_fraction(self, trace):
+        with pytest.raises(ValueError):
+            evaluate_replication(
+                trace, FileculeReplication(), 10, warmup_fraction=1.5
+            )
+
+    def test_compare_strategies_shared_split(self, trace):
+        outs = compare_strategies(
+            trace,
+            [FileGranularityReplication(), FileculeReplication()],
+            budget_bytes_per_site=1000,
+        )
+        assert [o.strategy for o in outs] == [
+            "file-granularity",
+            "filecule-granularity",
+        ]
+        assert outs[0].eval_jobs == outs[1].eval_jobs
+
+    def test_grid_replay_attached(self, trace):
+        out = evaluate_replication(
+            trace,
+            FileculeReplication(),
+            budget_bytes_per_site=1000,
+            with_grid_replay=True,
+        )
+        assert out.grid_report is not None
+        assert out.grid_report.local_byte_fraction == pytest.approx(1.0)
+
+    def test_generated_trace_ordering(self, small_trace):
+        outs = compare_strategies(
+            small_trace,
+            [FileculeReplication(), GlobalPopularityReplication()],
+            budget_bytes_per_site=int(0.02 * small_trace.total_bytes()),
+        )
+        for o in outs:
+            assert 0.0 <= o.local_byte_fraction <= 1.0
+            assert 0.0 <= o.used_fraction <= 1.0
+            assert o.eval_jobs > 0

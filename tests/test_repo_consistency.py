@@ -1,0 +1,100 @@
+"""Repository-level consistency: registry <-> benchmarks <-> documentation."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import all_experiment_ids
+
+REPO = Path(__file__).parent.parent
+
+
+class TestBenchmarkCoverage:
+    def test_every_experiment_has_a_benchmark(self):
+        missing = [
+            eid
+            for eid in all_experiment_ids()
+            if not (REPO / "benchmarks" / f"bench_{eid}.py").exists()
+        ]
+        assert not missing, f"experiments without benchmarks: {missing}"
+
+    def test_every_benchmark_has_an_experiment(self):
+        ids = set(all_experiment_ids())
+        stray = [
+            p.name
+            for p in (REPO / "benchmarks").glob("bench_*.py")
+            if p.stem.removeprefix("bench_") not in ids
+        ]
+        assert not stray, f"benchmarks without experiments: {stray}"
+
+    def test_benchmarks_reference_their_experiment(self):
+        for eid in all_experiment_ids():
+            text = (REPO / "benchmarks" / f"bench_{eid}.py").read_text()
+            assert f'"{eid}"' in text
+
+
+class TestDocumentationCoverage:
+    def test_design_md_indexes_every_experiment(self):
+        design = (REPO / "DESIGN.md").read_text()
+        missing = [
+            eid for eid in all_experiment_ids() if f"`{eid}`" not in design
+        ]
+        assert not missing, f"experiments missing from DESIGN.md: {missing}"
+
+    def test_experiments_md_covers_every_table_and_figure(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for artifact in ["Table 1", "Table 2"] + [
+            f"Figure {i}" for i in range(1, 13)
+        ]:
+            assert artifact in text, f"{artifact} missing from EXPERIMENTS.md"
+
+    def test_readme_lists_every_example(self):
+        readme = (REPO / "README.md").read_text()
+        for example in (REPO / "examples").glob("*.py"):
+            assert example.name in readme, (
+                f"examples/{example.name} missing from README"
+            )
+
+
+class TestExampleHygiene:
+    def test_examples_have_docstrings_and_main(self):
+        for example in (REPO / "examples").glob("*.py"):
+            text = example.read_text()
+            assert text.startswith("#!/usr/bin/env python"), example.name
+            assert '"""' in text, f"{example.name} lacks a docstring"
+            assert 'if __name__ == "__main__":' in text, example.name
+
+
+class TestTraceability:
+    def test_traceability_doc_references_valid_experiments(self):
+        import re
+
+        text = (REPO / "docs" / "TRACEABILITY.md").read_text()
+        ids = set(all_experiment_ids())
+        referenced = set(re.findall(r"`([a-z0-9_]+)`", text)) & {
+            token for token in re.findall(r"`([a-z0-9_]+)`", text)
+        }
+        # every backticked token that looks like an experiment id must be one
+        known_non_experiments = {
+            "python",
+            "repro",
+        }
+        for token in referenced:
+            if token in ids or token in known_non_experiments:
+                continue
+            if token.startswith("examples") or "." in token:
+                continue
+            # tolerate API references like FileculeLRU(...)
+            if not token.islower():
+                continue
+            assert token in ids or "_" not in token, (
+                f"TRACEABILITY.md references unknown experiment-like id "
+                f"{token!r}"
+            )
+
+    def test_traceability_covers_every_experiment(self):
+        text = (REPO / "docs" / "TRACEABILITY.md").read_text()
+        missing = [
+            eid for eid in all_experiment_ids() if f"`{eid}`" not in text
+        ]
+        assert not missing, f"experiments missing from TRACEABILITY.md: {missing}"

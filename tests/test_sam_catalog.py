@@ -1,0 +1,93 @@
+"""Unit tests for the replica catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core.filecule import Filecule
+from repro.sam.catalog import ReplicaCatalog
+
+
+@pytest.fixture()
+def catalog():
+    return ReplicaCatalog(n_files=10, n_sites=3, hub_site=0)
+
+
+class TestRegistration:
+    def test_register_and_locate(self, catalog):
+        catalog.register(1, 2)
+        assert catalog.locate(1) == {2}
+        assert catalog.has_replica(1, 2)
+        assert not catalog.has_replica(1, 0)
+
+    def test_unregister_idempotent(self, catalog):
+        catalog.register(1, 2)
+        catalog.unregister(1, 2)
+        catalog.unregister(1, 2)
+        assert catalog.locate(1) == frozenset()
+
+    def test_files_at(self, catalog):
+        catalog.register(1, 2)
+        catalog.register(3, 2)
+        assert catalog.files_at(2) == {1, 3}
+
+    def test_bounds_checked(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.register(100, 0)
+        with pytest.raises(KeyError):
+            catalog.register(0, 7)
+        with pytest.raises(KeyError):
+            catalog.files_at(9)
+
+    def test_bulk_register(self, catalog):
+        catalog.bulk_register([1, 2, 3], 1)
+        assert catalog.files_at(1) == {1, 2, 3}
+
+
+class TestBestSource:
+    def test_local_preferred(self, catalog):
+        catalog.register(1, 2)
+        catalog.register(1, 1)
+        assert catalog.best_source(1, 2) == 2
+
+    def test_remote_replica_over_tape(self, catalog):
+        catalog.register(1, 2)
+        assert catalog.best_source(1, 1) == 2
+
+    def test_hub_fallback(self, catalog):
+        assert catalog.best_source(1, 2) == 0  # tape at hub
+
+    def test_deterministic_choice(self, catalog):
+        catalog.register(1, 2)
+        catalog.register(1, 1)
+        assert catalog.best_source(1, 0) == 1  # lowest site id
+
+
+class TestFileculeHelpers:
+    def test_presence_fraction(self, catalog):
+        fc = Filecule(0, np.array([1, 2, 3, 4]), 1, 4)
+        catalog.register(1, 1)
+        catalog.register(2, 1)
+        assert catalog.filecule_presence(fc, 1) == pytest.approx(0.5)
+        assert catalog.filecule_presence(fc, 2) == 0.0
+
+    def test_register_filecule(self, catalog):
+        fc = Filecule(0, np.array([5, 6]), 1, 2)
+        catalog.register_filecule(fc, 2)
+        assert catalog.filecule_presence(fc, 2) == 1.0
+
+    def test_site_bytes(self, catalog):
+        sizes = np.arange(10) * 10
+        catalog.register(2, 1)
+        catalog.register(4, 1)
+        assert catalog.site_bytes(1, sizes) == 60
+        assert catalog.site_bytes(2, sizes) == 0
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaCatalog(n_files=-1, n_sites=1)
+        with pytest.raises(ValueError):
+            ReplicaCatalog(n_files=1, n_sites=0)
+        with pytest.raises(ValueError):
+            ReplicaCatalog(n_files=1, n_sites=1, hub_site=5)

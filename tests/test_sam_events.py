@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sam.events import Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulation()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_after_relative(self):
+        sim = Simulation(start_time=10.0)
+        log = []
+        sim.after(5.0, lambda: log.append(sim.now))
+        sim.run()
+        assert log == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulation(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulation()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3.0:
+                sim.after(1.0, chain)
+
+        sim.at(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_cancel(self):
+        sim = Simulation()
+        log = []
+        event = sim.at(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+        assert sim.processed == 0
+
+    def test_run_until(self):
+        sim = Simulation()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(5.0, lambda: log.append(5))
+        sim.run(until=3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_max_events_guard(self):
+        sim = Simulation()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.at(0.0, forever)
+        with pytest.raises(RuntimeError, match="scheduling loop"):
+            sim.run(max_events=100)
+
+    def test_step(self):
+        sim = Simulation()
+        sim.at(2.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False

@@ -1,0 +1,91 @@
+"""Unit tests for links, tape archive and the transfer model."""
+
+import pytest
+
+from repro.sam.events import Simulation
+from repro.sam.storage import Link, TapeArchive, TransferModel
+
+
+class TestLink:
+    def test_service_time(self):
+        link = Link(Simulation(), bandwidth_bps=100.0, latency_s=1.0)
+        assert link.service_time(200) == pytest.approx(3.0)
+
+    def test_fifo_queueing(self):
+        sim = Simulation()
+        link = Link(sim, bandwidth_bps=100.0, latency_s=0.0)
+        first = link.enqueue(100)  # 1s
+        second = link.enqueue(100)  # queues behind
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+        assert link.queue_delay == pytest.approx(2.0)
+
+    def test_idle_restart(self):
+        sim = Simulation()
+        link = Link(sim, bandwidth_bps=100.0)
+        link.enqueue(100)
+        sim.now = 100.0  # long idle
+        done = link.enqueue(100)
+        assert done == pytest.approx(100.0 + link.service_time(100))
+
+    def test_counters(self):
+        link = Link(Simulation(), 100.0)
+        link.enqueue(10)
+        link.enqueue(20)
+        assert link.bytes_moved == 30
+        assert link.transfers == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(Simulation(), 0.0)
+        with pytest.raises(ValueError):
+            Link(Simulation(), 10.0, latency_s=-1)
+        link = Link(Simulation(), 10.0)
+        with pytest.raises(ValueError):
+            link.enqueue(-1)
+
+
+class TestTapeArchive:
+    def test_mount_latency_dominates_small_reads(self):
+        sim = Simulation()
+        tape = TapeArchive(sim, bandwidth_bps=1e9, mount_latency_s=90.0)
+        assert tape.stage(1) >= 90.0
+        assert tape.mounts == 1
+
+    def test_stage_accounts_bytes(self):
+        tape = TapeArchive(Simulation())
+        tape.stage(1000)
+        assert tape.bytes_staged == 1000
+
+
+class TestTransferModel:
+    def test_intra_site_free(self):
+        sim = Simulation()
+        model = TransferModel(sim, n_sites=3)
+        assert model.transfer(1, 1, 10**9) == sim.now
+
+    def test_cross_site_bottleneck(self):
+        sim = Simulation()
+        model = TransferModel(
+            sim,
+            n_sites=2,
+            hub_site=0,
+            wan_bandwidth_bps=100.0,
+            hub_bandwidth_bps=1000.0,
+            latency_s=0.0,
+        )
+        done = model.transfer(0, 1, 100)
+        # spoke link (100 B/s) is the bottleneck: 1s
+        assert done == pytest.approx(1.0)
+
+    def test_wan_bytes_counts_both_endpoints(self):
+        sim = Simulation()
+        model = TransferModel(sim, n_sites=2)
+        model.transfer(0, 1, 50)
+        assert model.wan_bytes() == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferModel(Simulation(), n_sites=0)
+        with pytest.raises(ValueError):
+            TransferModel(Simulation(), n_sites=2, hub_site=5)

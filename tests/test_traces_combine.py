@@ -1,0 +1,134 @@
+"""Unit tests for trace subsampling, shifting and concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.core.partial import is_coarsening_of
+from repro.traces.combine import concat_traces, shift_time, subsample_jobs
+from repro.traces.filters import split_epochs
+from tests.conftest import make_trace
+
+
+class TestSubsampleJobs:
+    def test_fraction_extremes(self, classic_trace):
+        assert subsample_jobs(classic_trace, 0.0).n_jobs == 0
+        assert subsample_jobs(classic_trace, 1.0).n_jobs == classic_trace.n_jobs
+
+    def test_deterministic(self, classic_trace):
+        a = subsample_jobs(classic_trace, 0.5, seed=3)
+        b = subsample_jobs(classic_trace, 0.5, seed=3)
+        np.testing.assert_array_equal(a.job_labels, b.job_labels)
+
+    def test_catalog_preserved(self, classic_trace):
+        sub = subsample_jobs(classic_trace, 0.5, seed=3)
+        assert sub.n_files == classic_trace.n_files
+
+    def test_sample_partition_coarsens_global(self, tiny_trace, tiny_partition):
+        sample = subsample_jobs(tiny_trace, 0.3, seed=5)
+        local = find_filecules(sample)
+        assert is_coarsening_of(local, tiny_partition)
+
+    def test_rough_proportion(self, tiny_trace):
+        sample = subsample_jobs(tiny_trace, 0.5, seed=0)
+        assert 0.3 * tiny_trace.n_jobs < sample.n_jobs < 0.7 * tiny_trace.n_jobs
+
+    def test_bad_fraction(self, classic_trace):
+        with pytest.raises(ValueError):
+            subsample_jobs(classic_trace, 1.5)
+
+
+class TestShiftTime:
+    def test_forward_shift(self, classic_trace):
+        shifted = shift_time(classic_trace, 100.0)
+        np.testing.assert_allclose(
+            shifted.job_starts, classic_trace.job_starts + 100.0
+        )
+        np.testing.assert_allclose(
+            shifted.job_ends, classic_trace.job_ends + 100.0
+        )
+
+    def test_accesses_untouched(self, classic_trace):
+        shifted = shift_time(classic_trace, 50.0)
+        np.testing.assert_array_equal(
+            shifted.access_files, classic_trace.access_files
+        )
+
+    def test_negative_past_zero_rejected(self, classic_trace):
+        with pytest.raises(ValueError):
+            shift_time(classic_trace, -1e9)
+
+    def test_empty_trace(self):
+        t = make_trace([], n_files=0)
+        assert shift_time(t, -100.0).n_jobs == 0
+
+
+class TestConcatTraces:
+    def test_epoch_split_roundtrip(self, tiny_trace):
+        """Splitting into epochs and concatenating preserves everything
+        the analyses care about."""
+        epochs = split_epochs(tiny_trace, 3)
+        combined = concat_traces(epochs)
+        assert combined.n_jobs == tiny_trace.n_jobs
+        assert combined.n_accesses == tiny_trace.n_accesses
+        a = sorted(
+            tuple(fc.file_ids.tolist()) for fc in find_filecules(combined)
+        )
+        b = sorted(
+            tuple(fc.file_ids.tolist()) for fc in find_filecules(tiny_trace)
+        )
+        assert a == b
+
+    def test_labels_preserved(self, classic_trace):
+        parts = split_epochs(classic_trace, 2)
+        combined = concat_traces(parts)
+        assert sorted(combined.job_labels.tolist()) == list(range(5))
+
+    def test_single_input(self, classic_trace):
+        combined = concat_traces([classic_trace])
+        assert combined.n_jobs == classic_trace.n_jobs
+
+    def test_mismatched_catalogs_rejected(self):
+        a = make_trace([[0]], n_files=2)
+        b = make_trace([[0]], n_files=3)
+        with pytest.raises(ValueError, match="identical"):
+            concat_traces([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concat_traces([])
+
+    def test_access_job_ids_offset(self):
+        a = make_trace([[0], [1]], n_files=3)
+        b = make_trace([[2]], n_files=3)
+        combined = concat_traces([a, b])
+        assert combined.job_files(2).tolist() == [2]
+
+
+class TestShuffledNull:
+    def test_marginals_preserved(self, tiny_trace):
+        from repro.traces.combine import shuffled_null
+
+        null = shuffled_null(tiny_trace, seed=0)
+        # duplicates within a job merge, so accesses can only shrink
+        assert null.n_accesses <= tiny_trace.n_accesses
+        assert null.n_accesses >= 0.5 * tiny_trace.n_accesses
+        # per-job counts never grow
+        assert (null.files_per_job <= tiny_trace.files_per_job).all()
+        # total per-file request mass equals the surviving accesses
+        assert null.file_popularity.sum() == null.n_accesses
+
+    def test_filecules_collapse(self, tiny_trace, tiny_partition):
+        from repro.traces.combine import shuffled_null
+
+        null = shuffled_null(tiny_trace, seed=0)
+        null_p = find_filecules(null)
+        assert null_p.files_per_filecule.mean() < 1.5
+        assert len(null_p) > len(tiny_partition)
+
+    def test_deterministic(self, tiny_trace):
+        from repro.traces.combine import shuffled_null
+
+        a = shuffled_null(tiny_trace, seed=4)
+        b = shuffled_null(tiny_trace, seed=4)
+        np.testing.assert_array_equal(a.access_files, b.access_files)

@@ -1,0 +1,116 @@
+"""Unit tests for trace filters."""
+
+import numpy as np
+import pytest
+
+from repro.traces.filters import (
+    filter_by_domain,
+    filter_by_site,
+    filter_by_tier,
+    filter_by_time,
+    filter_jobs,
+    split_epochs,
+)
+from repro.traces.records import TIER_RECONSTRUCTED, TIER_THUMBNAIL
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def mixed_trace():
+    return make_trace(
+        [[0], [1], [2], [3]],
+        job_tiers=[TIER_RECONSTRUCTED, TIER_THUMBNAIL, TIER_RECONSTRUCTED, TIER_THUMBNAIL],
+        job_nodes=[0, 0, 1, 1],
+        node_sites=[0, 1],
+        node_domains=[0, 1],
+        site_names=["fnal", "desy"],
+        domain_names=[".gov", ".de"],
+        job_starts=[0.0, 100.0, 200.0, 300.0],
+    )
+
+
+class TestFilterByTier:
+    def test_by_name(self, mixed_trace):
+        sub = filter_by_tier(mixed_trace, "thumbnail")
+        assert sub.n_jobs == 2
+        assert set(sub.job_labels.tolist()) == {1, 3}
+
+    def test_by_code(self, mixed_trace):
+        assert filter_by_tier(mixed_trace, TIER_RECONSTRUCTED).n_jobs == 2
+
+    def test_unknown_tier(self, mixed_trace):
+        with pytest.raises(ValueError):
+            filter_by_tier(mixed_trace, "nope")
+
+
+class TestFilterByDomainAndSite:
+    def test_domain_by_name(self, mixed_trace):
+        sub = filter_by_domain(mixed_trace, ".de")
+        assert sub.job_labels.tolist() == [2, 3]
+
+    def test_domain_by_code(self, mixed_trace):
+        assert filter_by_domain(mixed_trace, 0).n_jobs == 2
+
+    def test_unknown_domain(self, mixed_trace):
+        with pytest.raises(ValueError, match="unknown domain"):
+            filter_by_domain(mixed_trace, ".xx")
+        with pytest.raises(ValueError, match="out of range"):
+            filter_by_domain(mixed_trace, 7)
+
+    def test_site_by_name(self, mixed_trace):
+        assert filter_by_site(mixed_trace, "desy").n_jobs == 2
+
+    def test_unknown_site(self, mixed_trace):
+        with pytest.raises(ValueError, match="unknown site"):
+            filter_by_site(mixed_trace, "cern")
+        with pytest.raises(ValueError, match="out of range"):
+            filter_by_site(mixed_trace, -1)
+
+
+class TestFilterByTime:
+    def test_window(self, mixed_trace):
+        sub = filter_by_time(mixed_trace, 100.0, 300.0)
+        assert sub.job_labels.tolist() == [1, 2]
+
+    def test_reversed_window(self, mixed_trace):
+        with pytest.raises(ValueError):
+            filter_by_time(mixed_trace, 10.0, 0.0)
+
+
+class TestFilterJobs:
+    def test_alias(self, mixed_trace):
+        sub = filter_jobs(mixed_trace, np.array([True, False, False, True]))
+        assert sub.job_labels.tolist() == [0, 3]
+
+
+class TestSplitEpochs:
+    def test_every_job_in_exactly_one_epoch(self, mixed_trace):
+        epochs = split_epochs(mixed_trace, 3)
+        assert sum(e.n_jobs for e in epochs) == mixed_trace.n_jobs
+        labels = sorted(
+            label for e in epochs for label in e.job_labels.tolist()
+        )
+        assert labels == [0, 1, 2, 3]
+
+    def test_job_starting_at_window_end_not_dropped(self):
+        # zero-length jobs make the span end exactly at the last start
+        t = make_trace(
+            [[0], [1], [2], [3]],
+            job_starts=[0.0, 100.0, 200.0, 300.0],
+            job_durations=[0.0, 0.0, 0.0, 0.0],
+        )
+        epochs = split_epochs(t, 4)
+        assert 3 in epochs[-1].job_labels.tolist()
+        assert sum(e.n_jobs for e in epochs) == 4
+
+    def test_single_epoch(self, mixed_trace):
+        (only,) = split_epochs(mixed_trace, 1)
+        assert only.n_jobs == mixed_trace.n_jobs
+
+    def test_generated_trace_partition(self, tiny_trace):
+        epochs = split_epochs(tiny_trace, 5)
+        assert sum(e.n_jobs for e in epochs) == tiny_trace.n_jobs
+
+    def test_zero_epochs(self, mixed_trace):
+        with pytest.raises(ValueError):
+            split_epochs(mixed_trace, 0)

@@ -1,0 +1,123 @@
+"""Round-trip and error tests for trace serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from tests.conftest import make_trace
+
+
+def assert_traces_equal(a, b):
+    assert a.n_jobs == b.n_jobs
+    assert a.n_files == b.n_files
+    np.testing.assert_array_equal(a.file_sizes, b.file_sizes)
+    np.testing.assert_array_equal(a.file_tiers, b.file_tiers)
+    np.testing.assert_array_equal(a.file_datasets, b.file_datasets)
+    np.testing.assert_array_equal(a.job_users, b.job_users)
+    np.testing.assert_array_equal(a.job_nodes, b.job_nodes)
+    np.testing.assert_array_equal(a.job_tiers, b.job_tiers)
+    np.testing.assert_array_equal(a.job_starts, b.job_starts)
+    np.testing.assert_array_equal(a.job_ends, b.job_ends)
+    np.testing.assert_array_equal(a.access_jobs, b.access_jobs)
+    np.testing.assert_array_equal(a.access_files, b.access_files)
+    np.testing.assert_array_equal(a.job_labels, b.job_labels)
+    np.testing.assert_array_equal(a.user_domains, b.user_domains)
+    np.testing.assert_array_equal(a.node_sites, b.node_sites)
+    np.testing.assert_array_equal(a.node_domains, b.node_domains)
+    assert a.site_names == b.site_names
+    assert a.domain_names == b.domain_names
+
+
+@pytest.fixture()
+def sample_trace():
+    return make_trace(
+        [[0, 1], [1, 2], [], [0]],
+        n_files=4,
+        file_sizes=[10, 20, 30, 40],
+        job_users=[0, 1, 0, 1],
+        n_users=2,
+        job_starts=[0.25, 100.5, 200.0, 300.125],
+        site_names=["fnal"],
+        domain_names=[".gov"],
+    )
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        loaded = read_trace_csv(directory)
+        assert_traces_equal(sample_trace, loaded)
+
+    def test_roundtrip_generated(self, tiny_trace, tmp_path):
+        loaded = read_trace_csv(write_trace_csv(tiny_trace, tmp_path / "g"))
+        assert_traces_equal(tiny_trace, loaded)
+
+    def test_missing_table(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        (directory / "jobs.csv").unlink()
+        with pytest.raises(FileNotFoundError):
+            read_trace_csv(directory)
+
+    def test_bad_format_marker(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["format"] = "something-else"
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_trace_csv(directory)
+
+    def test_bad_header(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        lines = (directory / "files.csv").read_text().splitlines()
+        lines[0] = "wrong,header,here,now"
+        (directory / "files.csv").write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="unexpected header"):
+            read_trace_csv(directory)
+
+
+class TestJsonlRoundTrip:
+    def test_roundtrip(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        loaded = read_trace_jsonl(path)
+        assert_traces_equal(sample_trace, loaded)
+
+    def test_roundtrip_generated(self, tiny_trace, tmp_path):
+        path = write_trace_jsonl(tiny_trace, tmp_path / "g.jsonl")
+        assert_traces_equal(tiny_trace, read_trace_jsonl(path))
+
+    def test_missing_meta(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "file", "id": 0, "size": 1, "tier": 0, "dataset": 0}\n')
+        with pytest.raises(ValueError, match="missing meta"):
+            read_trace_jsonl(path)
+
+    def test_unknown_record_type(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_trace_jsonl(path)
+
+    def test_non_dense_ids(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        lines = [
+            line
+            for line in path.read_text().splitlines()
+            if '"type": "file"' not in line or '"id": 0' not in line
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="not dense"):
+            read_trace_jsonl(path)
+
+    def test_blank_lines_tolerated(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        content = path.read_text().replace("\n", "\n\n", 3)
+        path.write_text(content)
+        assert_traces_equal(sample_trace, read_trace_jsonl(path))

@@ -1,0 +1,84 @@
+"""Unit tests for tier vocabulary and record types."""
+
+import pytest
+
+from repro.traces.records import (
+    TIER_NAMES,
+    TIER_OTHER,
+    TIER_RAW,
+    TIER_RECONSTRUCTED,
+    TIER_ROOTTUPLE,
+    TIER_THUMBNAIL,
+    FileMeta,
+    JobMeta,
+    tier_code,
+    tier_name,
+)
+
+
+class TestTierVocabulary:
+    def test_codes_are_dense(self):
+        codes = {TIER_RAW, TIER_RECONSTRUCTED, TIER_THUMBNAIL, TIER_ROOTTUPLE, TIER_OTHER}
+        assert codes == set(range(len(TIER_NAMES)))
+
+    @pytest.mark.parametrize(
+        "alias,code",
+        [
+            ("raw", TIER_RAW),
+            ("Reconstructed", TIER_RECONSTRUCTED),
+            ("reco", TIER_RECONSTRUCTED),
+            ("thumbnail", TIER_THUMBNAIL),
+            ("TMB", TIER_THUMBNAIL),
+            ("root-tuple", TIER_ROOTTUPLE),
+            ("roottuple", TIER_ROOTTUPLE),
+            ("root_tuple", TIER_ROOTTUPLE),
+            ("Others", TIER_OTHER),
+            (" other ", TIER_OTHER),
+        ],
+    )
+    def test_aliases(self, alias, code):
+        assert tier_code(alias) == code
+
+    def test_code_passthrough(self):
+        assert tier_code(TIER_RAW) == TIER_RAW
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown data tier"):
+            tier_code("esd")
+
+    def test_code_out_of_range(self):
+        with pytest.raises(ValueError):
+            tier_code(99)
+        with pytest.raises(ValueError):
+            tier_name(-1)
+
+    def test_roundtrip(self):
+        for code, name in enumerate(TIER_NAMES):
+            assert tier_code(tier_name(code)) == code
+            assert tier_name(tier_code(name)) == name
+
+
+class TestRecordTypes:
+    def test_file_meta_label(self):
+        meta = FileMeta(1, "f", 10, TIER_THUMBNAIL, 0)
+        assert meta.tier_label == "thumbnail"
+
+    def test_job_meta_duration(self):
+        meta = JobMeta(
+            job_id=0,
+            user_id=0,
+            node_id=0,
+            site_id=0,
+            domain_id=0,
+            tier=TIER_OTHER,
+            start_time=0.0,
+            end_time=7200.0,
+        )
+        assert meta.duration_hours == pytest.approx(2.0)
+        assert meta.file_ids == ()
+        assert meta.tier_label == "other"
+
+    def test_records_frozen(self):
+        meta = FileMeta(1, "f", 10, TIER_RAW, 0)
+        with pytest.raises(AttributeError):
+            meta.size_bytes = 5

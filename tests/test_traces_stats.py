@@ -1,0 +1,138 @@
+"""Unit tests for trace statistics (Tables 1-2, Figures 1-3 data)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.records import TIER_OTHER, TIER_RECONSTRUCTED, TIER_THUMBNAIL
+from repro.traces.stats import (
+    daily_activity,
+    domain_table,
+    file_size_distribution,
+    files_per_job_distribution,
+    summarize,
+    tier_table,
+)
+from repro.util.timeutil import SECONDS_PER_DAY
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def stats_trace():
+    return make_trace(
+        [[0, 1], [2], [], [0, 1, 2]],
+        file_sizes=[100, 200, 400],
+        job_tiers=[
+            TIER_RECONSTRUCTED,
+            TIER_THUMBNAIL,
+            TIER_OTHER,
+            TIER_RECONSTRUCTED,
+        ],
+        job_users=[0, 1, 1, 0],
+        n_users=2,
+        job_starts=[0.0, SECONDS_PER_DAY + 5.0, SECONDS_PER_DAY + 6.0, 3 * SECONDS_PER_DAY],
+        job_durations=[3600.0, 7200.0, 3600.0, 3600.0],
+    )
+
+
+class TestSummarize:
+    def test_counts(self, stats_trace):
+        s = summarize(stats_trace)
+        assert s.n_jobs == 4
+        assert s.n_jobs_with_files == 3
+        assert s.n_users == 2
+        assert s.n_files_accessed == 3
+        assert s.n_accesses == 6
+        assert s.total_bytes_accessed == 700
+        assert s.mean_files_per_job == pytest.approx(2.0)
+
+    def test_str_smoke(self, stats_trace):
+        assert "jobs" in str(summarize(stats_trace))
+
+    def test_empty(self):
+        s = summarize(make_trace([], n_files=0))
+        assert s.n_jobs == 0
+        assert s.mean_files_per_job == 0.0
+
+
+class TestTierTable:
+    def test_rows(self, stats_trace):
+        rows = {r["tier"]: r for r in tier_table(stats_trace)}
+        recon = rows["Reconstructed"]
+        assert recon["jobs"] == 2
+        assert recon["users"] == 1
+        assert recon["files"] == 3
+        assert recon["input_mb"] == pytest.approx((300 + 700) / 2 / (1024 * 1024))
+        assert recon["hours"] == pytest.approx(1.0)
+        other = rows["Other"]
+        assert other["files"] is None
+        assert other["input_mb"] is None
+        assert rows["All"]["jobs"] == 4
+
+    def test_empty_tier(self, stats_trace):
+        rows = {r["tier"]: r for r in tier_table(stats_trace)}
+        assert rows["Root-tuple"]["jobs"] == 0
+        assert rows["Root-tuple"]["hours"] is None
+
+
+class TestDomainTable:
+    def test_rows_sorted_and_counted(self):
+        t = make_trace(
+            [[0], [1], [2]],
+            job_nodes=[0, 1, 1],
+            node_sites=[0, 1],
+            node_domains=[0, 1],
+            site_names=["s0", "s1"],
+            domain_names=[".gov", ".de"],
+        )
+        rows = domain_table(t)
+        assert rows[0]["domain"] == ".de"
+        assert rows[0]["jobs"] == 2
+        assert rows[1]["jobs"] == 1
+
+    def test_filecule_counter_hook(self, stats_trace):
+        rows = domain_table(stats_trace, filecule_counter=lambda sub: 42)
+        assert rows[0]["filecules"] == 42
+
+    def test_without_counter(self, stats_trace):
+        assert domain_table(stats_trace)[0]["filecules"] is None
+
+
+class TestDistributions:
+    def test_files_per_job_excludes_untraced(self, stats_trace):
+        values, counts = files_per_job_distribution(stats_trace)
+        assert values.tolist() == [1, 2, 3]
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_daily_activity(self, stats_trace):
+        days, jobs, requests = daily_activity(stats_trace)
+        assert len(days) == 4
+        assert jobs.tolist() == [1, 2, 0, 1]
+        assert requests.tolist() == [2, 1, 0, 3]
+
+    def test_daily_activity_empty(self):
+        days, jobs, requests = daily_activity(make_trace([], n_files=0))
+        assert len(days) == 0
+
+    def test_file_size_distribution_accessed_only(self):
+        t = make_trace([[0]], n_files=2, file_sizes=[10, 999])
+        sizes, counts = file_size_distribution(t)
+        assert sizes.tolist() == [10]
+        sizes_all, _ = file_size_distribution(t, accessed_only=False)
+        assert sizes_all.tolist() == [10, 999]
+
+
+class TestOnGeneratedTrace:
+    def test_summary_consistency(self, tiny_trace):
+        s = summarize(tiny_trace)
+        assert s.n_jobs == tiny_trace.n_jobs
+        assert s.n_accesses == tiny_trace.n_accesses
+        assert 0 < s.n_files_accessed <= tiny_trace.n_files
+
+    def test_tier_table_all_row(self, tiny_trace):
+        rows = tier_table(tiny_trace)
+        assert rows[-1]["tier"] == "All"
+        assert rows[-1]["jobs"] == tiny_trace.n_jobs
+
+    def test_domain_jobs_sum(self, tiny_trace):
+        rows = domain_table(tiny_trace)
+        assert sum(r["jobs"] for r in rows) == tiny_trace.n_jobs

@@ -1,0 +1,105 @@
+"""Unit tests for the fluid swarm / client-server transfer models.
+
+Closed-form cases: with seed upload U, peer download D and k simultaneous
+peers, client-server gives each peer rate min(D, U/k); the swarm adds k
+peer-uploads u, giving min(D, (U + k*u)/k).
+"""
+
+import math
+
+import pytest
+
+from repro.transfer.bittorrent import (
+    SwarmConfig,
+    simulate_client_server,
+    simulate_swarm,
+)
+
+CFG = SwarmConfig(seed_up_bps=100.0, peer_up_bps=50.0, peer_down_bps=80.0)
+
+
+class TestSinglePeer:
+    def test_download_limited_by_peer_capacity(self):
+        # alone: rate = min(80, 100) = 80
+        res = simulate_client_server([0.0], 800.0, CFG)
+        assert res.download_times[0] == pytest.approx(10.0)
+
+    def test_swarm_equals_cs_for_single_peer(self):
+        a = simulate_client_server([0.0], 800.0, CFG)
+        b = simulate_swarm([0.0], 800.0, CFG)
+        assert a.download_times == pytest.approx(b.download_times)
+
+
+class TestSimultaneousPeers:
+    def test_cs_shares_seed(self):
+        # 4 peers: rate = min(80, 100/4) = 25 -> 40s for 1000 bytes
+        res = simulate_client_server([0.0] * 4, 1000.0, CFG)
+        assert res.download_times == pytest.approx((40.0,) * 4)
+
+    def test_swarm_adds_peer_upload(self):
+        # 4 peers: rate = min(80, (100 + 4*50)/4) = 75 -> 13.33s
+        res = simulate_swarm([0.0] * 4, 1000.0, CFG)
+        assert res.download_times == pytest.approx((1000.0 / 75.0,) * 4)
+
+    def test_swarm_speedup_grows_with_crowd(self):
+        speedups = []
+        for k in (2, 8, 32):
+            cs = simulate_client_server([0.0] * k, 1000.0, CFG)
+            sw = simulate_swarm([0.0] * k, 1000.0, CFG)
+            speedups.append(cs.mean_download_time / sw.mean_download_time)
+        assert speedups[0] < speedups[1] <= speedups[2] + 1e-9
+
+
+class TestStaggeredArrivals:
+    def test_disjoint_arrivals_no_sharing_effect(self):
+        # second peer arrives after the first finished: both run alone
+        res = simulate_client_server([0.0, 100.0], 800.0, CFG)
+        assert res.download_times == pytest.approx((10.0, 10.0))
+
+    def test_rates_rebalance_on_arrival(self):
+        # peer A starts alone at rate 80; B arrives at t=5 -> both at 50
+        res = simulate_client_server([0.0, 5.0], 800.0, CFG)
+        # A: 400 bytes done by t=5, 400 left at 50 B/s -> done t=13
+        assert res.completion_times[0] == pytest.approx(13.0)
+        # B: 800 bytes at 50 B/s while A active... A leaves at 13
+        # B has 800 - 8*50 = 400 left, alone at 80 -> 5s more -> t=18
+        assert res.completion_times[1] == pytest.approx(18.0)
+
+    def test_arrival_order_of_result_preserved(self):
+        res = simulate_client_server([5.0, 0.0], 100.0, CFG)
+        assert res.arrival_times == (5.0, 0.0)
+        assert res.completion_times[1] < res.completion_times[0]
+
+
+class TestEdgeCases:
+    def test_zero_size(self):
+        res = simulate_swarm([1.0, 2.0], 0.0, CFG)
+        assert res.download_times == (0.0, 0.0)
+
+    def test_no_peers(self):
+        res = simulate_swarm([], 100.0, CFG)
+        assert res.mean_download_time == 0.0
+        assert res.makespan == 0.0
+
+    def test_many_identical_arrivals_terminate(self):
+        res = simulate_swarm([0.0] * 200, 1e9, SwarmConfig())
+        assert all(math.isfinite(t) for t in res.completion_times)
+
+    def test_float_precision_termination(self):
+        # large timestamps + small transfers: the regression case that
+        # used to stall the fixed-epsilon implementation
+        arrivals = [7.0e7 + i * 0.001 for i in range(50)]
+        res = simulate_client_server(arrivals, 3.1e9, SwarmConfig())
+        assert all(math.isfinite(t) for t in res.completion_times)
+
+    def test_makespan(self):
+        res = simulate_client_server([0.0, 100.0], 800.0, CFG)
+        assert res.makespan == pytest.approx(110.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SwarmConfig(seed_up_bps=0)
+        with pytest.raises(ValueError):
+            SwarmConfig(peer_up_bps=-1)
+        with pytest.raises(ValueError):
+            simulate_swarm([0.0], -5.0, CFG)

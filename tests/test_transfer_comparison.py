@@ -1,0 +1,50 @@
+"""Unit tests for the BitTorrent feasibility assessment."""
+
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.transfer.comparison import bittorrent_feasibility
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    return make_trace(
+        [[0, 1], [0, 1], [0, 1], [2], [2]],
+        job_users=[0, 1, 2, 0, 0],
+        n_users=3,
+        file_sizes=[10**9, 10**9, 10**9],
+        job_starts=[0.0, 3600.0, 7200.0, 0.0, 50.0],
+    )
+
+
+class TestFeasibility:
+    def test_rows_ranked_by_sharing(self, trace):
+        rows = bittorrent_feasibility(trace, find_filecules(trace), top_k=2)
+        assert len(rows) == 2
+        assert rows[0].n_users >= rows[1].n_users
+
+    def test_row_fields(self, trace):
+        row = bittorrent_feasibility(trace, find_filecules(trace), top_k=1)[0]
+        assert row.n_files == 2
+        assert row.size_bytes == 2 * 10**9
+        assert row.n_jobs == 3
+        assert row.n_users == 3
+        assert row.speedup >= 1.0 - 1e-9
+
+    def test_spread_arrivals_no_speedup(self, trace):
+        row = bittorrent_feasibility(trace, find_filecules(trace), top_k=1)[0]
+        # hour-apart arrivals with sub-hour transfers: no concurrency
+        assert row.speedup == pytest.approx(1.0, abs=0.05)
+
+    def test_top_k_capped_by_partition(self, trace):
+        rows = bittorrent_feasibility(trace, find_filecules(trace), top_k=100)
+        assert len(rows) == len(find_filecules(trace))
+
+    def test_bad_top_k(self, trace):
+        with pytest.raises(ValueError):
+            bittorrent_feasibility(trace, find_filecules(trace), top_k=0)
+
+    def test_generated_workload_verdict(self, tiny_trace, tiny_partition):
+        rows = bittorrent_feasibility(tiny_trace, tiny_partition, top_k=3)
+        assert all(r.speedup < 1.5 for r in rows)

@@ -1,0 +1,77 @@
+"""Unit tests for the sweep-line concurrency profile."""
+
+import numpy as np
+import pytest
+
+from repro.transfer.concurrency import concurrency_profile
+from repro.transfer.intervals import AccessInterval
+
+
+class TestConcurrencyProfile:
+    def test_empty(self):
+        p = concurrency_profile([])
+        assert p.max_concurrency == 0
+        assert p.mean_concurrency == 0.0
+
+    def test_single_interval(self):
+        p = concurrency_profile([(0.0, 10.0)])
+        assert p.max_concurrency == 1
+        assert p.mean_concurrency == pytest.approx(1.0)
+
+    def test_disjoint_intervals(self):
+        p = concurrency_profile([(0.0, 1.0), (5.0, 6.0)])
+        assert p.max_concurrency == 1
+        # 2 units active over a 6-unit span
+        assert p.mean_concurrency == pytest.approx(2 / 6)
+
+    def test_nested_overlap(self):
+        p = concurrency_profile([(0.0, 10.0), (2.0, 4.0), (3.0, 5.0)])
+        assert p.max_concurrency == 3
+
+    def test_exact_overlap_counts(self):
+        p = concurrency_profile([(0.0, 10.0)] * 7)
+        assert p.max_concurrency == 7
+        assert p.mean_concurrency == pytest.approx(7.0)
+
+    def test_endpoint_touching(self):
+        # [0,5] and [5,10]: at t=5 the first ends as the second starts;
+        # with right-open segments concurrency never exceeds 1
+        p = concurrency_profile([(0.0, 5.0), (5.0, 10.0)])
+        assert p.max_concurrency == 1
+        assert p.mean_concurrency == pytest.approx(1.0)
+
+    def test_point_interval(self):
+        p = concurrency_profile([(5.0, 5.0)])
+        assert p.max_concurrency == 1
+
+    def test_point_interval_inside_long_one(self):
+        p = concurrency_profile([(0.0, 10.0), (5.0, 5.0)])
+        assert p.max_concurrency == 2
+        # zero-width spike contributes no time weight
+        assert p.mean_concurrency == pytest.approx(1.0)
+
+    def test_fraction_at_least(self):
+        p = concurrency_profile([(0.0, 10.0), (0.0, 5.0)])
+        assert p.fraction_at_least(1) == pytest.approx(1.0)
+        assert p.fraction_at_least(2) == pytest.approx(0.5)
+        assert p.fraction_at_least(3) == 0.0
+
+    def test_accepts_access_intervals(self):
+        rows = [
+            AccessInterval("a", 0, 0.0, 4.0, 1, 1),
+            AccessInterval("b", 1, 2.0, 6.0, 1, 1),
+        ]
+        p = concurrency_profile(rows)
+        assert p.max_concurrency == 2
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            concurrency_profile([(5.0, 1.0)])
+
+    def test_counts_nonnegative(self):
+        rng = np.random.default_rng(0)
+        starts = rng.random(50) * 100
+        ends = starts + rng.random(50) * 20
+        p = concurrency_profile(list(zip(starts, ends)))
+        assert p.counts.min() >= 0
+        assert p.counts[-1] == 0  # everything has ended at the last breakpoint

@@ -1,0 +1,106 @@
+"""Unit tests for access-interval extraction (Figures 11-12 data)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.transfer.intervals import (
+    filecule_access_times,
+    job_duration_intervals,
+    select_hot_filecule,
+    site_intervals,
+    user_intervals,
+)
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    """Filecule {0,1} accessed by 3 jobs from 2 sites / 2 users."""
+    return make_trace(
+        [[0, 1], [0, 1], [0, 1], [2]],
+        job_users=[0, 1, 1, 0],
+        n_users=2,
+        job_nodes=[0, 1, 1, 0],
+        node_sites=[0, 1],
+        node_domains=[0, 0],
+        site_names=["fnal", "desy"],
+        job_starts=[0.0, 10.0, 50.0, 99.0],
+        job_durations=[5.0, 5.0, 5.0, 5.0],
+    )
+
+
+@pytest.fixture()
+def partition(trace):
+    return find_filecules(trace)
+
+
+class TestAccessTimes:
+    def test_sorted_start_times(self, trace, partition):
+        fc = partition.filecule_of(0)
+        times = filecule_access_times(trace, fc)
+        assert times.tolist() == [0.0, 10.0, 50.0]
+
+    def test_job_duration_intervals(self, trace, partition):
+        fc = partition.filecule_of(0)
+        ivs = job_duration_intervals(trace, fc)
+        assert ivs == [(0.0, 5.0), (10.0, 15.0), (50.0, 55.0)]
+
+
+class TestSiteIntervals:
+    def test_per_site_rows(self, trace, partition):
+        fc = partition.filecule_of(0)
+        rows = site_intervals(trace, fc)
+        assert len(rows) == 2
+        by_label = {r.label: r for r in rows}
+        assert by_label["fnal"].start == 0.0
+        assert by_label["fnal"].end == 0.0
+        assert by_label["fnal"].n_jobs == 1
+        assert by_label["desy"].start == 10.0
+        assert by_label["desy"].end == 50.0
+        assert by_label["desy"].n_jobs == 2
+        assert by_label["desy"].n_users == 1
+
+    def test_rows_sorted_by_start(self, trace, partition):
+        rows = site_intervals(trace, partition.filecule_of(0))
+        starts = [r.start for r in rows]
+        assert starts == sorted(starts)
+
+    def test_duration_property(self, trace, partition):
+        rows = site_intervals(trace, partition.filecule_of(0))
+        for r in rows:
+            assert r.duration == r.end - r.start
+
+
+class TestUserIntervals:
+    def test_per_user_rows(self, trace, partition):
+        fc = partition.filecule_of(0)
+        rows = user_intervals(trace, fc)
+        assert len(rows) == 2
+        by_label = {r.label: r for r in rows}
+        assert by_label["user1"].n_jobs == 2
+        assert by_label["user1"].duration == 40.0
+
+
+class TestSelectHotFilecule:
+    def test_selects_most_shared(self, trace, partition):
+        fc = select_hot_filecule(trace, partition)
+        assert 0 in fc and 1 in fc
+
+    def test_min_requests_filter(self, trace, partition):
+        fc = select_hot_filecule(trace, partition, min_requests=2)
+        assert fc.n_requests >= 2
+
+    def test_fallback_when_filter_too_strict(self, trace, partition):
+        fc = select_hot_filecule(trace, partition, min_requests=10**6)
+        assert fc is not None
+
+    def test_empty_partition_rejected(self):
+        t = make_trace([], n_files=1)
+        with pytest.raises(ValueError):
+            select_hot_filecule(t, find_filecules(t))
+
+    def test_generated(self, tiny_trace, tiny_partition):
+        fc = select_hot_filecule(tiny_trace, tiny_partition)
+        users = tiny_partition.users_per_filecule(tiny_trace)
+        assert users[fc.filecule_id] == users.max()

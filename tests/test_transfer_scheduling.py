@@ -1,0 +1,126 @@
+"""Unit tests for the filecule-aware transfer scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.transfer.scheduling import compare_scheduling, schedule_transfers
+from tests.conftest import make_trace
+
+
+@pytest.fixture()
+def trace():
+    """One site; filecule {0,1} requested by two jobs, {2} by the first."""
+    return make_trace(
+        [[0, 1, 2], [0, 1]],
+        file_sizes=[100, 100, 100],
+        job_starts=[0.0, 10_000.0],
+        job_durations=[1.0, 1.0],
+    )
+
+
+@pytest.fixture()
+def partition(trace):
+    return find_filecules(trace)
+
+
+class TestFileAtATime:
+    def test_counts_and_bytes(self, trace):
+        report = schedule_transfers(trace, 0, bandwidth_bps=100.0, setup_latency_s=5.0)
+        assert report.strategy == "file-at-a-time"
+        assert report.n_transfers == 3  # files 0,1,2 once each
+        assert report.bytes_moved == 300
+        assert report.setup_seconds == 15.0
+        assert report.n_jobs == 2
+
+    def test_no_retransfer_of_on_disk_files(self, trace):
+        report = schedule_transfers(trace, 0, bandwidth_bps=100.0)
+        # job 2 needs 0,1 which are already on disk -> zero extra transfers
+        assert report.n_transfers == 3
+
+    def test_wait_accounts_setup_and_bandwidth(self, trace):
+        report = schedule_transfers(
+            trace, 0, bandwidth_bps=100.0, setup_latency_s=5.0
+        )
+        # job 0: three sequential transfers of (5 + 1)s each => ready at
+        # t=18, waiting 18s; job 1 (t=10000) finds everything on disk
+        assert report.mean_wait_seconds == pytest.approx(9.0)
+        # makespan tracks the last job's readiness instant
+        assert report.makespan_seconds == pytest.approx(10_000.0)
+
+
+class TestFileculeBatched:
+    def test_counts_and_bytes(self, trace, partition):
+        report = schedule_transfers(
+            trace, 0, partition=partition, bandwidth_bps=100.0, setup_latency_s=5.0
+        )
+        assert report.strategy == "filecule-batched"
+        assert report.n_transfers == 2  # {0,1} and {2}
+        assert report.bytes_moved == 300
+        assert report.setup_seconds == 10.0
+
+    def test_identical_bytes_both_strategies(self, trace, partition):
+        f, c = compare_scheduling(trace, partition, 0, bandwidth_bps=100.0)
+        assert f.bytes_moved == c.bytes_moved
+
+    def test_batching_faster_with_setup_cost(self, trace, partition):
+        f, c = compare_scheduling(
+            trace, partition, 0, bandwidth_bps=100.0, setup_latency_s=30.0
+        )
+        assert c.mean_wait_seconds < f.mean_wait_seconds
+        assert c.setup_seconds < f.setup_seconds
+
+    def test_zero_setup_equalizes(self, trace, partition):
+        f, c = compare_scheduling(
+            trace, partition, 0, bandwidth_bps=100.0, setup_latency_s=0.0
+        )
+        assert c.mean_wait_seconds == pytest.approx(f.mean_wait_seconds)
+
+    def test_piggyback_on_in_flight_filecule(self, partition):
+        # two jobs submitted at the same instant needing the same filecule
+        t = make_trace(
+            [[0, 1], [0, 1]],
+            file_sizes=[100, 100],
+            job_starts=[0.0, 0.0],
+            job_durations=[1.0, 1.0],
+        )
+        p = find_filecules(t)
+        report = schedule_transfers(
+            t, 0, partition=p, bandwidth_bps=100.0, setup_latency_s=5.0
+        )
+        assert report.n_transfers == 1  # second job piggybacks
+        assert report.n_jobs == 2
+
+
+class TestValidation:
+    def test_bad_site(self, trace):
+        with pytest.raises(ValueError):
+            schedule_transfers(trace, 7)
+
+    def test_bad_bandwidth(self, trace):
+        with pytest.raises(ValueError):
+            schedule_transfers(trace, 0, bandwidth_bps=0.0)
+
+    def test_bad_setup(self, trace):
+        with pytest.raises(ValueError):
+            schedule_transfers(trace, 0, setup_latency_s=-1.0)
+
+    def test_site_without_jobs(self):
+        t = make_trace(
+            [[0]],
+            job_nodes=[0],
+            node_sites=[0, 1],
+            node_domains=[0, 0],
+            site_names=["a", "b"],
+        )
+        report = schedule_transfers(t, 1)
+        assert report.n_jobs == 0
+        assert report.n_transfers == 0
+
+
+class TestGeneratedWorkload:
+    def test_invariants_on_generated_trace(self, tiny_trace, tiny_partition):
+        f, c = compare_scheduling(tiny_trace, tiny_partition, 0)
+        assert f.bytes_moved == c.bytes_moved
+        assert c.n_transfers <= f.n_transfers
+        assert c.mean_wait_seconds <= f.mean_wait_seconds + 1e-9

@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_children, stable_seed
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        a = as_generator(np.random.SeedSequence(9)).random(3)
+        b = as_generator(seq).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_fresh_stream(self):
+        # two fresh streams should (overwhelmingly) differ
+        a = as_generator(None).random(8)
+        b = as_generator(None).random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnChildren:
+    def test_children_are_independent_of_sibling_usage(self):
+        kids1 = spawn_children(7, 3)
+        _ = kids1[0].random(1000)  # heavy use of child 0
+        after_use = kids1[1].random(5)
+
+        kids2 = spawn_children(7, 3)
+        fresh = kids2[1].random(5)
+        np.testing.assert_array_equal(after_use, fresh)
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_children(7, 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_from_generator(self):
+        kids = spawn_children(np.random.default_rng(5), 2)
+        assert len(kids) == 2
+
+    def test_zero_children(self):
+        assert spawn_children(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(1, -1)
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("fig10", "lru", 5) == stable_seed("fig10", "lru", 5)
+
+    def test_distinct_for_distinct_parts(self):
+        seen = {stable_seed("a"), stable_seed("b"), stable_seed("a", "b")}
+        assert len(seen) == 3
+
+    def test_fits_in_63_bits(self):
+        for part in ("x", 123, ("t", 1)):
+            assert 0 <= stable_seed(part) < 2**63
+
+    def test_usable_as_numpy_seed(self):
+        rng = np.random.default_rng(stable_seed("experiment", 1))
+        assert 0.0 <= rng.random() < 1.0

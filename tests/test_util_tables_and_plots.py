@@ -1,0 +1,109 @@
+"""Unit tests for table rendering and ASCII plots."""
+
+import pytest
+
+from repro.util.ascii_plot import ascii_histogram, ascii_intervals, ascii_series
+from repro.util.tables import render_table
+from repro.util.timeutil import SECONDS_PER_DAY, day_index, span_days
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["name", "count"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert lines[2].startswith("|-")
+        # right-aligned numbers share the column's right edge
+        assert lines[3].index("1 |") == lines[4].index("2 |") + 1 or "22" in lines[4]
+
+    def test_none_and_nan_render_na(self):
+        out = render_table(["a", "b"], [[None, float("nan")]])
+        assert out.count("N/A") == 2
+
+    def test_float_formatting(self):
+        out = render_table(["x", "y"], [["r", 0.123456], ["s", 123456.7]])
+        assert "0.12" in out
+        assert "1.235e+05" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="row 0 has"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiHistogram:
+    def test_bars_scale(self):
+        out = ascii_histogram(["x", "y"], [1, 10], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert 1 <= lines[0].count("#") <= 2
+
+    def test_nonzero_never_empty_bar(self):
+        out = ascii_histogram(["a", "b"], [1, 10_000], width=10)
+        assert out.splitlines()[0].count("#") >= 1
+
+    def test_empty(self):
+        assert "(empty)" in ascii_histogram([], [], title="t")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1, 2])
+
+
+class TestAsciiSeries:
+    def test_contains_glyphs_and_legend(self):
+        out = ascii_series([0, 1, 2], {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        assert "legend" in out
+        assert "*" in out and "o" in out
+
+    def test_logy(self):
+        out = ascii_series([0, 1], {"s": [1, 1000]}, logy=True)
+        assert "log scale" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_series([0, 1], {"s": [1]})
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_series([0], {})
+
+
+class TestAsciiIntervals:
+    def test_bars_span(self):
+        out = ascii_intervals([("a", 0.0, 10.0), ("b", 5.0, 10.0)], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("=") > lines[1].count("=")
+        assert "[" in lines[0] and "]" in lines[0]
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            ascii_intervals([("a", 5.0, 1.0)])
+
+    def test_empty(self):
+        assert "(no intervals)" in ascii_intervals([])
+
+
+class TestTimeutil:
+    def test_day_index_scalar(self):
+        assert day_index(0.0) == 0
+        assert day_index(SECONDS_PER_DAY * 2.5) == 2
+
+    def test_day_index_array(self):
+        import numpy as np
+
+        out = day_index(np.array([0.0, SECONDS_PER_DAY, SECONDS_PER_DAY * 3 - 1]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_span_days(self):
+        assert span_days(0.0, SECONDS_PER_DAY * 3) == 3.0
+
+    def test_span_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            span_days(10.0, 0.0)

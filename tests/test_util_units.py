@@ -1,0 +1,73 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import GB, KB, MB, PB, TB, format_bytes, parse_size
+
+
+class TestConstants:
+    def test_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+        assert PB == 1024 * TB
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_suffix_selection(self):
+        assert format_bytes(KB) == "1.00 KB"
+        assert format_bytes(3 * GB) == "3.00 GB"
+        assert format_bytes(17 * TB) == "17.00 TB"
+        assert format_bytes(2 * PB) == "2.00 PB"
+
+    def test_precision(self):
+        assert format_bytes(1536, 1) == "1.5 KB"
+        assert format_bytes(1536, 0) == "2 KB"
+
+    def test_just_below_boundary(self):
+        assert format_bytes(KB - 1) == "1023 B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            format_bytes(-1)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KB),
+            ("1 kb", KB),
+            ("2.5 MB", int(2.5 * MB)),
+            ("100GB", 100 * GB),
+            ("1.5 TB", int(1.5 * TB)),
+            ("3PB", 3 * PB),
+            ("42", 42),
+            ("42B", 42),
+            ("7 M", 7 * MB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_passthrough_numbers(self):
+        assert parse_size(1000) == 1000
+        assert parse_size(1000.7) == 1000
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-5)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "GB", "1.2.3 GB"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_roundtrip_with_format(self):
+        for n in (KB, 3 * GB, 17 * TB):
+            assert parse_size(format_bytes(n)) == n

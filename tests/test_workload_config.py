@@ -1,0 +1,148 @@
+"""Unit tests for workload configuration and calibration presets."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.util.units import GB, MB
+from repro.workload.calibration import (
+    default_config,
+    paper_config,
+    small_config,
+    tiny_config,
+)
+from repro.workload.config import DomainConfig, TierConfig, WorkloadConfig
+
+
+def minimal_tier(**overrides):
+    base = dict(
+        name="thumbnail",
+        n_files=100,
+        n_datasets=10,
+        file_size_mean=100 * MB,
+        file_size_sigma=0.5,
+        file_size_min=1 * MB,
+        file_size_max=1 * GB,
+        dataset_len_mean=5.0,
+        dataset_len_sigma=1.0,
+        dataset_len_max=50,
+        job_weight=1.0,
+        duration_hours_mean=2.0,
+    )
+    base.update(overrides)
+    return TierConfig(**base)
+
+
+class TestTierConfig:
+    def test_valid(self):
+        tier = minimal_tier()
+        assert tier.code == 2
+
+    def test_unknown_tier_name(self):
+        with pytest.raises(ValueError):
+            minimal_tier(name="bogus")
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            minimal_tier(file_size_min=0)
+        with pytest.raises(ValueError):
+            minimal_tier(file_size_min=2 * GB)  # min > max
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            minimal_tier(job_weight=-1)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            minimal_tier(duration_hours_mean=0)
+
+
+class TestDomainConfig:
+    def test_valid(self):
+        d = DomainConfig(".gov", n_sites=2, n_nodes=5, user_weight=10)
+        assert d.activity_boost == 1.0
+
+    def test_nodes_fewer_than_sites(self):
+        with pytest.raises(ValueError):
+            DomainConfig(".de", n_sites=3, n_nodes=2, user_weight=1)
+
+    def test_bad_boost(self):
+        with pytest.raises(ValueError):
+            DomainConfig(".de", 1, 1, 1, activity_boost=0)
+
+
+class TestWorkloadConfig:
+    def test_paper_config_valid(self):
+        cfg = paper_config()
+        assert cfg.n_users == 561
+        assert cfg.n_traced_jobs == 113_830
+        # Table 1's tier rows sum to 234,792 (the paper's "All" row says
+        # 233,792; the rows themselves are what we calibrate to)
+        assert cfg.n_jobs == 234_792
+        assert cfg.n_files == 515_677 + 60_719 + 428_610
+
+    def test_duplicate_tiers_rejected(self):
+        cfg = paper_config()
+        with pytest.raises(ValueError, match="duplicate tier"):
+            replace(cfg, tiers=(cfg.tiers[0], cfg.tiers[0]))
+
+    def test_duplicate_domains_rejected(self):
+        cfg = paper_config()
+        with pytest.raises(ValueError, match="duplicate domain"):
+            replace(cfg, domains=(cfg.domains[0], cfg.domains[0]))
+
+    def test_bad_home_bias(self):
+        with pytest.raises(ValueError):
+            replace(paper_config(), home_bias=1.5)
+
+    def test_bad_locality_boost(self):
+        with pytest.raises(ValueError):
+            replace(paper_config(), locality_boost=0.5)
+
+
+class TestScaling:
+    def test_counts_scale(self):
+        cfg = paper_config().scaled(0.1)
+        assert cfg.n_users == 56
+        assert cfg.n_traced_jobs == 11_383
+        assert 0.09 < cfg.n_files / paper_config().n_files < 0.11
+
+    def test_intensive_quantities_preserved(self):
+        cfg = paper_config().scaled(0.01)
+        for orig, scaled in zip(paper_config().tiers, cfg.tiers):
+            assert scaled.file_size_mean == orig.file_size_mean
+            assert scaled.dataset_len_mean == orig.dataset_len_mean
+            assert scaled.duration_hours_mean == orig.duration_hours_mean
+
+    def test_minimums_kept(self):
+        cfg = paper_config().scaled(1e-6)
+        assert all(t.n_files >= 1 for t in cfg.tiers)
+        assert all(d.n_sites >= 1 for d in cfg.domains)
+        assert all(d.n_nodes >= d.n_sites for d in cfg.domains)
+        assert cfg.n_users >= 1
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            paper_config().scaled(0)
+
+    def test_name_derived(self):
+        assert paper_config().scaled(0.5).name == "paper-x0.5"
+        assert paper_config().scaled(0.5, name="mine").name == "mine"
+
+
+class TestPresets:
+    def test_preset_ordering(self):
+        assert (
+            tiny_config().n_traced_jobs
+            < small_config().n_traced_jobs
+            < default_config().n_traced_jobs
+            < paper_config().n_traced_jobs
+        )
+
+    def test_presets_cached(self):
+        assert default_config() is default_config()
+
+    def test_table1_job_mix(self):
+        cfg = paper_config()
+        weights = {t.name: t.job_weight for t in cfg.tiers}
+        assert weights["thumbnail"] > weights["reconstructed"] > weights["root-tuple"]

@@ -1,0 +1,125 @@
+"""Unit tests for workload samplers."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    bounded_lognormal,
+    bounded_pareto,
+    daily_rate_profile,
+    flattened_zipf_weights,
+    sample_categorical,
+)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self):
+        x = bounded_pareto(0, alpha=1.2, lo=1.0, hi=100.0, size=10_000)
+        assert x.min() >= 1.0
+        assert x.max() <= 100.0
+
+    def test_heavy_tail_present(self):
+        x = bounded_pareto(0, alpha=1.0, lo=1.0, hi=1e6, size=50_000)
+        assert np.quantile(x, 0.99) > 20 * np.median(x)
+
+    def test_deterministic(self):
+        a = bounded_pareto(5, 1.5, 1, 10, size=10)
+        b = bounded_pareto(5, 1.5, 1, 10, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            bounded_pareto(0, alpha=0, lo=1, hi=2)
+        with pytest.raises(ValueError):
+            bounded_pareto(0, alpha=1, lo=5, hi=2)
+        with pytest.raises(ValueError):
+            bounded_pareto(0, alpha=1, lo=0, hi=2)
+
+
+class TestBoundedLognormal:
+    def test_mean_hit(self):
+        x = bounded_lognormal(0, mean=100.0, sigma=0.5, lo=1, hi=10_000, size=200_000)
+        assert x.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_clipping(self):
+        x = bounded_lognormal(0, mean=10.0, sigma=2.0, lo=5.0, hi=20.0, size=1000)
+        assert x.min() >= 5.0 and x.max() <= 20.0
+
+    def test_zero_sigma_like_constant(self):
+        x = bounded_lognormal(0, mean=7.0, sigma=1e-9, lo=1, hi=100, size=10)
+        np.testing.assert_allclose(x, 7.0, rtol=1e-5)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            bounded_lognormal(0, mean=-1, sigma=1, lo=1, hi=2)
+        with pytest.raises(ValueError):
+            bounded_lognormal(0, mean=1, sigma=1, lo=3, hi=2)
+
+
+class TestFlattenedZipf:
+    def test_normalized_and_decreasing(self):
+        w = flattened_zipf_weights(100, alpha=1.0, uniform_floor=0.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(99))
+
+    def test_floor_flattens(self):
+        pure = flattened_zipf_weights(100, 1.0, uniform_floor=0.0)
+        flat = flattened_zipf_weights(100, 1.0, uniform_floor=5.0)
+        assert flat[0] / flat[-1] < pure[0] / pure[-1]
+
+    def test_alpha_zero_uniform(self):
+        w = flattened_zipf_weights(10, alpha=0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            flattened_zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            flattened_zipf_weights(10, -1.0)
+
+
+class TestSampleCategorical:
+    def test_respects_weights(self):
+        idx = sample_categorical(0, np.array([0.0, 1.0, 0.0]), 100)
+        assert set(idx.tolist()) == {1}
+
+    def test_distribution_roughly_proportional(self):
+        idx = sample_categorical(0, np.array([1.0, 3.0]), 100_000)
+        frac = (idx == 1).mean()
+        assert frac == pytest.approx(0.75, abs=0.01)
+
+    def test_unnormalized_ok(self):
+        idx = sample_categorical(1, np.array([10, 30, 60]), 10)
+        assert idx.min() >= 0 and idx.max() <= 2
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            sample_categorical(0, np.array([]), 1)
+        with pytest.raises(ValueError):
+            sample_categorical(0, np.array([-1.0, 2.0]), 1)
+        with pytest.raises(ValueError):
+            sample_categorical(0, np.array([0.0, 0.0]), 1)
+
+
+class TestDailyRateProfile:
+    def test_normalized(self):
+        p = daily_rate_profile(0, 820)
+        assert p.sum() == pytest.approx(1.0)
+        assert p.min() >= 0
+
+    def test_weekend_dip_on_average(self):
+        p = daily_rate_profile(0, 7 * 200, burst_prob=0.0, noise_sigma=0.0)
+        days = np.arange(len(p))
+        weekday_mean = p[days % 7 < 5].mean()
+        weekend_mean = p[days % 7 >= 5].mean()
+        assert weekend_mean < weekday_mean
+
+    def test_ramp(self):
+        p = daily_rate_profile(0, 400, ramp=3.0, burst_prob=0.0, noise_sigma=0.0, weekly_dip=0.0)
+        assert p[-50:].mean() > 2.0 * p[:50].mean()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            daily_rate_profile(0, 0)
+        with pytest.raises(ValueError):
+            daily_rate_profile(0, 10, ramp=0.0)

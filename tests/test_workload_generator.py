@@ -1,0 +1,155 @@
+"""Unit and statistical tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.records import TIER_OTHER
+from repro.traces.stats import summarize, tier_table
+from repro.util.timeutil import SECONDS_PER_DAY
+from repro.workload.calibration import small_config, tiny_config
+from repro.workload.datasets import build_population
+from repro.workload.generator import _apportion, generate_trace
+
+
+class TestApportion:
+    def test_total_preserved(self):
+        shares = _apportion(np.array([5.0, 3.0, 2.0]), 100)
+        assert shares.sum() == 100
+
+    def test_proportionality(self):
+        shares = _apportion(np.array([50.0, 30.0, 20.0]), 100)
+        assert shares.tolist() == [50, 30, 20]
+
+    def test_small_weights_get_one(self):
+        shares = _apportion(np.array([1000.0, 1.0, 1.0]), 50)
+        assert shares[1] >= 1 and shares[2] >= 1
+
+    def test_zero_weight_gets_nothing(self):
+        shares = _apportion(np.array([1.0, 0.0]), 10)
+        assert shares.tolist() == [10, 0]
+
+    def test_fewer_units_than_entries(self):
+        shares = _apportion(np.array([5.0, 1.0, 3.0]), 2)
+        assert shares.sum() == 2
+        assert shares[0] == 1 and shares[2] == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            _apportion(np.array([1.0]), -1)
+        with pytest.raises(ValueError):
+            _apportion(np.array([0.0]), 1)
+
+
+class TestPopulation:
+    def test_counts_match_config(self):
+        cfg = tiny_config()
+        pop, catalog = build_population(cfg, seed=0)
+        assert pop.n_files == cfg.n_files
+        assert catalog.n_datasets == cfg.n_datasets
+
+    def test_tier_ranges_partition_files(self):
+        cfg = tiny_config()
+        pop, _ = build_population(cfg, seed=0)
+        spans = sorted(pop.tier_ranges.values())
+        assert spans[0][0] == 0
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 == b0
+        assert spans[-1][1] == pop.n_files
+
+    def test_datasets_inside_tier(self):
+        cfg = tiny_config()
+        pop, catalog = build_population(cfg, seed=0)
+        for d in range(catalog.n_datasets):
+            tier = int(catalog.tier_codes[d])
+            lo, hi = pop.tier_ranges[tier]
+            files = catalog.files_of(d)
+            assert files.min() >= lo and files.max() < hi
+            assert np.all(pop.tiers[files] == tier)
+
+    def test_sizes_in_bounds(self):
+        cfg = tiny_config()
+        pop, _ = build_population(cfg, seed=0)
+        for tier_cfg in cfg.tiers:
+            lo, hi = pop.tier_ranges[tier_cfg.code]
+            sizes = pop.sizes[lo:hi]
+            if len(sizes):
+                assert sizes.min() >= tier_cfg.file_size_min - 1
+                assert sizes.max() <= tier_cfg.file_size_max + 1
+
+    def test_deterministic(self):
+        cfg = tiny_config()
+        p1, c1 = build_population(cfg, seed=9)
+        p2, c2 = build_population(cfg, seed=9)
+        np.testing.assert_array_equal(p1.sizes, p2.sizes)
+        np.testing.assert_array_equal(c1.starts, c2.starts)
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        cfg = tiny_config()
+        a = generate_trace(cfg, seed=5)
+        b = generate_trace(cfg, seed=5)
+        np.testing.assert_array_equal(a.access_files, b.access_files)
+        np.testing.assert_array_equal(a.job_starts, b.job_starts)
+
+    def test_seed_changes_output(self):
+        cfg = tiny_config()
+        a = generate_trace(cfg, seed=5)
+        b = generate_trace(cfg, seed=6)
+        assert not np.array_equal(a.job_starts, b.job_starts)
+
+    def test_job_counts(self, tiny_trace):
+        cfg = tiny_config()
+        assert tiny_trace.n_jobs == cfg.n_jobs
+        traced = (tiny_trace.files_per_job > 0).sum()
+        # every traced job must have at least one file
+        assert traced <= cfg.n_traced_jobs
+        assert (tiny_trace.job_tiers == TIER_OTHER).sum() == cfg.n_other_jobs
+
+    def test_other_jobs_have_no_files(self, tiny_trace):
+        other = tiny_trace.job_tiers == TIER_OTHER
+        assert tiny_trace.files_per_job[other].max(initial=0) == 0
+
+    def test_chronological_job_ids(self, tiny_trace):
+        starts = tiny_trace.job_starts
+        assert np.all(starts[:-1] <= starts[1:])
+
+    def test_time_window(self, tiny_trace):
+        t_lo, t_hi = tiny_trace.time_span()
+        assert t_lo >= 0
+        assert t_hi <= (tiny_config().span_days + 110) * SECONDS_PER_DAY
+
+    def test_jobs_request_whole_datasets(self, tiny_trace):
+        """Each traced job's file set is a union of 1-2 contiguous runs."""
+        for j in range(tiny_trace.n_jobs):
+            files = tiny_trace.job_files(j)
+            if len(files) == 0:
+                continue
+            breaks = int((np.diff(files) > 1).sum())
+            assert breaks <= 1, f"job {j} spans {breaks + 1} runs"
+
+
+class TestCalibrationShape:
+    """Statistical checks on the small-scale preset (seed-fixed)."""
+
+    def test_mean_files_per_job_near_paper(self, small_trace):
+        fpj = small_trace.files_per_job[small_trace.files_per_job > 0]
+        assert 50 <= fpj.mean() <= 220  # paper: 108
+
+    def test_hub_dominates(self, small_trace):
+        domains = small_trace.job_domains
+        hub_jobs = (domains == 0).sum()
+        assert hub_jobs > 0.5 * small_trace.n_jobs
+
+    def test_tier_mix_ordering(self, small_trace):
+        rows = {r["tier"]: r for r in tier_table(small_trace)}
+        assert rows["Thumbnail"]["jobs"] > rows["Reconstructed"]["jobs"]
+        assert rows["Reconstructed"]["jobs"] > rows["Root-tuple"]["jobs"]
+
+    def test_summary_scale(self, small_trace):
+        s = summarize(small_trace)
+        assert s.n_jobs == small_config().n_jobs
+        assert s.span_days > 365
+
+    def test_multiple_domains_active(self, small_trace):
+        assert len(np.unique(small_trace.job_domains)) >= 3
