@@ -1,0 +1,96 @@
+"""Benchmark the online filecule service end to end.
+
+Starts the daemon in-process on an ephemeral loopback port, replays a
+calibrated synthetic workload (≥ 1,000 jobs at the default scale) through
+the concurrent load generator, verifies the served partition equals
+offline identification of the same stream, and writes throughput plus
+client-observed latency percentiles to ``BENCH_service.json`` (repo root)
+and ``benchmarks/output/service.txt``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+from repro.core.identify import find_filecules
+from repro.service import FileculeServer, ServiceState, jobs_from_trace, run_load
+from repro.service.state import partition_checksum
+from repro.util.units import GB
+from repro.workload.calibration import small_config, tiny_config
+from repro.workload.generator import generate_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_service.json"
+
+#: The service bench defaults to `small` (1,174 jobs — the acceptance
+#: demo wants ≥ 1,000); REPRO_BENCH_SCALE=tiny shrinks it for smoke runs.
+SCALE = tiny_config if os.environ.get("REPRO_BENCH_SCALE") == "tiny" else small_config
+SEED = 7
+CONNECTIONS = 8
+ADVISE_EVERY = 10
+
+
+async def _drive(jobs: list[dict]) -> tuple:
+    server = FileculeServer(
+        ServiceState(policy="lru", capacity_bytes=100 * GB)
+    )
+    await server.start()
+    try:
+        report = await run_load(
+            "127.0.0.1",
+            server.port,
+            jobs,
+            connections=CONNECTIONS,
+            advise_every=ADVISE_EVERY,
+        )
+    finally:
+        await server.stop()
+    return report, server.metrics.snapshot()
+
+
+def test_bench_service(benchmark, archive):
+    trace = generate_trace(SCALE(), seed=SEED)
+    jobs = jobs_from_trace(trace)
+
+    report, server_metrics = benchmark.pedantic(
+        lambda: asyncio.run(_drive(jobs)), rounds=1, iterations=1
+    )
+
+    # correctness gate: the streamed partition equals offline identification
+    offline = partition_checksum(
+        fc.file_ids.tolist() for fc in find_filecules(trace)
+    )
+    assert report.errors == 0
+    assert report.final_stats["partition_checksum"] == offline
+    assert report.final_stats["jobs_observed"] == trace.n_jobs
+
+    payload = {
+        "benchmark": "service",
+        "scale": SCALE.__name__.removesuffix("_config"),
+        "seed": SEED,
+        "connections": CONNECTIONS,
+        "advise_every": ADVISE_EVERY,
+        "partition_checksum_matches_offline": True,
+        "n_classes": report.final_stats["n_classes"],
+        **report.as_dict(),
+        "server": server_metrics,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rendered = report.render() + (
+        f"\npartition: {report.final_stats['n_classes']} classes, "
+        f"checksum matches offline identification"
+    )
+    print()
+    print(rendered)
+    archive("service", rendered)
+
+    assert report.requests_per_second > 0
+    assert report.latencies_ms["ingest"]["p99"] >= report.latencies_ms["ingest"]["p50"]

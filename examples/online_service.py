@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Walkthrough of the online filecule data-management service (paper §6).
+
+Starts the daemon in-process on an ephemeral port, replays a calibrated
+synthetic job stream through the concurrent load generator (each job
+first asks the service for a filecule-granularity prefetch/admission
+plan, then is ingested), then verifies the big claim: the partition the
+service maintained *online* is exactly the partition offline
+identification finds on the same jobs.  Finishes with a snapshot/restore
+round-trip — the crash-recovery path a deployed daemon relies on.
+
+Usage::
+
+    python examples/online_service.py [scale] [seed]
+
+For the operational (multi-process) form of the same flow, see
+``docs/SERVICE.md``:  ``repro-serve serve`` + ``repro-serve loadgen``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import find_filecules, generate_trace
+from repro.service import (
+    AsyncServiceClient,
+    FileculeServer,
+    ServiceState,
+    jobs_from_trace,
+    run_load,
+)
+from repro.service.state import partition_checksum
+from repro.util import format_bytes
+from repro.util.units import GB
+from repro.workload import default_config, small_config, tiny_config
+
+SCALES = {"tiny": tiny_config, "small": small_config, "default": default_config}
+
+
+async def demo(scale: str, seed: int) -> None:
+    trace = generate_trace(SCALES[scale](), seed=seed)
+    jobs = jobs_from_trace(trace)
+    print(f"workload: {trace.n_jobs} jobs over {trace.n_files} files")
+
+    # --- start the daemon and replay the stream -----------------------
+    server = FileculeServer(
+        ServiceState(policy="lru", capacity_bytes=100 * GB)
+    )
+    await server.start()
+    print(f"daemon listening on 127.0.0.1:{server.port}")
+
+    report = await run_load(
+        "127.0.0.1", server.port, jobs, connections=8, advise_every=10
+    )
+    print(report.render())
+
+    # --- the online partition equals the offline one ------------------
+    offline = find_filecules(trace)
+    offline_sum = partition_checksum(fc.file_ids.tolist() for fc in offline)
+    online_sum = report.final_stats["partition_checksum"]
+    print(
+        f"online partition: {report.final_stats['n_classes']} filecules, "
+        f"checksum {online_sum}"
+    )
+    print(
+        f"offline find_filecules: {len(offline)} filecules, "
+        f"checksum {offline_sum}"
+    )
+    print(f"streamed partition matches offline identification: "
+          f"{online_sum == offline_sum}")
+
+    # --- ask for a plan, inspect live popularity ----------------------
+    async with await AsyncServiceClient.connect(
+        "127.0.0.1", server.port
+    ) as client:
+        hottest = report.final_stats["top_filecules"][0]
+        plan = await client.advise(hottest["files"][:2], site=0)
+        print(
+            f"advise for 2 files of the hottest filecule "
+            f"({hottest['requests']} requests, "
+            f"{format_bytes(hottest['bytes'])}): "
+            f"action={plan['plan'][0]['action']}, "
+            f"{len(plan['plan'][0]['prefetch'])} members to prefetch"
+        )
+
+        # --- snapshot / restore (crash recovery) ----------------------
+        with tempfile.TemporaryDirectory() as tmp:
+            snap = Path(tmp) / "state.jsonl"
+            receipt = await client.snapshot(str(snap))
+            print(f"snapshot: {receipt['n_classes']} classes -> {snap.name}")
+            restored = ServiceState.restore(snap)
+            same = (
+                partition_checksum(
+                    c["files"] for c in restored.partition()["classes"]
+                )
+                == online_sum
+            )
+            print(f"restored daemon state matches: {same}")
+
+    await server.stop()
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+    asyncio.run(demo(scale, seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ The package provides:
   BitTorrent-style swarm model;
 * :mod:`repro.replication` — filecule-aware proactive replication;
 * :mod:`repro.analysis` — histograms, popularity/Zipf fitting, reports;
+* :mod:`repro.service` — online data-management daemon: live filecule
+  identification, cache-advice queries, snapshot/restore, load generator;
 * :mod:`repro.experiments` — one runnable module per paper table/figure.
 
 Quickstart::
@@ -42,7 +44,7 @@ from repro.core import (
     find_filecules,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Trace",

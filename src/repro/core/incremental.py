@@ -73,6 +73,14 @@ class IncrementalFileculeIdentifier:
         """The current partition as a list of frozen member sets."""
         return [frozenset(m) for m in self._members.values()]
 
+    def class_ids(self) -> list[int]:
+        """Ids of the current classes (ascending; stable under queries)."""
+        return sorted(self._members)
+
+    def members_of_class(self, class_id: int) -> frozenset[int]:
+        """Member file ids of one current class."""
+        return frozenset(self._members[class_id])
+
     def requests_of_class(self, class_id: int) -> int:
         """How many observed jobs accessed the given class."""
         return self._requests[class_id]
@@ -114,6 +122,51 @@ class IncrementalFileculeIdentifier:
                 # split: touched part gains this job in its signature
                 current -= touched_files
                 self._fresh_class(touched_files, requests=self._requests[cid] + 1)
+
+    def state_dict(self) -> dict:
+        """Serializable form of the full identifier state.
+
+        The returned dict round-trips through JSON and
+        :meth:`from_state_dict`; continuing to observe jobs after a
+        restore yields exactly the partition (including class ids) an
+        uninterrupted identifier would have produced.  This is the
+        persistence hook behind the service layer's snapshot/restore.
+        """
+        return {
+            "next_class": self._next_class,
+            "n_jobs": self._n_jobs,
+            "classes": [
+                {
+                    "id": cid,
+                    "members": sorted(members),
+                    "requests": self._requests[cid],
+                }
+                for cid, members in sorted(self._members.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "IncrementalFileculeIdentifier":
+        """Rebuild an identifier from :meth:`state_dict` output."""
+        ident = cls()
+        ident._n_jobs = int(state["n_jobs"])
+        ident._next_class = int(state["next_class"])
+        for entry in state["classes"]:
+            cid = int(entry["id"])
+            if cid >= ident._next_class:
+                raise ValueError(
+                    f"class id {cid} not below next_class {ident._next_class}"
+                )
+            members = {int(f) for f in entry["members"]}
+            if not members:
+                raise ValueError(f"class {cid} has no members")
+            ident._members[cid] = members
+            ident._requests[cid] = int(entry["requests"])
+            for f in members:
+                if f in ident._class_of:
+                    raise ValueError(f"file {f} appears in two classes")
+                ident._class_of[f] = cid
+        return ident
 
     def observe_trace(self, trace: Trace) -> None:
         """Feed every traced job of ``trace`` in job-id order."""

@@ -1,0 +1,81 @@
+"""Online filecule data-management service (paper §6, deployed form).
+
+The paper argues that a data-management middleware cannot identify
+filecules offline: it must maintain them "adaptively and dynamically" as
+job submissions stream in, and use them for cache admission and prefetch
+decisions.  This package is that serving layer — the online counterpart
+of :mod:`repro.core` — structured like the on-demand storage caches that
+succeeded SAM (XCache-style services fed by a live job stream):
+
+* :mod:`repro.service.protocol` — newline-delimited-JSON wire protocol
+  (versioned requests, typed errors);
+* :mod:`repro.service.state` — single-writer service state: the exact
+  incremental filecule partition, per-site cache advisors backed by a
+  configurable :mod:`repro.cache` policy, and JSONL snapshot/restore;
+* :mod:`repro.service.server` — asyncio daemon with per-connection
+  backpressure, cross-connection request batching and graceful shutdown;
+* :mod:`repro.service.client` — sync and async clients;
+* :mod:`repro.service.loadgen` — concurrent load generator replaying a
+  :class:`~repro.traces.Trace` or synthetic stream at a target rate,
+  reporting throughput and latency percentiles;
+* :mod:`repro.service.metrics` — counters and log-bucketed latency
+  histograms behind the ``stats`` query.
+
+Typical use (in one process, e.g. for tests and benchmarks)::
+
+    from repro.service import FileculeServer, ServiceState, run_load_sync
+
+    server = FileculeServer(ServiceState(policy="lru"), host="127.0.0.1")
+    ...
+
+Operationally: ``repro-serve serve`` starts the daemon and
+``repro-serve loadgen`` drives it; see ``docs/SERVICE.md``.
+"""
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+    decode_request,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.state import (
+    POLICY_REGISTRY,
+    ServiceState,
+    SnapshotError,
+)
+from repro.service.server import FileculeServer
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.loadgen import (
+    LoadReport,
+    jobs_from_trace,
+    run_load,
+    run_load_sync,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceError",
+    "decode_request",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "POLICY_REGISTRY",
+    "ServiceState",
+    "SnapshotError",
+    "FileculeServer",
+    "AsyncServiceClient",
+    "ServiceClient",
+    "LoadReport",
+    "jobs_from_trace",
+    "run_load",
+    "run_load_sync",
+]

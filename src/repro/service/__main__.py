@@ -1,0 +1,193 @@
+"""Operational CLI: ``repro-serve`` / ``python -m repro.service``.
+
+Three subcommands::
+
+    repro-serve serve --port 7401 --policy lru --capacity 10TB \
+        --snapshot /var/lib/repro/state.jsonl --snapshot-interval 60
+    repro-serve loadgen --port 7401 --scale tiny --seed 42 --jobs 2000 \
+        --connections 8 --rate 500 --json load.json
+    repro-serve stats --port 7401
+
+``serve`` runs the daemon in the foreground (SIGINT/SIGTERM shut it down
+gracefully, writing a final snapshot when configured); ``loadgen``
+replays a calibrated synthetic workload against a running daemon and
+prints a throughput/latency report; ``stats`` pretty-prints one ``stats``
+query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+from repro.service.loadgen import jobs_from_trace, run_load_sync
+from repro.service.server import FileculeServer
+from repro.service.state import POLICY_REGISTRY, ServiceState
+from repro.util.units import parse_size
+from repro.workload.calibration import (
+    default_config,
+    paper_config,
+    small_config,
+    tiny_config,
+)
+from repro.workload.generator import generate_trace
+
+_SCALES = {
+    "tiny": tiny_config,
+    "small": small_config,
+    "default": default_config,
+    "paper": paper_config,
+}
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7401)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    if args.restore:
+        if not args.snapshot:
+            print("--restore requires --snapshot", file=sys.stderr)
+            return 2
+        if Path(args.snapshot).exists():
+            state = ServiceState.restore(args.snapshot)
+            print(
+                f"restored {state.stats()['jobs_observed']} jobs / "
+                f"{state.stats()['n_classes']} classes from {args.snapshot}"
+            )
+        else:
+            print(f"no snapshot at {args.snapshot}; starting fresh")
+            state = ServiceState(
+                policy=args.policy,
+                capacity_bytes=args.capacity,
+                default_size=args.default_size,
+            )
+    else:
+        state = ServiceState(
+            policy=args.policy,
+            capacity_bytes=args.capacity,
+            default_size=args.default_size,
+        )
+    server = FileculeServer(
+        state,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot,
+        snapshot_interval=args.snapshot_interval,
+        log_interval=args.log_interval,
+    )
+    server.run()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    trace = generate_trace(_SCALES[args.scale](), seed=args.seed)
+    jobs = jobs_from_trace(trace)
+    if args.jobs is not None:
+        jobs = jobs[: args.jobs]
+    print(f"replaying {len(jobs)} jobs from '{args.scale}' (seed {args.seed})")
+    report = run_load_sync(
+        args.host,
+        args.port,
+        jobs,
+        connections=args.connections,
+        target_rate=args.rate,
+        advise_every=args.advise_every,
+    )
+    print(report.render())
+    if report.final_stats is not None:
+        print(
+            f"server partition: {report.final_stats['n_classes']} classes "
+            f"over {report.final_stats['files_observed']} files "
+            f"(checksum {report.final_stats['partition_checksum']})"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if report.errors else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with ServiceClient(args.host, args.port) as client:
+        print(json.dumps(client.stats(), indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Online filecule data-management service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the daemon in the foreground")
+    _add_endpoint_args(p_serve)
+    p_serve.add_argument(
+        "--policy", default="lru", choices=sorted(POLICY_REGISTRY)
+    )
+    p_serve.add_argument(
+        "--capacity",
+        type=parse_size,
+        default=parse_size("1TB"),
+        help="modelled per-site cache capacity (e.g. 500GB, 10TB)",
+    )
+    p_serve.add_argument(
+        "--default-size",
+        type=parse_size,
+        default=1,
+        help="assumed size for files ingested without one",
+    )
+    p_serve.add_argument("--snapshot", default=None, help="snapshot JSONL path")
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS"
+    )
+    p_serve.add_argument(
+        "--log-interval", type=float, default=30.0, metavar="SECONDS"
+    )
+    p_serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="restore state from --snapshot if it exists",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="replay a synthetic workload against a daemon"
+    )
+    _add_endpoint_args(p_load)
+    p_load.add_argument("--scale", default="tiny", choices=sorted(_SCALES))
+    p_load.add_argument("--seed", type=int, default=42)
+    p_load.add_argument(
+        "--jobs", type=int, default=None, help="truncate the stream"
+    )
+    p_load.add_argument("--connections", type=int, default=4)
+    p_load.add_argument(
+        "--rate", type=float, default=None, help="target ingest requests/s"
+    )
+    p_load.add_argument(
+        "--advise-every",
+        type=int,
+        default=0,
+        help="ask for an advise plan before every k-th job",
+    )
+    p_load.add_argument("--json", default=None, help="write the report as JSON")
+    p_load.set_defaults(func=_cmd_loadgen)
+
+    p_stats = sub.add_parser("stats", help="query and print live stats")
+    _add_endpoint_args(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

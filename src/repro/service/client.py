@@ -1,0 +1,147 @@
+"""Sync and async clients for the filecule service protocol.
+
+Both clients speak the protocol of :mod:`repro.service.protocol` over a
+single TCP connection, tag every request with a monotonically increasing
+``id``, and verify the echoed id — so a desynchronized stream fails fast
+instead of silently pairing responses with the wrong requests.  A failed
+response (``ok: false``) raises :class:`ServiceError` carrying the
+server's machine-readable error code.
+
+:class:`ServiceClient` is the blocking convenience wrapper for scripts
+and operational tooling; :class:`AsyncServiceClient` is what the load
+generator uses (many instances, one per simulated submission stream).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    encode_request,
+)
+
+
+def _check_response(raw: bytes, expected_id: int) -> dict[str, Any]:
+    if not raw:
+        raise ConnectionError("server closed the connection")
+    response = json.loads(raw)
+    version = response.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            "unsupported-version",
+            f"client speaks protocol {PROTOCOL_VERSION}, server answered {version!r}",
+        )
+    if response.get("id") != expected_id:
+        raise ServiceError(
+            "internal",
+            f"response id {response.get('id')!r} does not match request "
+            f"id {expected_id} — stream desynchronized",
+        )
+    if not response.get("ok"):
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", "internal"), error.get("message", "unknown error")
+        )
+    return response["result"]
+
+
+class _RequestMixin:
+    """The op-specific call surface, shared by both clients."""
+
+    def ping(self):
+        return self.request("ping")
+
+    def ingest(self, files, sizes=None, site: int = 0):
+        return self.request("ingest", files=list(files), sizes=sizes, site=site)
+
+    def filecule_of(self, file_id: int):
+        return self.request("filecule_of", file=int(file_id))
+
+    def advise(self, files, site: int = 0):
+        return self.request("advise", files=list(files), site=site)
+
+    def stats(self):
+        return self.request("stats")
+
+    def partition(self):
+        return self.request("partition")
+
+    def snapshot(self, path: str | None = None):
+        return self.request("snapshot", path=path)
+
+    def shutdown(self):
+        return self.request("shutdown")
+
+
+class ServiceClient(_RequestMixin):
+    """Blocking client; usable as a context manager.
+
+    >>> with ServiceClient("127.0.0.1", 7401) as client:   # doctest: +SKIP
+    ...     client.ingest([1, 2, 3])
+    ...     print(client.stats()["n_classes"])
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def request(self, op: str, **fields) -> dict[str, Any]:
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_request(op, request_id, **fields))
+        return _check_response(self._rfile.readline(), request_id)
+
+    def close(self) -> None:
+        self._rfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServiceClient(_RequestMixin):
+    """Asyncio client over one connection (create via :meth:`connect`)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields) -> dict[str, Any]:
+        request_id = self._next_id
+        self._next_id += 1
+        self._writer.write(encode_request(op, request_id, **fields))
+        await self._writer.drain()
+        return _check_response(await self._reader.readline(), request_id)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

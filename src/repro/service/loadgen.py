@@ -1,0 +1,204 @@
+"""Concurrent load generator for the filecule service.
+
+Replays a job stream — from a :class:`~repro.traces.Trace` (via
+:func:`jobs_from_trace`) or any list of job dicts — against a running
+daemon over ``connections`` parallel client connections, optionally
+paced to a target aggregate request rate, and reports throughput plus
+client-observed latency percentiles.
+
+Jobs are interleaved round-robin across connections in stream order, so
+with a paced run the daemon sees approximately the original submission
+order; because the filecule partition is order-independent over a fixed
+job multiset (signature grouping commutes), the final partition equals
+the offline one regardless of interleaving — which is exactly what the
+equivalence tests and ``BENCH_service.json`` assert.
+
+Open-loop pacing: each job has an absolute scheduled send time
+(``start + k / target_rate``).  A slow server makes latencies grow
+instead of silently lowering the offered load — the honest way to
+measure a service (coordinated-omission-free).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import ServiceError
+from repro.traces.trace import Trace
+
+
+def jobs_from_trace(trace: Trace) -> list[dict]:
+    """Convert a trace into the load generator's job-event list.
+
+    Each event carries the job's input file ids, their byte sizes (so
+    the service's size catalog matches the trace), and the submitting
+    site (so per-site advisors see the trace's geography).
+    """
+    sites = trace.job_sites
+    events = []
+    for job_id, files in trace.iter_jobs():
+        file_list = [int(f) for f in files]
+        events.append(
+            {
+                "files": file_list,
+                "sizes": [int(trace.file_sizes[f]) for f in file_list],
+                "site": int(sites[job_id]),
+            }
+        )
+    return events
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    jobs: int
+    requests: int
+    errors: int
+    duration_seconds: float
+    latencies_ms: dict[str, dict] = field(default_factory=dict)
+    final_stats: dict | None = None
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "requests": self.requests,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "requests_per_second": self.requests_per_second,
+            "latencies_ms": self.latencies_ms,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"jobs={self.jobs} requests={self.requests} errors={self.errors}",
+            f"duration={self.duration_seconds:.2f}s "
+            f"throughput={self.requests_per_second:.0f} req/s",
+        ]
+        for op, stats in sorted(self.latencies_ms.items()):
+            lines.append(
+                f"  {op}: p50={stats['p50']:.2f}ms p90={stats['p90']:.2f}ms "
+                f"p99={stats['p99']:.2f}ms max={stats['max']:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+def _summarize(samples: list[float]) -> dict:
+    arr = np.asarray(samples, dtype=np.float64) * 1e3
+    return {
+        "count": len(arr),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+async def run_load(
+    host: str,
+    port: int,
+    jobs: list[dict],
+    *,
+    connections: int = 4,
+    target_rate: float | None = None,
+    advise_every: int = 0,
+    fetch_final_stats: bool = True,
+) -> LoadReport:
+    """Replay ``jobs`` against a running server; see module docstring.
+
+    Parameters
+    ----------
+    connections:
+        Parallel client connections (jobs are split round-robin).
+    target_rate:
+        Aggregate ingest requests per second (None = as fast as possible).
+    advise_every:
+        When > 0, every k-th job first asks for an ``advise`` plan —
+        modelling a data-management middleware that consults the service
+        before scheduling the job's transfers.
+    fetch_final_stats:
+        Issue one final ``stats`` query and attach it to the report.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    if not jobs:
+        raise ValueError("no jobs to replay")
+
+    samples: dict[str, list[float]] = {"ingest": [], "advise": []}
+    errors = 0
+    start = time.perf_counter()
+
+    async def worker(worker_id: int) -> int:
+        nonlocal errors
+        client = await AsyncServiceClient.connect(host, port)
+        sent = 0
+        try:
+            for k in range(worker_id, len(jobs), connections):
+                if target_rate is not None:
+                    scheduled = start + k / target_rate
+                    delay = scheduled - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                job = jobs[k]
+                if advise_every and k % advise_every == 0:
+                    t0 = time.perf_counter()
+                    try:
+                        await client.advise(
+                            job["files"], site=job.get("site", 0)
+                        )
+                        samples["advise"].append(time.perf_counter() - t0)
+                    except ServiceError:
+                        errors += 1
+                    sent += 1
+                t0 = time.perf_counter()
+                try:
+                    await client.ingest(
+                        job["files"],
+                        sizes=job.get("sizes"),
+                        site=job.get("site", 0),
+                    )
+                    samples["ingest"].append(time.perf_counter() - t0)
+                except ServiceError:
+                    errors += 1
+                sent += 1
+        finally:
+            await client.close()
+        return sent
+
+    sent_counts = await asyncio.gather(
+        *(worker(i) for i in range(min(connections, len(jobs))))
+    )
+    duration = time.perf_counter() - start
+
+    final_stats = None
+    if fetch_final_stats:
+        async with await AsyncServiceClient.connect(host, port) as client:
+            final_stats = await client.stats()
+
+    return LoadReport(
+        jobs=len(jobs),
+        requests=int(sum(sent_counts)),
+        errors=errors,
+        duration_seconds=duration,
+        latencies_ms={
+            op: _summarize(vals) for op, vals in samples.items() if vals
+        },
+        final_stats=final_stats,
+    )
+
+
+def run_load_sync(host: str, port: int, jobs: list[dict], **kwargs) -> LoadReport:
+    """Blocking wrapper around :func:`run_load` (used by the CLI)."""
+    return asyncio.run(run_load(host, port, jobs, **kwargs))

@@ -1,0 +1,357 @@
+"""The asyncio daemon serving the filecule-management protocol.
+
+Concurrency model — one event loop, one writer:
+
+* every connection gets a **reader task** (decodes request lines and a
+  **response queue**) and a **writer task** (sends responses back in
+  request order).  The response queue is bounded: when a client pipelines
+  faster than it drains responses, ``put`` blocks the reader, which stops
+  reading the socket, which pushes back through TCP — per-connection
+  backpressure with no explicit window bookkeeping;
+* all requests from all connections funnel into a single **state actor**
+  task that owns :class:`~repro.service.state.ServiceState`.  The actor
+  drains its inbox in batches (up to ``batch_max`` per wakeup), so under
+  load the per-request scheduling overhead amortizes across the batch
+  while state mutations stay strictly serialized;
+* ``SIGINT``/``SIGTERM`` (and the ``shutdown`` op) trigger a graceful
+  stop: stop accepting, unblock connected readers, let the actor drain
+  every in-flight request, write a final snapshot if configured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import signal
+import time
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from repro.service.state import ServiceState, SnapshotError
+
+log = logging.getLogger("repro.service")
+
+_STOP = object()  # sentinel closing a connection's response queue
+
+
+class FileculeServer:
+    """Serve a :class:`ServiceState` over newline-delimited JSON TCP.
+
+    Parameters
+    ----------
+    state:
+        The service state (restored from a snapshot by the caller if
+        desired).
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (exposed as
+        :attr:`port` after :meth:`start`).
+    batch_max:
+        Maximum requests the state actor handles per wakeup.
+    pending_per_connection:
+        Bound on a connection's unsent responses before its reader stops
+        accepting new requests (per-connection backpressure window).
+    snapshot_path, snapshot_interval:
+        When both are set, the hard state is snapshotted every
+        ``snapshot_interval`` seconds and once more on shutdown.
+    log_interval:
+        Seconds between periodic metrics log lines (None disables).
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_max: int = 64,
+        pending_per_connection: int = 128,
+        snapshot_path: str | None = None,
+        snapshot_interval: float | None = None,
+        log_interval: float | None = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if pending_per_connection < 1:
+            raise ValueError(
+                f"pending_per_connection must be >= 1, got {pending_per_connection}"
+            )
+        self.state = state
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.pending_per_connection = pending_per_connection
+        self.snapshot_path = snapshot_path
+        self.snapshot_interval = snapshot_interval
+        self.log_interval = log_interval
+        self.metrics = MetricsRegistry()
+        self._server: asyncio.AbstractServer | None = None
+        self._inbox: asyncio.Queue | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._actor_task: asyncio.Task | None = None
+        self._background: list[asyncio.Task] = []
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # request handling (runs on the actor — the single writer)
+    # ------------------------------------------------------------------
+    def _handle(self, request: dict) -> dict:
+        op = request["op"]
+        request_id = request["id"]
+        try:
+            if op == "ping":
+                result = {
+                    "pong": True,
+                    "jobs_observed": self.state.stats()["jobs_observed"],
+                }
+            elif op == "ingest":
+                result = self.state.ingest(
+                    request["files"], request["sizes"], request["site"]
+                )
+            elif op == "filecule_of":
+                result = self.state.filecule_of(request["file"])
+            elif op == "advise":
+                result = self.state.advise(request["files"], request["site"])
+            elif op == "stats":
+                result = self.state.stats()
+                result["server"] = self.metrics.snapshot()
+            elif op == "partition":
+                result = self.state.partition()
+            elif op == "snapshot":
+                path = request["path"] or self.snapshot_path
+                if path is None:
+                    raise ProtocolError(
+                        "bad-request",
+                        "no 'path' given and the server has no snapshot path",
+                    )
+                result = self.state.snapshot(path)
+            elif op == "shutdown":
+                result = {"stopping": True}
+                assert self._stop_event is not None
+                asyncio.get_running_loop().call_soon(self._stop_event.set)
+            else:  # unreachable: decode_request validates op
+                raise ProtocolError("unknown-op", f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self.metrics.inc("errors")
+            return error_response(request_id, exc.code, exc.message)
+        except SnapshotError as exc:
+            self.metrics.inc("errors")
+            return error_response(request_id, "snapshot-error", str(exc))
+        except Exception as exc:  # noqa: BLE001 — fault barrier
+            log.exception("internal error handling %s", op)
+            self.metrics.inc("errors")
+            return error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
+        return ok_response(request_id, result)
+
+    async def _actor(self) -> None:
+        assert self._inbox is not None
+        while True:
+            batch = [await self._inbox.get()]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(self._inbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.metrics.inc("batches")  # mean batch size = requests/batches
+            for request, future, t_enqueued in batch:
+                t0 = time.perf_counter()
+                response = self._handle(request)
+                t1 = time.perf_counter()
+                self.metrics.inc("requests")
+                self.metrics.observe(f"op.{request['op']}", t1 - t0)
+                self.metrics.observe("queue_wait", t0 - t_enqueued)
+                if not future.done():
+                    future.set_result(response)
+            # Yield so connection writers interleave with the next batch.
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    async def _write_responses(
+        self, outbox: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            item = await outbox.get()
+            if item is _STOP:
+                return
+            response = await item
+            writer.write(encode_response(response))
+            await writer.drain()  # client-side backpressure
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.inc("connections")
+        loop = asyncio.get_running_loop()
+        outbox: asyncio.Queue = asyncio.Queue(maxsize=self.pending_per_connection)
+        writer_task = asyncio.create_task(self._write_responses(outbox, writer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # line exceeded the stream limit (MAX_LINE_BYTES)
+                    future = loop.create_future()
+                    future.set_result(
+                        error_response(
+                            None,
+                            "too-large",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                    await outbox.put(future)
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                future = loop.create_future()
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    self.metrics.inc("errors")
+                    future.set_result(error_response(None, exc.code, exc.message))
+                    await outbox.put(future)
+                    continue
+                # Hand to the actor first so the future always resolves,
+                # then to the outbox.  The outbox is the backpressure
+                # point: blocks when the client has
+                # pending_per_connection unanswered requests.
+                assert self._inbox is not None
+                await self._inbox.put((request, future, time.perf_counter()))
+                await outbox.put(future)
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                outbox.put_nowait(_STOP)
+            except asyncio.QueueFull:
+                writer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, ConnectionError):
+                await writer_task
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    def _track_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    # ------------------------------------------------------------------
+    # background maintenance
+    # ------------------------------------------------------------------
+    async def _periodic_snapshot(self) -> None:
+        assert self.snapshot_path is not None and self.snapshot_interval
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            try:
+                receipt = self.state.snapshot(self.snapshot_path)
+                self.metrics.inc("snapshots")
+                log.info("snapshot written: %s", receipt)
+            except SnapshotError as exc:
+                self.metrics.inc("snapshot_failures")
+                log.error("periodic snapshot failed: %s", exc)
+
+    async def _periodic_log(self) -> None:
+        assert self.log_interval
+        while True:
+            await asyncio.sleep(self.log_interval)
+            log.info("%s", self.metrics.format_log_line())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start serving; returns once the socket is listening."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._inbox = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        self._actor_task = asyncio.create_task(self._actor())
+        if self.snapshot_path and self.snapshot_interval:
+            self._background.append(asyncio.create_task(self._periodic_snapshot()))
+        if self.log_interval:
+            self._background.append(asyncio.create_task(self._periodic_log()))
+        self._server = await asyncio.start_server(
+            self._track_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "serving on %s:%d (policy=%s, capacity=%d bytes)",
+            self.host,
+            self.port,
+            self.state.policy_name,
+            self.state.capacity_bytes,
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, snapshot, release."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        # Unblock connected readers so their tasks can finish cleanly.
+        for task in list(self._connections):
+            task.cancel()
+        await asyncio.gather(*self._connections, return_exceptions=True)
+        # Let the actor answer everything already accepted.
+        assert self._inbox is not None and self._actor_task is not None
+        while not self._inbox.empty():
+            await asyncio.sleep(0)
+        self._actor_task.cancel()
+        for task in self._background:
+            task.cancel()
+        await asyncio.gather(
+            self._actor_task, *self._background, return_exceptions=True
+        )
+        if self.snapshot_path:
+            try:
+                receipt = self.state.snapshot(self.snapshot_path)
+                log.info("final snapshot written: %s", receipt)
+            except SnapshotError as exc:
+                log.error("final snapshot failed: %s", exc)
+        self._server = None
+        self._background.clear()
+        log.info("stopped; %s", self.metrics.format_log_line())
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`serve_forever` to shut down gracefully."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Start, serve until a stop signal/request, then stop."""
+        await self.start()
+        assert self._stop_event is not None
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._stop_event.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-unix event loop, or not on the main thread
+        try:
+            await self._stop_event.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    def run(self) -> None:
+        """Blocking entry point (used by ``repro-serve serve``)."""
+        asyncio.run(self.serve_forever())

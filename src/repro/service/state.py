@@ -1,0 +1,418 @@
+"""Service state: live filecule partition, cache advisors, persistence.
+
+One :class:`ServiceState` instance is the single source of truth behind a
+running daemon.  It is deliberately synchronous and not thread-safe: the
+server funnels every mutation through a single-writer actor task
+(:mod:`repro.service.server`), which is what makes the incremental
+partition refinement race-free without locks.
+
+Three concerns live here:
+
+* **partition** — an :class:`~repro.core.incremental.IncrementalFileculeIdentifier`
+  maintains the *exact* filecule partition of the ingested job stream
+  (equal, by construction and by test, to offline
+  :func:`~repro.core.identify.find_filecules` over the same jobs);
+* **advice** — one cache advisor per site models that site's cache with a
+  configurable :mod:`repro.cache` policy; ``advise`` turns a job's input
+  set into a filecule-granularity admission/prefetch plan against that
+  model (paper §4: load whole filecules, bypass ones larger than the
+  cache);
+* **persistence** — ``snapshot``/``restore`` write the hard state
+  (partition + file sizes + counters) as JSONL so a restarted daemon
+  resumes without replaying history.  Advisor cache contents are *soft*
+  state: they are rebuilt from traffic after a restart, exactly like a
+  real cache warming up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.cache import (
+    AdaptiveReplacementCache,
+    CacheMetrics,
+    FileFIFO,
+    FileLFU,
+    FileLRU,
+    GreedyDualSize,
+    Landlord,
+    LargestFirst,
+    ReplacementPolicy,
+)
+from repro.core.incremental import IncrementalFileculeIdentifier
+from repro.util.units import TB
+
+#: Cache-policy factories selectable via configuration (name → factory).
+POLICY_REGISTRY: dict[str, Callable[[int], ReplacementPolicy]] = {
+    "lru": FileLRU,
+    "fifo": FileFIFO,
+    "lfu": FileLFU,
+    "size": LargestFirst,
+    "gds": GreedyDualSize,
+    "landlord": Landlord,
+    "arc": AdaptiveReplacementCache,
+}
+
+SNAPSHOT_FORMAT = "repro-service-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A snapshot file could not be written, read, or understood."""
+
+
+def partition_checksum(groups) -> str:
+    """Deterministic fingerprint of a partition's grouping.
+
+    ``groups`` is any iterable of iterables of file ids.  The checksum
+    only depends on *which files are grouped together*, so the streamed
+    service partition and an offline :func:`find_filecules` run can be
+    compared across the wire with 16 hex characters.
+    """
+    canonical = sorted(sorted(int(f) for f in g) for g in groups)
+    payload = json.dumps(canonical, separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class _SiteAdvisor:
+    """Cache model for one site: a policy instance plus its metrics."""
+
+    __slots__ = ("policy", "metrics")
+
+    def __init__(self, name: str, policy: ReplacementPolicy) -> None:
+        self.policy = policy
+        self.metrics = CacheMetrics(
+            name=name, capacity_bytes=policy.capacity_bytes
+        )
+
+
+class ServiceState:
+    """The daemon's mutable state (single-writer; see module docstring).
+
+    Parameters
+    ----------
+    policy:
+        Name of the :data:`POLICY_REGISTRY` cache policy backing the
+        per-site advisors.
+    capacity_bytes:
+        Modelled cache capacity of every site.
+    default_size:
+        Size assumed for files ingested without an explicit size (sizes
+        refine retroactively: a later ingest carrying the real size
+        updates the catalog).
+    """
+
+    def __init__(
+        self,
+        policy: str = "lru",
+        capacity_bytes: int = 1 * TB,
+        default_size: int = 1,
+    ) -> None:
+        if policy not in POLICY_REGISTRY:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from "
+                f"{sorted(POLICY_REGISTRY)}"
+            )
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if default_size <= 0:
+            raise ValueError(f"default_size must be positive, got {default_size}")
+        self.policy_name = policy
+        self.capacity_bytes = int(capacity_bytes)
+        self.default_size = int(default_size)
+        self._ident = IncrementalFileculeIdentifier()
+        self._sizes: dict[int, int] = {}
+        self._advisors: dict[int, _SiteAdvisor] = {}
+        self._clock = 0.0  # logical request time fed to the policies
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _advisor(self, site: int) -> _SiteAdvisor:
+        advisor = self._advisors.get(site)
+        if advisor is None:
+            advisor = _SiteAdvisor(
+                f"{self.policy_name}@site{site}",
+                POLICY_REGISTRY[self.policy_name](self.capacity_bytes),
+            )
+            self._advisors[site] = advisor
+        return advisor
+
+    def _size_of(self, file_id: int) -> int:
+        return self._sizes.get(file_id, self.default_size)
+
+    def _class_info(self, class_id: int) -> dict:
+        members = sorted(self._ident.members_of_class(class_id))
+        return {
+            "class_id": class_id,
+            "files": members,
+            "n_files": len(members),
+            "requests": self._ident.requests_of_class(class_id),
+            "bytes": sum(self._size_of(f) for f in members),
+        }
+
+    # ------------------------------------------------------------------
+    # mutations (must run on the single writer)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        files: list[int],
+        sizes: list[int] | None = None,
+        site: int = 0,
+    ) -> dict:
+        """Observe one job submission: refine the partition, warm the model.
+
+        Returns a small receipt (stream position and partition shape) so
+        pipelining clients can cheaply spot-check progress.
+        """
+        if sizes is not None:
+            for f, s in zip(files, sizes):
+                self._sizes[f] = int(s)
+        self._ident.observe_job(files)
+        advisor = self._advisor(site)
+        self._clock += 1.0
+        hits = 0
+        for f in dict.fromkeys(files):  # de-duplicated, order-preserving
+            size = self._size_of(f)
+            outcome = advisor.policy.request(f, size, self._clock)
+            advisor.metrics.record(size, outcome)
+            hits += outcome.hit
+        return {
+            "job_seq": self._ident.n_jobs_observed,
+            "n_files": self._ident.n_files_observed,
+            "n_classes": self._ident.n_classes,
+            "site_hits": hits,
+        }
+
+    # ------------------------------------------------------------------
+    # queries (read-only)
+    # ------------------------------------------------------------------
+    def filecule_of(self, file_id: int) -> dict:
+        class_id = self._ident.class_of(file_id)
+        if class_id is None:
+            return {"file": file_id, "filecule": None}
+        return {"file": file_id, "filecule": self._class_info(class_id)}
+
+    def advise(self, files: list[int], site: int = 0) -> dict:
+        """Filecule-granularity prefetch/admission plan for one job.
+
+        For each filecule touched by the job's input set the plan says
+        whether the site's modelled cache already holds the requested
+        members (``hit``), should fetch the whole filecule (``fetch`` —
+        listing the non-requested members to prefetch), or should stream
+        the requested files uncached because the filecule exceeds
+        capacity (``bypass``).  Never-before-seen files form a
+        provisional group of their own (they share the signature "this
+        job only" until a later job splits them).
+        """
+        requested = list(dict.fromkeys(files))
+        advisor = self._advisors.get(site)
+        by_class: dict[int | None, list[int]] = {}
+        for f in requested:
+            by_class.setdefault(self._ident.class_of(f), []).append(f)
+
+        entries = []
+        fetch_bytes = 0
+        prefetch_files = 0
+        for class_id, members_requested in sorted(
+            by_class.items(), key=lambda kv: (kv[0] is None, kv[0] or 0)
+        ):
+            if class_id is None:
+                size = sum(self._size_of(f) for f in members_requested)
+                entry = {
+                    "class_id": None,
+                    "files": sorted(members_requested),
+                    "prefetch": [],
+                    "bytes": size,
+                    "action": "fetch" if size <= self.capacity_bytes else "bypass",
+                }
+            else:
+                info = self._class_info(class_id)
+                cached = advisor is not None and all(
+                    f in advisor.policy for f in members_requested
+                )
+                if cached:
+                    action = "hit"
+                elif info["bytes"] > self.capacity_bytes:
+                    action = "bypass"
+                else:
+                    action = "fetch"
+                entry = {
+                    "class_id": class_id,
+                    "files": sorted(members_requested),
+                    "prefetch": sorted(
+                        set(info["files"]) - set(members_requested)
+                    ),
+                    "bytes": info["bytes"],
+                    "action": action,
+                }
+            if entry["action"] == "fetch":
+                fetch_bytes += entry["bytes"]
+                prefetch_files += len(entry["prefetch"])
+            elif entry["action"] == "bypass":
+                fetch_bytes += sum(self._size_of(f) for f in entry["files"])
+            entries.append(entry)
+
+        return {
+            "site": site,
+            "plan": entries,
+            "fetch_bytes": fetch_bytes,
+            "prefetch_files": prefetch_files,
+        }
+
+    def stats(self) -> dict:
+        """Live popularity/partition metrics (the ``stats`` query body)."""
+        top = sorted(
+            (
+                (self._ident.requests_of_class(cid), cid)
+                for cid in self._ident.class_ids()
+            ),
+            reverse=True,
+        )[:10]
+        return {
+            "policy": self.policy_name,
+            "capacity_bytes": self.capacity_bytes,
+            "jobs_observed": self._ident.n_jobs_observed,
+            "files_observed": self._ident.n_files_observed,
+            "n_classes": self._ident.n_classes,
+            "partition_checksum": partition_checksum(self._ident.classes()),
+            "top_filecules": [self._class_info(cid) for _, cid in top],
+            "sites": {
+                str(site): {
+                    "policy": adv.metrics.name,
+                    "requests": adv.metrics.requests,
+                    "hits": adv.metrics.hits,
+                    "hit_rate": adv.metrics.hit_rate,
+                    "byte_miss_rate": adv.metrics.byte_miss_rate,
+                    "used_bytes": adv.policy.used_bytes,
+                }
+                for site, adv in sorted(self._advisors.items())
+            },
+        }
+
+    def partition(self) -> dict:
+        """The full current partition (for equivalence checks and export)."""
+        classes = [
+            {
+                "files": sorted(self._ident.members_of_class(cid)),
+                "requests": self._ident.requests_of_class(cid),
+            }
+            for cid in self._ident.class_ids()
+        ]
+        classes.sort(key=lambda c: c["files"])
+        return {
+            "n_classes": len(classes),
+            "checksum": partition_checksum(c["files"] for c in classes),
+            "classes": classes,
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str | Path) -> dict:
+        """Atomically write the hard state as JSONL; returns a receipt."""
+        path = Path(path)
+        ident_state = self._ident.state_dict()
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "meta",
+                            "format": SNAPSHOT_FORMAT,
+                            "version": SNAPSHOT_VERSION,
+                            "policy": self.policy_name,
+                            "capacity_bytes": self.capacity_bytes,
+                            "default_size": self.default_size,
+                            "clock": self._clock,
+                            "n_jobs": ident_state["n_jobs"],
+                            "next_class": ident_state["next_class"],
+                        }
+                    )
+                    + "\n"
+                )
+                for entry in ident_state["classes"]:
+                    fh.write(json.dumps({"type": "class", **entry}) + "\n")
+                for f, s in sorted(self._sizes.items()):
+                    fh.write(
+                        json.dumps({"type": "file", "id": f, "size": s}) + "\n"
+                    )
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+        return {
+            "path": str(path),
+            "n_jobs": ident_state["n_jobs"],
+            "n_classes": len(ident_state["classes"]),
+            "n_files": len(self._sizes),
+        }
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "ServiceState":
+        """Rebuild a state from :meth:`snapshot` output.
+
+        The partition and file-size catalog come back exactly; advisor
+        caches restart cold (soft state, rewarmed by traffic).
+        """
+        path = Path(path)
+        try:
+            with open(path) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+
+        meta = None
+        classes: list[dict] = []
+        sizes: dict[int, int] = {}
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SnapshotError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "class":
+                classes.append(record)
+            elif kind == "file":
+                sizes[int(record["id"])] = int(record["size"])
+            else:
+                raise SnapshotError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+        if meta is None:
+            raise SnapshotError(f"{path}: missing meta record")
+        if meta.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(f"{path}: not a {SNAPSHOT_FORMAT} file")
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path}: snapshot version {meta.get('version')!r} not supported"
+            )
+
+        state = cls(
+            policy=meta["policy"],
+            capacity_bytes=meta["capacity_bytes"],
+            default_size=meta["default_size"],
+        )
+        try:
+            state._ident = IncrementalFileculeIdentifier.from_state_dict(
+                {
+                    "n_jobs": meta["n_jobs"],
+                    "next_class": meta["next_class"],
+                    "classes": classes,
+                }
+            )
+        except (KeyError, ValueError) as exc:
+            raise SnapshotError(f"{path}: corrupt partition state: {exc}") from exc
+        state._sizes = sizes
+        state._clock = float(meta.get("clock", 0.0))
+        return state

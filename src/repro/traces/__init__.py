@@ -27,6 +27,7 @@ from repro.traces.records import (
 )
 from repro.traces.trace import Trace, TraceValidationError
 from repro.traces.io import (
+    TraceFormatError,
     write_trace_csv,
     read_trace_csv,
     write_trace_jsonl,
@@ -69,6 +70,7 @@ __all__ = [
     "JobMeta",
     "Trace",
     "TraceValidationError",
+    "TraceFormatError",
     "write_trace_csv",
     "read_trace_csv",
     "write_trace_jsonl",

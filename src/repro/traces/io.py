@@ -28,6 +28,22 @@ from repro.traces.trace import Trace
 _CSV_TABLES = ("files", "jobs", "accesses", "users", "nodes")
 
 
+class TraceFormatError(ValueError):
+    """A trace file/directory that cannot be parsed.
+
+    Raised with file (and, for line-oriented formats, line) context in
+    the message, so a malformed multi-gigabyte export points at the
+    offending row instead of surfacing an opaque ``KeyError`` or
+    ``json.JSONDecodeError`` from deep inside the reader.
+    """
+
+
+def _require_keys(record: dict, keys: tuple[str, ...], where: str) -> None:
+    missing = [k for k in keys if k not in record]
+    if missing:
+        raise TraceFormatError(f"{where}: record is missing keys {missing}")
+
+
 def write_trace_csv(trace: Trace, directory: str | Path) -> Path:
     """Write ``trace`` as a directory of CSV tables; returns the directory."""
     directory = Path(directory)
@@ -103,11 +119,17 @@ def _read_csv_columns(path: Path, expected_header: list[str]) -> list[list[str]]
         reader = csv.reader(fh)
         header = next(reader, None)
         if header != expected_header:
-            raise ValueError(
+            raise TraceFormatError(
                 f"{path.name}: unexpected header {header!r}, "
                 f"expected {expected_header!r}"
             )
         rows = list(reader)
+    for i, row in enumerate(rows, 2):  # line 1 is the header
+        if len(row) != len(expected_header):
+            raise TraceFormatError(
+                f"{path.name}:{i}: expected {len(expected_header)} "
+                f"columns, got {len(row)}"
+            )
     if not rows:
         return [[] for _ in expected_header]
     cols = list(map(list, zip(*rows)))
@@ -117,13 +139,24 @@ def _read_csv_columns(path: Path, expected_header: list[str]) -> list[list[str]]
 def read_trace_csv(directory: str | Path) -> Trace:
     """Load a trace previously written by :func:`write_trace_csv`."""
     directory = Path(directory)
-    for table in _CSV_TABLES:
-        if not (directory / f"{table}.csv").exists():
-            raise FileNotFoundError(directory / f"{table}.csv")
+    missing = [t for t in _CSV_TABLES if not (directory / f"{t}.csv").exists()]
+    if missing:
+        raise TraceFormatError(
+            f"{directory}: missing required table(s) "
+            f"{', '.join(f'{t}.csv' for t in missing)}"
+        )
+    if not (directory / "meta.json").exists():
+        raise TraceFormatError(f"{directory}: missing meta.json")
     with open(directory / "meta.json") as fh:
-        meta = json.load(fh)
+        try:
+            meta = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{directory / 'meta.json'}: malformed JSON: {exc}"
+            ) from exc
     if meta.get("format") != "repro-trace-csv":
-        raise ValueError(f"{directory}: not a repro trace directory")
+        raise TraceFormatError(f"{directory}: not a repro trace directory")
+    _require_keys(meta, ("site_names", "domain_names"), str(directory / "meta.json"))
 
     fcols = _read_csv_columns(
         directory / "files.csv", ["file_id", "size_bytes", "tier", "dataset_id"]
@@ -221,26 +254,56 @@ def read_trace_jsonl(path: str | Path) -> Trace:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: malformed JSONL line: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected a JSON object, "
+                    f"got {type(record).__name__}"
+                )
             kind = record.get("type")
+            where = f"{path}:{lineno}"
             if kind == "meta":
+                _require_keys(
+                    record,
+                    (
+                        "site_names",
+                        "domain_names",
+                        "user_domains",
+                        "node_sites",
+                        "node_domains",
+                    ),
+                    where,
+                )
                 meta = record
             elif kind == "file":
+                _require_keys(record, ("id", "size", "tier", "dataset"), where)
                 files.append(record)
             elif kind == "job":
+                _require_keys(
+                    record,
+                    ("id", "label", "user", "node", "tier", "start", "end", "files"),
+                    where,
+                )
                 jobs.append(record)
             else:
-                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+                raise TraceFormatError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
     if meta is None:
-        raise ValueError(f"{path}: missing meta record")
+        raise TraceFormatError(f"{path}: missing meta record")
     if meta.get("format") != "repro-trace-jsonl":
-        raise ValueError(f"{path}: not a repro jsonl trace")
+        raise TraceFormatError(f"{path}: not a repro jsonl trace")
     files.sort(key=lambda r: r["id"])
     jobs.sort(key=lambda r: r["id"])
     if [r["id"] for r in files] != list(range(len(files))):
-        raise ValueError(f"{path}: file ids are not dense 0..n-1")
+        raise TraceFormatError(f"{path}: file ids are not dense 0..n-1")
     if [r["id"] for r in jobs] != list(range(len(jobs))):
-        raise ValueError(f"{path}: job ids are not dense 0..n-1")
+        raise TraceFormatError(f"{path}: job ids are not dense 0..n-1")
 
     access_jobs: list[int] = []
     access_files: list[int] = []

@@ -8,6 +8,10 @@ from repro.experiments.base import all_experiment_ids
 
 REPO = Path(__file__).parent.parent
 
+#: Benchmarks of whole subsystems rather than paper experiments; exempt
+#: from the experiment-registry pairing below.
+NON_EXPERIMENT_BENCHMARKS = {"service"}
+
 
 class TestBenchmarkCoverage:
     def test_every_experiment_has_a_benchmark(self):
@@ -24,6 +28,7 @@ class TestBenchmarkCoverage:
             p.name
             for p in (REPO / "benchmarks").glob("bench_*.py")
             if p.stem.removeprefix("bench_") not in ids
+            and p.stem.removeprefix("bench_") not in NON_EXPERIMENT_BENCHMARKS
         ]
         assert not stray, f"benchmarks without experiments: {stray}"
 

@@ -1,0 +1,147 @@
+"""Unit tests for the service wire protocol and metrics primitives."""
+
+import json
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+
+
+class TestEncoding:
+    def test_request_line_is_newline_terminated_json(self):
+        line = encode_request("ingest", 3, files=[1, 2], sizes=None, site=0)
+        assert line.endswith(b"\n")
+        obj = json.loads(line)
+        assert obj == {
+            "v": PROTOCOL_VERSION,
+            "op": "ingest",
+            "id": 3,
+            "files": [1, 2],
+            "sizes": None,
+            "site": 0,
+        }
+
+    def test_response_roundtrip(self):
+        ok = json.loads(encode_response(ok_response(7, {"x": 1})))
+        assert ok == {"v": PROTOCOL_VERSION, "id": 7, "ok": True, "result": {"x": 1}}
+        err = json.loads(
+            encode_response(error_response(7, "bad-request", "nope"))
+        )
+        assert err["ok"] is False
+        assert err["error"] == {"code": "bad-request", "message": "nope"}
+
+    def test_unknown_error_code_downgraded_to_internal(self):
+        assert error_response(1, "no-such-code", "m")["error"]["code"] == "internal"
+
+
+class TestDecodeValidation:
+    def test_roundtrip_ingest(self):
+        req = decode_request(
+            encode_request("ingest", 1, files=[3, 4], sizes=[10, 20], site=2)
+        )
+        assert req == {
+            "op": "ingest",
+            "id": 1,
+            "files": [3, 4],
+            "sizes": [10, 20],
+            "site": 2,
+        }
+
+    def test_defaults_filled_in(self):
+        req = decode_request(b'{"op": "ingest", "files": [1]}')
+        assert req["site"] == 0 and req["sizes"] is None and req["id"] is None
+
+    @pytest.mark.parametrize(
+        "line, code",
+        [
+            (b"not json\n", "bad-request"),
+            (b"[1, 2]\n", "bad-request"),
+            (b'{"op": "frobnicate"}', "unknown-op"),
+            (b'{"op": 7}', "unknown-op"),
+            (b'{"op": "ingest", "v": 99, "files": []}', "unsupported-version"),
+            (b'{"op": "ingest"}', "bad-request"),  # files missing
+            (b'{"op": "ingest", "files": [1, true]}', "bad-request"),
+            (b'{"op": "ingest", "files": [1, -2]}', "bad-request"),
+            (b'{"op": "ingest", "files": [1], "sizes": [1, 2]}', "bad-request"),
+            (b'{"op": "ingest", "files": [1], "site": "x"}', "bad-request"),
+            (b'{"op": "filecule_of"}', "bad-request"),
+            (b'{"op": "filecule_of", "file": -1}', "bad-request"),
+            (b'{"op": "snapshot", "path": 7}', "bad-request"),
+        ],
+    )
+    def test_rejections_carry_machine_readable_codes(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == code
+
+    def test_oversized_line_rejected(self):
+        line = b'{"op": "ping", "pad": "' + b"x" * MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == "too-large"
+
+    def test_unknown_extra_fields_dropped(self):
+        req = decode_request(b'{"op": "ping", "future_field": 1}')
+        assert req == {"op": "ping", "id": None}
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op": "filecule_of", "file": true}')
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_true_values(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):  # 1..100 ms uniform
+            hist.record(ms / 1e3)
+        # geometric buckets have 20% resolution; p50 near 50 ms
+        assert 0.035 <= hist.percentile(0.5) <= 0.075
+        assert 0.08 <= hist.percentile(0.99) <= 0.13
+        assert hist.count == 100
+        assert hist.max == pytest.approx(0.1)
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.99) == 0.0
+        assert hist.mean == 0.0
+
+    def test_extremes_clamped(self):
+        hist = LatencyHistogram()
+        hist.record(-1.0)  # clock skew: clamped to 0
+        hist.record(20000.0)  # beyond the last bucket: reported as max
+        assert hist.count == 2
+        assert hist.percentile(1.0) == 20000.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("requests")
+        reg.inc("requests", 2)
+        reg.observe("op.ingest", 0.002)
+        snap = reg.snapshot()
+        assert snap["counters"]["requests"] == 3
+        assert snap["latency"]["op.ingest"]["count"] == 1
+        assert snap["uptime_seconds"] >= 0
+
+    def test_log_line_mentions_counters_and_percentiles(self):
+        reg = MetricsRegistry()
+        reg.inc("connections")
+        reg.observe("op.stats", 0.001)
+        line = reg.format_log_line()
+        assert "connections=1" in line
+        assert "op.stats.p50=" in line

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.traces.io import (
+    TraceFormatError,
     read_trace_csv,
     read_trace_jsonl,
     write_trace_csv,
@@ -62,7 +63,29 @@ class TestCsvRoundTrip:
     def test_missing_table(self, sample_trace, tmp_path):
         directory = write_trace_csv(sample_trace, tmp_path / "t")
         (directory / "jobs.csv").unlink()
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(TraceFormatError, match=r"missing required table\(s\) jobs\.csv"):
+            read_trace_csv(directory)
+
+    def test_missing_several_tables_all_named(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        (directory / "jobs.csv").unlink()
+        (directory / "users.csv").unlink()
+        with pytest.raises(TraceFormatError, match=r"jobs\.csv, users\.csv"):
+            read_trace_csv(directory)
+
+    def test_malformed_meta_json(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        (directory / "meta.json").write_text("{not json")
+        with pytest.raises(TraceFormatError, match="malformed JSON"):
+            read_trace_csv(directory)
+
+    def test_short_row_reports_file_and_line(self, sample_trace, tmp_path):
+        directory = write_trace_csv(sample_trace, tmp_path / "t")
+        with open(directory / "accesses.csv", "a") as fh:
+            fh.write("7\n")  # file_id column missing
+        with pytest.raises(
+            TraceFormatError, match=r"accesses\.csv:\d+: expected 2 columns"
+        ):
             read_trace_csv(directory)
 
     def test_bad_format_marker(self, sample_trace, tmp_path):
@@ -115,6 +138,32 @@ class TestJsonlRoundTrip:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError, match="not dense"):
             read_trace_jsonl(path)
+
+    def test_malformed_line_reports_path_and_lineno(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        lines[2] = '{"type": "file", "id": 1, "size": '  # truncated mid-record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match=r"t\.jsonl:3: malformed JSONL line"):
+            read_trace_jsonl(path)
+
+    def test_missing_record_keys_reports_context(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"type": "job", "id": 99}\n')
+        with pytest.raises(TraceFormatError, match=r"t\.jsonl:\d+: record is missing keys"):
+            read_trace_jsonl(path)
+
+    def test_non_object_line_rejected(self, sample_trace, tmp_path):
+        path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
+        with open(path, "a") as fh:
+            fh.write("[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError, match="expected a JSON object"):
+            read_trace_jsonl(path)
+
+    def test_trace_format_error_is_value_error(self):
+        # callers catching the old ValueError keep working
+        assert issubclass(TraceFormatError, ValueError)
 
     def test_blank_lines_tolerated(self, sample_trace, tmp_path):
         path = write_trace_jsonl(sample_trace, tmp_path / "t.jsonl")
