@@ -105,6 +105,11 @@ class ReplacementPolicy(ABC):
     #: Human-readable policy name (class default; instances may override).
     name: str = "policy"
 
+    #: Optional observation hook: called with the byte count of every
+    #: release (eviction) as it happens.  Set by instrumented simulation
+    #: runs (:mod:`repro.obs.instrument`); must never mutate the policy.
+    evict_listener = None
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
@@ -128,6 +133,8 @@ class ReplacementPolicy(ABC):
         self.used_bytes -= size
         if self.used_bytes < 0:
             raise RuntimeError(f"{self.name}: negative occupancy")
+        if self.evict_listener is not None:
+            self.evict_listener(size)
 
     def begin_job(self, file_ids, now: float) -> None:
         """Hook: a job is about to request exactly ``file_ids`` at ``now``.

@@ -20,6 +20,7 @@ from repro.cache.filecule_lru import FileculeLRU
 from repro.cache.lru import FileLRU
 from repro.cache.simulator import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.obs.instrument import progress_from_env
 from repro.util.units import format_bytes
 
 CAPACITY_FRACTIONS = (0.02, 0.1)
@@ -42,6 +43,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             ),
         },
         caps,
+        instrumentation=progress_from_env("ablation_optimal"),
     )
     rows = []
     for i, cap in enumerate(caps):

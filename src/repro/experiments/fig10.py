@@ -16,6 +16,7 @@ from repro.cache.filecule_lru import FileculeLRU
 from repro.cache.lru import FileLRU
 from repro.cache.simulator import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.obs.instrument import progress_from_env
 from repro.util.ascii_plot import ascii_series
 from repro.util.units import TB, format_bytes
 
@@ -50,6 +51,10 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             "filecule-lru": lambda c: FileculeLRU(c, partition),
         },
         caps,
+        # Observation-only live progress (hit rate, evicted bytes, ETA)
+        # when REPRO_PROGRESS=1; silent otherwise.  Identical miss rates
+        # either way — asserted by tests/test_obs_instrument.py.
+        instrumentation=progress_from_env("fig10"),
     )
     file_mr = result.miss_rates("file-lru")
     cule_mr = result.miss_rates("filecule-lru")

@@ -1,0 +1,78 @@
+"""Unified observability: metrics, tracing, structured logging, hooks.
+
+``repro.obs`` is the dependency-free observability layer shared by the
+online service (:mod:`repro.service`), the cache simulators
+(:mod:`repro.cache.simulator`) and the experiment drivers.  Cache-
+operations studies treat visibility as a precondition for tuning — you
+cannot characterize what you cannot see — so everything long-running in
+this repository reports through the same four primitives:
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges and O(1) geometric
+  latency histograms; registries merge across workers and render to
+  Prometheus text exposition format (:meth:`MetricsRegistry.expose`);
+* :mod:`repro.obs.trace` — lightweight spans with request-id (``rid``)
+  propagation, a bounded ring-buffer recorder and JSONL export;
+* :mod:`repro.obs.log` — single-line JSON structured logging with
+  automatic rid attachment;
+* :mod:`repro.obs.instrument` — observation-only callback hooks
+  (access/hit/miss/evict/progress) for trace-driven simulation, with a
+  stats collector and a throttled live progress reporter.
+
+Plus ``repro-top`` (:mod:`repro.obs.top`): a refreshing terminal
+dashboard polling a live daemon's ``stats``/``metrics`` ops.
+
+See ``docs/OBSERVABILITY.md`` for metric names, span semantics and the
+exposition format.
+"""
+
+from repro.obs.metrics import (
+    FIRST_BOUND,
+    GROWTH,
+    N_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanRecorder,
+    bind_rid,
+    current_rid,
+    get_recorder,
+    new_rid,
+    set_recorder,
+    span,
+)
+from repro.obs.log import StructLogger, configure, get_logger
+from repro.obs.instrument import (
+    Instrumentation,
+    MultiInstrumentation,
+    ProgressReporter,
+    SimStats,
+    progress_from_env,
+)
+
+__all__ = [
+    "FIRST_BOUND",
+    "GROWTH",
+    "N_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "bind_rid",
+    "current_rid",
+    "get_recorder",
+    "new_rid",
+    "set_recorder",
+    "span",
+    "StructLogger",
+    "configure",
+    "get_logger",
+    "Instrumentation",
+    "MultiInstrumentation",
+    "ProgressReporter",
+    "SimStats",
+    "progress_from_env",
+]

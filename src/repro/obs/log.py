@@ -1,0 +1,115 @@
+"""Structured logging: one JSON object per line, machine-parseable.
+
+Replaces ad-hoc prints and printf-style log lines in the service and the
+load generator with records of the shape::
+
+    {"ts": 1754438400.123456, "level": "info", "logger": "repro.service",
+     "event": "serving", "host": "127.0.0.1", "port": 7401}
+
+Design points:
+
+* **one line per record** — greppable, ``jq``-able, safe to interleave
+  from multiple threads (writes hold a module lock);
+* **event + fields, not messages** — the ``event`` is a stable machine
+  key; everything else is data, so dashboards never parse prose;
+* **rid auto-attachment** — when a request id is bound via
+  :func:`repro.obs.trace.bind_rid`, every record inside that context
+  carries it, tying log lines to protocol requests and spans;
+* **no dependencies, no handlers** — records go to a configurable stream
+  (default: ``sys.stderr`` looked up at write time, so redirection and
+  test capture work).
+
+Usage::
+
+    from repro.obs.log import get_logger
+    slog = get_logger("repro.service")
+    slog.info("snapshot-written", path=path, n_jobs=receipt["n_jobs"])
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO
+
+from repro.obs import trace as _trace
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_stream: IO[str] | None = None  # None -> sys.stderr at write time
+_min_level = LEVELS["info"]
+
+
+def configure(
+    stream: IO[str] | None = None, min_level: str = "info"
+) -> None:
+    """Set the sink and threshold for every :class:`StructLogger`.
+
+    ``stream=None`` restores the default (``sys.stderr`` resolved at
+    write time).  ``min_level`` is one of ``debug``/``info``/``warning``/
+    ``error``.
+    """
+    global _stream, _min_level
+    if min_level not in LEVELS:
+        raise ValueError(
+            f"unknown level {min_level!r}; choose from {sorted(LEVELS)}"
+        )
+    _stream = stream
+    _min_level = LEVELS[min_level]
+
+
+class StructLogger:
+    """A named emitter of single-line JSON records."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if LEVELS[level] < _min_level:
+            return
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        rid = _trace.current_rid()
+        if rid is not None:
+            record["rid"] = rid
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with _lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # closed/broken sink must never take the service down
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_loggers: dict[str, StructLogger] = {}
+
+
+def get_logger(name: str) -> StructLogger:
+    """Get (or create) the structured logger with this name."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = StructLogger(name)
+    return logger

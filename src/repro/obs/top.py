@@ -1,0 +1,194 @@
+"""``repro-top`` — live terminal dashboard for a running daemon.
+
+Polls a daemon's ``stats`` and ``metrics`` protocol ops on an interval
+and renders a refreshing text dashboard: uptime, request throughput
+(derived from successive counter deltas), per-op latency (count, min,
+p50, p99, max), per-site cache hit rates and occupancy, partition shape
+and ingest rate.
+
+Usage::
+
+    repro-top --port 7401                # refresh every 2 s until ^C
+    repro-top --port 7401 --count 1      # one frame (scripts/CI)
+    repro-top --port 7401 --raw          # dump Prometheus text and exit
+
+Rendering is split from polling: :func:`render_dashboard` is a pure
+function of two ``stats`` payloads (current + previous, for rates), so
+the layout is unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.service.client import ServiceClient
+from repro.util.units import format_bytes
+
+#: ANSI: clear screen and home the cursor (one frame replaces the last).
+CLEAR = "\x1b[H\x1b[2J"
+
+
+def _rate(current: dict, previous: dict | None, interval: float | None) -> float:
+    """Requests/s from two successive counter snapshots."""
+    if previous is None or not interval or interval <= 0:
+        return 0.0
+    now = current.get("counters", {}).get("requests", 0)
+    before = previous.get("counters", {}).get("requests", 0)
+    return max(now - before, 0) / interval
+
+
+def _ms(value: float) -> str:
+    return f"{value:8.2f}"
+
+
+def render_dashboard(
+    stats: dict,
+    *,
+    previous: dict | None = None,
+    interval: float | None = None,
+    endpoint: str = "",
+    exposition_samples: int | None = None,
+) -> str:
+    """Render one dashboard frame from a ``stats`` op result.
+
+    ``previous``/``interval`` (the prior poll's ``server`` snapshot and
+    the seconds between polls) turn monotonic counters into rates.
+    """
+    server = stats.get("server", {})
+    counters = server.get("counters", {})
+    uptime = server.get("uptime_seconds", 0.0)
+    rps = _rate(server, previous, interval)
+
+    lines = [
+        f"repro-top — {endpoint}  policy={stats.get('policy', '?')}  "
+        f"capacity={format_bytes(stats.get('capacity_bytes', 0), 1)}  "
+        f"up {uptime:,.0f}s",
+        f"jobs {stats.get('jobs_observed', 0):,}   "
+        f"files {stats.get('files_observed', 0):,}   "
+        f"filecules {stats.get('n_classes', 0):,}   "
+        f"requests {counters.get('requests', 0):,} ({rps:,.0f}/s)   "
+        f"errors {counters.get('errors', 0):,}",
+    ]
+
+    latency = server.get("latency", {})
+    if latency:
+        lines.append("")
+        lines.append(
+            f"{'op':<16}{'count':>10}{'min ms':>10}{'p50 ms':>10}"
+            f"{'p99 ms':>10}{'max ms':>10}"
+        )
+        for op, h in sorted(latency.items()):
+            lines.append(
+                f"{op:<16}{h.get('count', 0):>10,}"
+                f"{_ms(h.get('min_ms', 0.0)):>10}{_ms(h.get('p50_ms', 0.0)):>10}"
+                f"{_ms(h.get('p99_ms', 0.0)):>10}{_ms(h.get('max_ms', 0.0)):>10}"
+            )
+
+    sites = stats.get("sites", {})
+    if sites:
+        lines.append("")
+        lines.append(
+            f"{'site':<8}{'requests':>10}{'hit%':>8}{'byte-miss%':>12}{'used':>12}"
+        )
+        for site, s in sorted(sites.items(), key=lambda kv: int(kv[0])):
+            lines.append(
+                f"{site:<8}{s.get('requests', 0):>10,}"
+                f"{s.get('hit_rate', 0.0) * 100:>7.1f}%"
+                f"{s.get('byte_miss_rate', 0.0) * 100:>11.1f}%"
+                f"{format_bytes(s.get('used_bytes', 0), 1):>12}"
+            )
+
+    top = stats.get("top_filecules", [])
+    if top:
+        lines.append("")
+        lines.append(f"{'filecule':<10}{'files':>8}{'requests':>10}{'bytes':>12}")
+        for fc in top[:5]:
+            lines.append(
+                f"{fc.get('class_id', '?'):<10}{fc.get('n_files', 0):>8,}"
+                f"{fc.get('requests', 0):>10,}"
+                f"{format_bytes(fc.get('bytes', 0), 1):>12}"
+            )
+
+    if exposition_samples is not None:
+        lines.append("")
+        lines.append(f"exposition: {exposition_samples} Prometheus samples")
+    return "\n".join(lines)
+
+
+def count_exposition_samples(body: str) -> int:
+    """Number of sample lines (non-comment, non-blank) in exposition text."""
+    return sum(
+        1
+        for line in body.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live dashboard for a running repro-serve daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7401)
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    parser.add_argument(
+        "--count", type=int, default=0, help="frames to render (0 = forever)"
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing in place",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="print one Prometheus exposition payload and exit",
+    )
+    args = parser.parse_args(argv)
+    endpoint = f"{args.host}:{args.port}"
+
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        print(f"repro-top: cannot connect to {endpoint}: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.raw:
+            print(client.metrics()["body"], end="")
+            return 0
+        previous = None
+        frame = 0
+        while True:
+            stats = client.stats()
+            samples = count_exposition_samples(client.metrics()["body"])
+            rendered = render_dashboard(
+                stats,
+                previous=previous,
+                interval=args.interval if previous is not None else None,
+                endpoint=endpoint,
+                exposition_samples=samples,
+            )
+            if not args.no_clear:
+                sys.stdout.write(CLEAR)
+            print(rendered, flush=True)
+            previous = stats.get("server")
+            frame += 1
+            if args.count and frame >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-top: connection lost: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        try:
+            client.close()
+        except OSError:
+            pass

@@ -1,0 +1,201 @@
+"""Lightweight tracing: spans, request ids, a ring-buffer recorder.
+
+A *span* is one timed unit of work (an op handled by the daemon, a
+simulation phase, a snapshot write) with a name, a duration, arbitrary
+key/value fields and an optional *request id* (``rid``).  Rids originate
+at the caller — the NDJSON protocol carries them end to end (request →
+span → response → slow-op log line) so one slow client request can be
+chased through the whole system.
+
+Recording is deliberately simple: spans land in a fixed-size ring buffer
+(:class:`SpanRecorder`), old spans fall off the back, and the buffer can
+be exported as JSONL at any time.  No sampling, no clock coordination,
+no external dependencies.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.span("advise", site=3) as fields:
+        plan = build_plan(...)
+        fields["n_entries"] = len(plan)
+
+    trace.get_recorder().export_jsonl("spans.jsonl")
+
+The current rid is carried in a :class:`contextvars.ContextVar`, so it
+flows through ``async`` code without explicit plumbing: bind it once per
+request (:func:`bind_rid`) and every span and structured log record
+inside picks it up.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Iterator
+
+#: Default ring-buffer capacity of the process-global recorder.
+DEFAULT_CAPACITY = 2048
+
+_current_rid: ContextVar[str | None] = ContextVar("repro_obs_rid", default=None)
+_rid_counter = itertools.count(1)
+
+
+def current_rid() -> str | None:
+    """The request id bound to the current (async) context, if any."""
+    return _current_rid.get()
+
+
+def new_rid(prefix: str = "r") -> str:
+    """Mint a process-unique request id (``<prefix><pid>-<n>``)."""
+    return f"{prefix}{os.getpid()}-{next(_rid_counter)}"
+
+
+@contextlib.contextmanager
+def bind_rid(rid: str | None) -> Iterator[str | None]:
+    """Bind ``rid`` as the current request id for the enclosed block."""
+    token = _current_rid.set(rid)
+    try:
+        yield rid
+    finally:
+        _current_rid.reset(token)
+
+
+@dataclass(slots=True)
+class Span:
+    """One completed unit of work."""
+
+    name: str
+    ts: float              # wall-clock start, epoch seconds
+    duration_s: float
+    rid: str | None = None
+    status: str = "ok"     # "ok" | "error"
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "ts": round(self.ts, 6),
+            "duration_ms": round(self.duration_s * 1e3, 4),
+            "status": self.status,
+        }
+        if self.rid is not None:
+            record["rid"] = self.rid
+        record.update(self.fields)
+        return record
+
+
+class SpanRecorder:
+    """Bounded in-memory span sink: a thread-safe ring buffer.
+
+    Keeps the most recent ``capacity`` spans; recording is O(1) and never
+    blocks or grows memory, so it is safe to leave on in production.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0  # spans pushed off the back of the ring
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(span)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def spans(self) -> list[Span]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.dropped = 0
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(span.as_dict(), separators=(",", ":"), default=str) + "\n"
+            for span in self.spans()
+        )
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the retained spans as JSONL; returns the span count."""
+        spans = self.spans()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(
+                    json.dumps(span.as_dict(), separators=(",", ":"), default=str)
+                    + "\n"
+                )
+        return len(spans)
+
+
+_recorder = SpanRecorder()
+
+
+def get_recorder() -> SpanRecorder:
+    return _recorder
+
+
+def set_recorder(recorder: SpanRecorder) -> SpanRecorder:
+    """Replace the process-global recorder; returns the previous one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    *,
+    recorder: SpanRecorder | None = None,
+    rid: str | None = None,
+    **fields,
+) -> Iterator[dict]:
+    """Time a block of work and record it as a :class:`Span`.
+
+    Yields the span's mutable ``fields`` dict so the block can annotate
+    outcomes (counts, byte totals, cache decisions).  An exception marks
+    the span ``status="error"`` and propagates.  The rid defaults to the
+    context-bound one (:func:`bind_rid`).
+    """
+    rec = recorder if recorder is not None else _recorder
+    if rid is None:
+        rid = _current_rid.get()
+    ts = time.time()
+    t0 = time.perf_counter()
+    status = "ok"
+    try:
+        yield fields
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        rec.record(
+            Span(
+                name=name,
+                ts=ts,
+                duration_s=time.perf_counter() - t0,
+                rid=rid,
+                status=status,
+                fields=fields,
+            )
+        )

@@ -18,8 +18,10 @@ succeeded SAM (XCache-style services fed by a live job stream):
 * :mod:`repro.service.loadgen` — concurrent load generator replaying a
   :class:`~repro.traces.Trace` or synthetic stream at a target rate,
   reporting throughput and latency percentiles;
-* :mod:`repro.service.metrics` — counters and log-bucketed latency
-  histograms behind the ``stats`` query.
+* :mod:`repro.service.metrics` — compatibility re-export of
+  :mod:`repro.obs.metrics`: counters, gauges and log-bucketed latency
+  histograms behind the ``stats`` and ``metrics`` queries (the latter in
+  Prometheus text format — see ``docs/OBSERVABILITY.md``).
 
 Typical use (in one process, e.g. for tests and benchmarks)::
 
@@ -42,7 +44,11 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
-from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    LatencyHistogram,
+    MetricsRegistry,
+)
 from repro.service.state import (
     POLICY_REGISTRY,
     ServiceState,
@@ -66,6 +72,7 @@ __all__ = [
     "encode_response",
     "error_response",
     "ok_response",
+    "PROMETHEUS_CONTENT_TYPE",
     "LatencyHistogram",
     "MetricsRegistry",
     "POLICY_REGISTRY",

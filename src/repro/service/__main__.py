@@ -1,27 +1,32 @@
 """Operational CLI: ``repro-serve`` / ``python -m repro.service``.
 
-Three subcommands::
+Four subcommands::
 
     repro-serve serve --port 7401 --policy lru --capacity 10TB \
-        --snapshot /var/lib/repro/state.jsonl --snapshot-interval 60
+        --snapshot /var/lib/repro/state.jsonl --snapshot-interval 60 \
+        --metrics-port 9401 --span-log spans.jsonl
     repro-serve loadgen --port 7401 --scale tiny --seed 42 --jobs 2000 \
         --connections 8 --rate 500 --json load.json
     repro-serve stats --port 7401
+    repro-serve metrics --port 7401
 
 ``serve`` runs the daemon in the foreground (SIGINT/SIGTERM shut it down
 gracefully, writing a final snapshot when configured); ``loadgen``
 replays a calibrated synthetic workload against a running daemon and
 prints a throughput/latency report; ``stats`` pretty-prints one ``stats``
-query.
+query; ``metrics`` prints one Prometheus text exposition payload.  The
+live dashboard is the separate ``repro-top`` script
+(:mod:`repro.obs.top`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import logging
 import sys
 from pathlib import Path
+
+from repro.obs import log as obslog
 
 from repro.service.client import ServiceClient
 from repro.service.loadgen import jobs_from_trace, run_load_sync
@@ -50,9 +55,7 @@ def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    logging.basicConfig(
-        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
-    )
+    obslog.configure(min_level=args.log_level)
     if args.restore:
         if not args.snapshot:
             print("--restore requires --snapshot", file=sys.stderr)
@@ -83,6 +86,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_path=args.snapshot,
         snapshot_interval=args.snapshot_interval,
         log_interval=args.log_interval,
+        metrics_port=args.metrics_port,
+        span_log_path=args.span_log,
+        slow_op_seconds=args.slow_op_ms / 1e3,
     )
     server.run()
     return 0
@@ -101,6 +107,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         connections=args.connections,
         target_rate=args.rate,
         advise_every=args.advise_every,
+        rid_prefix=args.rid_prefix,
+        progress_every=args.progress_every,
     )
     print(report.render())
     if report.final_stats is not None:
@@ -118,6 +126,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     with ServiceClient(args.host, args.port) as client:
         print(json.dumps(client.stats(), indent=2))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    with ServiceClient(args.host, args.port) as client:
+        print(client.metrics()["body"], end="")
     return 0
 
 
@@ -157,6 +171,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="restore state from --snapshot if it exists",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve Prometheus exposition over HTTP at GET /metrics",
+    )
+    p_serve.add_argument(
+        "--span-log",
+        default=None,
+        metavar="PATH",
+        help="export the span ring buffer as JSONL on shutdown",
+    )
+    p_serve.add_argument(
+        "--slow-op-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="log a structured slow-op record for ops handled slower than this",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=sorted(obslog.LEVELS),
+        help="structured-log threshold",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -179,11 +219,30 @@ def main(argv: list[str] | None = None) -> int:
         help="ask for an advise plan before every k-th job",
     )
     p_load.add_argument("--json", default=None, help="write the report as JSON")
+    p_load.add_argument(
+        "--rid-prefix",
+        default=None,
+        metavar="PREFIX",
+        help="tag every request with a tracing rid '<PREFIX>-<job index>'",
+    )
+    p_load.add_argument(
+        "--progress-every",
+        type=int,
+        default=0,
+        metavar="JOBS",
+        help="emit a structured progress record every N completed jobs",
+    )
     p_load.set_defaults(func=_cmd_loadgen)
 
     p_stats = sub.add_parser("stats", help="query and print live stats")
     _add_endpoint_args(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print one Prometheus exposition payload"
+    )
+    _add_endpoint_args(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
     return args.func(args)

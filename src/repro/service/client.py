@@ -52,22 +52,33 @@ def _check_response(raw: bytes, expected_id: int) -> dict[str, Any]:
 
 
 class _RequestMixin:
-    """The op-specific call surface, shared by both clients."""
+    """The op-specific call surface, shared by both clients.
+
+    ``rid`` (where accepted) is an opaque tracing request id echoed in
+    the response and recorded in the server's spans and slow-op log
+    lines — see ``docs/OBSERVABILITY.md``.
+    """
 
     def ping(self):
         return self.request("ping")
 
-    def ingest(self, files, sizes=None, site: int = 0):
-        return self.request("ingest", files=list(files), sizes=sizes, site=site)
+    def ingest(self, files, sizes=None, site: int = 0, rid: str | None = None):
+        return self.request(
+            "ingest", files=list(files), sizes=sizes, site=site, rid=rid
+        )
 
     def filecule_of(self, file_id: int):
         return self.request("filecule_of", file=int(file_id))
 
-    def advise(self, files, site: int = 0):
-        return self.request("advise", files=list(files), site=site)
+    def advise(self, files, site: int = 0, rid: str | None = None):
+        return self.request("advise", files=list(files), site=site, rid=rid)
 
     def stats(self):
         return self.request("stats")
+
+    def metrics(self):
+        """Prometheus text exposition: ``{"content_type", "body"}``."""
+        return self.request("metrics")
 
     def partition(self):
         return self.request("partition")

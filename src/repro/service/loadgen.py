@@ -27,9 +27,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.log import get_logger
 from repro.service.client import AsyncServiceClient
 from repro.service.protocol import ServiceError
 from repro.traces.trace import Trace
+
+slog = get_logger("repro.service.loadgen")
 
 
 def jobs_from_trace(trace: Trace) -> list[dict]:
@@ -115,6 +118,8 @@ async def run_load(
     target_rate: float | None = None,
     advise_every: int = 0,
     fetch_final_stats: bool = True,
+    rid_prefix: str | None = None,
+    progress_every: int = 0,
 ) -> LoadReport:
     """Replay ``jobs`` against a running server; see module docstring.
 
@@ -130,6 +135,13 @@ async def run_load(
         before scheduling the job's transfers.
     fetch_final_stats:
         Issue one final ``stats`` query and attach it to the report.
+    rid_prefix:
+        When set, every request carries a tracing rid
+        ``<prefix>-<job index>`` so client load shows up in the server's
+        spans and slow-op log lines with chase-able identities.
+    progress_every:
+        When > 0, emit a structured ``loadgen-progress`` log record
+        every that many completed jobs (aggregate across connections).
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
@@ -138,10 +150,11 @@ async def run_load(
 
     samples: dict[str, list[float]] = {"ingest": [], "advise": []}
     errors = 0
+    jobs_done = 0
     start = time.perf_counter()
 
     async def worker(worker_id: int) -> int:
-        nonlocal errors
+        nonlocal errors, jobs_done
         client = await AsyncServiceClient.connect(host, port)
         sent = 0
         try:
@@ -152,11 +165,12 @@ async def run_load(
                     if delay > 0:
                         await asyncio.sleep(delay)
                 job = jobs[k]
+                rid = f"{rid_prefix}-{k}" if rid_prefix else None
                 if advise_every and k % advise_every == 0:
                     t0 = time.perf_counter()
                     try:
                         await client.advise(
-                            job["files"], site=job.get("site", 0)
+                            job["files"], site=job.get("site", 0), rid=rid
                         )
                         samples["advise"].append(time.perf_counter() - t0)
                     except ServiceError:
@@ -168,11 +182,25 @@ async def run_load(
                         job["files"],
                         sizes=job.get("sizes"),
                         site=job.get("site", 0),
+                        rid=rid,
                     )
                     samples["ingest"].append(time.perf_counter() - t0)
                 except ServiceError:
                     errors += 1
                 sent += 1
+                jobs_done += 1
+                if progress_every and jobs_done % progress_every == 0:
+                    elapsed = time.perf_counter() - start
+                    slog.info(
+                        "loadgen-progress",
+                        jobs=jobs_done,
+                        total=len(jobs),
+                        errors=errors,
+                        elapsed_s=round(elapsed, 2),
+                        jobs_per_s=round(jobs_done / elapsed, 1)
+                        if elapsed > 0
+                        else 0.0,
+                    )
         finally:
             await client.close()
         return sent

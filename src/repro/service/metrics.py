@@ -1,133 +1,23 @@
-"""Service metrics: counters and log-bucketed latency histograms.
-
-The daemon is the hot path, so recording must be O(1) and allocation-free:
-counters are plain ints and latencies land in a fixed geometric bucket
-array (20% resolution from 1 µs to ~17 minutes), from which percentiles
-are answered by a cumulative walk.  Everything is exposed two ways — the
-``stats`` protocol query returns :meth:`MetricsRegistry.snapshot`, and the
-server periodically emits :meth:`MetricsRegistry.format_log_line`.
+"""Compatibility shim: the metrics implementation moved to
+:mod:`repro.obs.metrics` so the simulators and experiment drivers can
+share it.  Import from ``repro.obs.metrics`` in new code; this module
+keeps the historical ``repro.service.metrics`` import path working.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (  # noqa: F401 — re-exported API
+    FIRST_BOUND,
+    GROWTH,
+    N_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    LatencyHistogram,
+    MetricsRegistry,
+)
 
-import math
-import time
-
-#: Bucket geometry: bucket ``i`` holds latencies in
-#: ``[FIRST_BOUND * GROWTH**(i-1), FIRST_BOUND * GROWTH**i)`` seconds.
-FIRST_BOUND = 1e-6
-GROWTH = 1.2
-N_BUCKETS = 128  # upper bound of last finite bucket ≈ 1e-6 * 1.2**128 ≈ 3.8 h
-
-
-class LatencyHistogram:
-    """Fixed-size geometric histogram of durations in seconds."""
-
-    __slots__ = ("_buckets", "count", "total", "max")
-
-    def __init__(self) -> None:
-        self._buckets = [0] * (N_BUCKETS + 1)  # +1 overflow bucket
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        if seconds < 0:
-            seconds = 0.0
-        if seconds < FIRST_BOUND:
-            index = 0
-        else:
-            index = min(
-                N_BUCKETS,
-                1 + int(math.log(seconds / FIRST_BOUND) / math.log(GROWTH)),
-            )
-        self._buckets[index] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper bound (seconds) of the bucket holding the ``q`` quantile.
-
-        ``q`` in [0, 1].  Resolution is one bucket (±20%), which is ample
-        for p50/p99 reporting; returns 0.0 when empty.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for i, n in enumerate(self._buckets):
-            seen += n
-            if seen >= rank:
-                if i >= N_BUCKETS:
-                    return self.max
-                return FIRST_BOUND * GROWTH**i
-        return self.max
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean_ms": self.mean * 1e3,
-            "p50_ms": self.percentile(0.50) * 1e3,
-            "p90_ms": self.percentile(0.90) * 1e3,
-            "p99_ms": self.percentile(0.99) * 1e3,
-            "max_ms": self.max * 1e3,
-        }
-
-
-class MetricsRegistry:
-    """Named counters plus per-operation latency histograms."""
-
-    def __init__(self, clock=time.monotonic) -> None:
-        self._clock = clock
-        self._started = clock()
-        self._counters: dict[str, int] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
-
-    def inc(self, name: str, delta: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + delta
-
-    def get(self, name: str) -> int:
-        return self._counters.get(name, 0)
-
-    def histogram(self, name: str) -> LatencyHistogram:
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = LatencyHistogram()
-        return hist
-
-    def observe(self, name: str, seconds: float) -> None:
-        self.histogram(name).record(seconds)
-
-    @property
-    def uptime_seconds(self) -> float:
-        return self._clock() - self._started
-
-    def snapshot(self) -> dict:
-        return {
-            "uptime_seconds": self.uptime_seconds,
-            "counters": dict(sorted(self._counters.items())),
-            "latency": {
-                name: hist.snapshot()
-                for name, hist in sorted(self._histograms.items())
-            },
-        }
-
-    def format_log_line(self) -> str:
-        """One-line operational summary for the periodic server log."""
-        parts = [f"up={self.uptime_seconds:.0f}s"]
-        parts += [f"{k}={v}" for k, v in sorted(self._counters.items())]
-        for name, hist in sorted(self._histograms.items()):
-            if hist.count:
-                parts.append(
-                    f"{name}.p50={hist.percentile(0.5) * 1e3:.2f}ms"
-                    f" {name}.p99={hist.percentile(0.99) * 1e3:.2f}ms"
-                )
-        return "metrics " + " ".join(parts)
+__all__ = [
+    "FIRST_BOUND",
+    "GROWTH",
+    "N_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]

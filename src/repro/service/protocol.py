@@ -7,6 +7,13 @@ than misparse) and an optional caller-chosen ``id`` echoed back in the
 response — that is what lets a pipelining client match responses to
 in-flight requests.
 
+Requests may additionally carry a request id ``rid`` — an opaque caller
+string (≤ 128 chars) echoed back in the response and propagated into the
+server's spans and slow-op log lines, so one request can be chased
+across client, wire and daemon (see ``docs/OBSERVABILITY.md``).  Unlike
+``id`` (per-connection pipelining bookkeeping), ``rid`` is global
+tracing identity.
+
 Requests::
 
     {"v": 1, "op": "ingest", "id": 7, "files": [3, 4], "sizes": [10, 20],
@@ -43,11 +50,15 @@ OPS = frozenset(
         "filecule_of",
         "advise",
         "stats",
+        "metrics",
         "partition",
         "snapshot",
         "shutdown",
     }
 )
+
+#: Longest accepted tracing request id (``rid``).
+MAX_RID_CHARS = 128
 
 #: Closed set of machine-readable error codes.
 ERROR_CODES = frozenset(
@@ -93,19 +104,34 @@ def encode_request(op: str, request_id: int | None = None, **fields) -> bytes:
     return _encode(obj)
 
 
-def ok_response(request_id, result: dict[str, Any]) -> dict[str, Any]:
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+def ok_response(
+    request_id, result: dict[str, Any], rid: str | None = None
+) -> dict[str, Any]:
+    response = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+    }
+    if rid is not None:
+        response["rid"] = rid
+    return response
 
 
-def error_response(request_id, code: str, message: str) -> dict[str, Any]:
+def error_response(
+    request_id, code: str, message: str, rid: str | None = None
+) -> dict[str, Any]:
     if code not in ERROR_CODES:  # defensive: never emit an unknown code
         code = "internal"
-    return {
+    response = {
         "v": PROTOCOL_VERSION,
         "id": request_id,
         "ok": False,
         "error": {"code": code, "message": message},
     }
+    if rid is not None:
+        response["rid"] = rid
+    return response
 
 
 def encode_response(response: dict[str, Any]) -> bytes:
@@ -171,6 +197,15 @@ def decode_request(line: bytes | str) -> dict[str, Any]:
 
     request: dict[str, Any] = {"op": op, "id": obj.get("id")}
 
+    rid = obj.get("rid")
+    if rid is not None:
+        if not isinstance(rid, str) or not rid or len(rid) > MAX_RID_CHARS:
+            raise ProtocolError(
+                "bad-request",
+                f"'rid' must be a non-empty string of <= {MAX_RID_CHARS} chars",
+            )
+        request["rid"] = rid  # absent when the caller sent none
+
     if op == "ingest":
         files = _require_int_list(obj, "files")
         request["files"] = files
@@ -195,6 +230,6 @@ def decode_request(line: bytes | str) -> dict[str, Any]:
         if path is not None and not isinstance(path, str):
             raise ProtocolError("bad-request", "'path' must be a string")
         request["path"] = path
-    # ping / stats / partition / shutdown carry no arguments
+    # ping / stats / metrics / partition / shutdown carry no arguments
 
     return request

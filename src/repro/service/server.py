@@ -16,17 +16,26 @@ Concurrency model — one event loop, one writer:
 * ``SIGINT``/``SIGTERM`` (and the ``shutdown`` op) trigger a graceful
   stop: stop accepting, unblock connected readers, let the actor drain
   every in-flight request, write a final snapshot if configured.
+
+Observability (see ``docs/OBSERVABILITY.md``): every handled request is
+recorded as a span in a bounded ring buffer (exported as JSONL on
+shutdown when ``span_log_path`` is set), carrying the client-supplied
+``rid``; requests slower than ``slow_op_seconds`` emit a structured
+``slow-op`` log line with that rid; the ``metrics`` op — and, when
+``metrics_port`` is set, a tiny HTTP endpoint at ``/metrics`` — expose
+the registry in Prometheus text format.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-import logging
 import signal
 import time
 
-from repro.service.metrics import MetricsRegistry
+from repro.obs import trace as obstrace
+from repro.obs.log import get_logger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -37,7 +46,7 @@ from repro.service.protocol import (
 )
 from repro.service.state import ServiceState, SnapshotError
 
-log = logging.getLogger("repro.service")
+slog = get_logger("repro.service")
 
 _STOP = object()  # sentinel closing a connection's response queue
 
@@ -63,6 +72,18 @@ class FileculeServer:
         ``snapshot_interval`` seconds and once more on shutdown.
     log_interval:
         Seconds between periodic metrics log lines (None disables).
+    metrics_port:
+        When set, also serve Prometheus text exposition over HTTP at
+        ``GET /metrics`` on this port (0 picks an ephemeral port,
+        exposed as :attr:`metrics_port` after :meth:`start`).
+    span_log_path:
+        When set, the span ring buffer is exported there as JSONL on
+        shutdown.
+    span_capacity:
+        Ring-buffer size of the per-server span recorder.
+    slow_op_seconds:
+        Requests handled slower than this emit a ``slow-op`` structured
+        log line carrying the request's ``rid``.
     """
 
     def __init__(
@@ -76,6 +97,10 @@ class FileculeServer:
         snapshot_path: str | None = None,
         snapshot_interval: float | None = None,
         log_interval: float | None = None,
+        metrics_port: int | None = None,
+        span_log_path: str | None = None,
+        span_capacity: int = obstrace.DEFAULT_CAPACITY,
+        slow_op_seconds: float = 0.25,
     ) -> None:
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
@@ -91,7 +116,12 @@ class FileculeServer:
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self.log_interval = log_interval
+        self.metrics_port = metrics_port
+        self.span_log_path = span_log_path
+        self.slow_op_seconds = slow_op_seconds
         self.metrics = MetricsRegistry()
+        self.spans = obstrace.SpanRecorder(span_capacity)
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._server: asyncio.AbstractServer | None = None
         self._inbox: asyncio.Queue | None = None
         self._stop_event: asyncio.Event | None = None
@@ -105,6 +135,7 @@ class FileculeServer:
     def _handle(self, request: dict) -> dict:
         op = request["op"]
         request_id = request["id"]
+        rid = request.get("rid")
         try:
             if op == "ping":
                 result = {
@@ -122,6 +153,11 @@ class FileculeServer:
             elif op == "stats":
                 result = self.state.stats()
                 result["server"] = self.metrics.snapshot()
+            elif op == "metrics":
+                result = {
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "body": self.expose_metrics(),
+                }
             elif op == "partition":
                 result = self.state.partition()
             elif op == "snapshot":
@@ -140,15 +176,42 @@ class FileculeServer:
                 raise ProtocolError("unknown-op", f"unknown op {op!r}")
         except ProtocolError as exc:
             self.metrics.inc("errors")
-            return error_response(request_id, exc.code, exc.message)
+            return error_response(request_id, exc.code, exc.message, rid=rid)
         except SnapshotError as exc:
             self.metrics.inc("errors")
-            return error_response(request_id, "snapshot-error", str(exc))
+            return error_response(request_id, "snapshot-error", str(exc), rid=rid)
         except Exception as exc:  # noqa: BLE001 — fault barrier
-            log.exception("internal error handling %s", op)
+            slog.error(
+                "internal-error",
+                op=op,
+                rid=rid,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self.metrics.inc("errors")
-            return error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
-        return ok_response(request_id, result)
+            return error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}", rid=rid
+            )
+        return ok_response(request_id, result, rid=rid)
+
+    def expose_metrics(self) -> str:
+        """Prometheus text exposition: server registry + live state gauges."""
+        stats = self.state.stats()
+        self.metrics.set_gauge("jobs_observed", stats["jobs_observed"])
+        self.metrics.set_gauge("files_observed", stats["files_observed"])
+        self.metrics.set_gauge("filecule_classes", stats["n_classes"])
+        self.metrics.set_gauge("span_buffer_spans", len(self.spans))
+        for site, adv in stats["sites"].items():
+            self.metrics.set_gauge("site_hit_rate", adv["hit_rate"], site=site)
+            self.metrics.set_gauge(
+                "site_byte_miss_rate", adv["byte_miss_rate"], site=site
+            )
+            self.metrics.set_gauge(
+                "site_used_bytes", adv["used_bytes"], site=site
+            )
+            self.metrics.set_gauge(
+                "site_requests", adv["requests"], site=site
+            )
+        return self.metrics.expose()
 
     async def _actor(self) -> None:
         assert self._inbox is not None
@@ -161,12 +224,27 @@ class FileculeServer:
                     break
             self.metrics.inc("batches")  # mean batch size = requests/batches
             for request, future, t_enqueued in batch:
+                op = request["op"]
+                rid = request.get("rid")
                 t0 = time.perf_counter()
-                response = self._handle(request)
+                with obstrace.span(
+                    f"op.{op}", recorder=self.spans, rid=rid
+                ) as span_fields:
+                    response = self._handle(request)
+                    span_fields["ok"] = response["ok"]
                 t1 = time.perf_counter()
                 self.metrics.inc("requests")
-                self.metrics.observe(f"op.{request['op']}", t1 - t0)
+                self.metrics.observe(f"op.{op}", t1 - t0)
                 self.metrics.observe("queue_wait", t0 - t_enqueued)
+                if t1 - t0 >= self.slow_op_seconds:
+                    self.metrics.inc("slow_ops")
+                    slog.warning(
+                        "slow-op",
+                        op=op,
+                        rid=rid,
+                        duration_ms=round((t1 - t0) * 1e3, 3),
+                        queue_wait_ms=round((t0 - t_enqueued) * 1e3, 3),
+                    )
                 if not future.done():
                     future.set_result(response)
             # Yield so connection writers interleave with the next batch.
@@ -249,6 +327,53 @@ class FileculeServer:
         task.add_done_callback(self._connections.discard)
 
     # ------------------------------------------------------------------
+    # HTTP metrics exposition (optional, read-only)
+    # ------------------------------------------------------------------
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal one-shot HTTP/1.0 responder for ``GET /metrics``.
+
+        Deliberately tiny: no keep-alive, no chunking, 5 s header
+        timeout — just enough for a Prometheus scraper or ``curl``.
+        """
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            while True:  # drain headers
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) >= 2 else "/"
+            if method != "GET":
+                status, body = "405 Method Not Allowed", b"method not allowed\n"
+                content_type = "text/plain"
+            elif path.split("?", 1)[0] in ("/metrics", "/"):
+                status = "200 OK"
+                body = self.expose_metrics().encode()
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                status, body = "404 Not Found", b"try /metrics\n"
+                content_type = "text/plain"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode()
+            )
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
     # background maintenance
     # ------------------------------------------------------------------
     async def _periodic_snapshot(self) -> None:
@@ -258,16 +383,16 @@ class FileculeServer:
             try:
                 receipt = self.state.snapshot(self.snapshot_path)
                 self.metrics.inc("snapshots")
-                log.info("snapshot written: %s", receipt)
+                slog.info("snapshot-written", **receipt)
             except SnapshotError as exc:
                 self.metrics.inc("snapshot_failures")
-                log.error("periodic snapshot failed: %s", exc)
+                slog.error("snapshot-failed", error=str(exc))
 
     async def _periodic_log(self) -> None:
         assert self.log_interval
         while True:
             await asyncio.sleep(self.log_interval)
-            log.info("%s", self.metrics.format_log_line())
+            slog.info("metrics", **self.metrics.snapshot())
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -290,12 +415,18 @@ class FileculeServer:
             limit=MAX_LINE_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        log.info(
-            "serving on %s:%d (policy=%s, capacity=%d bytes)",
-            self.host,
-            self.port,
-            self.state.policy_name,
-            self.state.capacity_bytes,
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
+        slog.info(
+            "serving",
+            host=self.host,
+            port=self.port,
+            policy=self.state.policy_name,
+            capacity_bytes=self.state.capacity_bytes,
+            metrics_port=self.metrics_port,
         )
 
     async def stop(self) -> None:
@@ -304,6 +435,10 @@ class FileculeServer:
             return
         self._server.close()
         await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         # Unblock connected readers so their tasks can finish cleanly.
         for task in list(self._connections):
             task.cancel()
@@ -321,12 +456,23 @@ class FileculeServer:
         if self.snapshot_path:
             try:
                 receipt = self.state.snapshot(self.snapshot_path)
-                log.info("final snapshot written: %s", receipt)
+                slog.info("final-snapshot-written", **receipt)
             except SnapshotError as exc:
-                log.error("final snapshot failed: %s", exc)
+                slog.error("final-snapshot-failed", error=str(exc))
+        if self.span_log_path:
+            try:
+                exported = self.spans.export_jsonl(self.span_log_path)
+                slog.info(
+                    "span-log-written",
+                    path=str(self.span_log_path),
+                    spans=exported,
+                    dropped=self.spans.dropped,
+                )
+            except OSError as exc:
+                slog.error("span-log-failed", error=str(exc))
         self._server = None
         self._background.clear()
-        log.info("stopped; %s", self.metrics.format_log_line())
+        slog.info("stopped", **self.metrics.snapshot())
 
     def request_stop(self) -> None:
         """Ask a running :meth:`serve_forever` to shut down gracefully."""

@@ -44,7 +44,10 @@ from repro.cache import (
     ReplacementPolicy,
 )
 from repro.core.incremental import IncrementalFileculeIdentifier
+from repro.obs.log import get_logger
 from repro.util.units import TB
+
+slog = get_logger("repro.service.state")
 
 #: Cache-policy factories selectable via configuration (name → factory).
 POLICY_REGISTRY: dict[str, Callable[[int], ReplacementPolicy]] = {
@@ -346,12 +349,14 @@ class ServiceState:
             os.replace(tmp, path)
         except OSError as exc:
             raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
-        return {
+        receipt = {
             "path": str(path),
             "n_jobs": ident_state["n_jobs"],
             "n_classes": len(ident_state["classes"]),
             "n_files": len(self._sizes),
         }
+        slog.debug("state-snapshot", **receipt)
+        return receipt
 
     @classmethod
     def restore(cls, path: str | Path) -> "ServiceState":
@@ -415,4 +420,11 @@ class ServiceState:
             raise SnapshotError(f"{path}: corrupt partition state: {exc}") from exc
         state._sizes = sizes
         state._clock = float(meta.get("clock", 0.0))
+        slog.info(
+            "state-restored",
+            path=str(path),
+            n_jobs=meta["n_jobs"],
+            n_classes=len(classes),
+            n_files=len(sizes),
+        )
         return state

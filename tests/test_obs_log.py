@@ -1,0 +1,82 @@
+"""Structured logging: record shape, levels, rid auto-attachment."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs import trace
+
+
+@pytest.fixture()
+def sink():
+    """Capture records in a StringIO; restore defaults afterwards."""
+    stream = io.StringIO()
+    obslog.configure(stream=stream, min_level="debug")
+    yield stream
+    obslog.configure(stream=None, min_level="info")
+
+
+def records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRecordShape:
+    def test_single_json_line_with_required_keys(self, sink):
+        obslog.get_logger("repro.test").info("serving", host="h", port=7401)
+        (rec,) = records(sink)
+        assert rec["level"] == "info"
+        assert rec["logger"] == "repro.test"
+        assert rec["event"] == "serving"
+        assert rec["host"] == "h" and rec["port"] == 7401
+        assert isinstance(rec["ts"], float)
+        assert "rid" not in rec
+
+    def test_non_serializable_fields_stringified(self, sink):
+        obslog.get_logger("t").info("path", path=object())
+        (rec,) = records(sink)
+        assert isinstance(rec["path"], str)
+
+    def test_rid_auto_attached_from_context(self, sink):
+        logger = obslog.get_logger("t")
+        with trace.bind_rid("req-42"):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = records(sink)
+        assert inside["rid"] == "req-42"
+        assert "rid" not in outside
+
+
+class TestLevels:
+    def test_threshold_filters(self, sink):
+        obslog.configure(stream=sink, min_level="warning")
+        logger = obslog.get_logger("t")
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        assert [r["event"] for r in records(sink)] == ["w", "e"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            obslog.configure(min_level="verbose")
+
+    def test_all_convenience_methods(self, sink):
+        logger = obslog.get_logger("t")
+        logger.debug("a")
+        logger.info("b")
+        logger.warning("c")
+        logger.error("d")
+        assert [r["level"] for r in records(sink)] == [
+            "debug",
+            "info",
+            "warning",
+            "error",
+        ]
+
+
+class TestGetLogger:
+    def test_cached_by_name(self):
+        assert obslog.get_logger("x") is obslog.get_logger("x")
+        assert obslog.get_logger("x") is not obslog.get_logger("y")

@@ -1,0 +1,243 @@
+"""Metrics: histogram quantile semantics, labels, merge, exposition.
+
+Includes the regression for ``percentile(0.0)`` — with data recorded, it
+previously returned the bucket-0 upper bound (1 µs) regardless of where
+the observations actually landed, because rank 0 satisfied the
+cumulative walk at the first (empty) bucket.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    FIRST_BOUND,
+    GROWTH,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestLatencyHistogram:
+    def test_percentile_zero_regression(self):
+        """q=0 must report the latency floor, not the 1 µs bucket bound."""
+        h = LatencyHistogram()
+        h.record(0.5)  # a single 500 ms observation
+        p0 = h.percentile(0.0)
+        assert p0 >= 0.4, f"q=0 returned {p0} — the old bucket-0 bug"
+        assert p0 >= h.min
+
+    def test_percentile_zero_first_nonempty_bucket(self):
+        h = LatencyHistogram()
+        for v in (0.010, 0.200, 0.900):
+            h.record(v)
+        # the floor is the 10 ms observation's bucket, not 1 µs
+        assert 0.010 <= h.percentile(0.0) <= 0.010 * GROWTH
+
+    def test_min_tracked_and_in_snapshot(self):
+        h = LatencyHistogram()
+        assert h.min == 0.0  # empty
+        h.record(0.03)
+        h.record(0.001)
+        h.record(2.0)
+        assert h.min == 0.001
+        snap = h.snapshot()
+        assert snap["min_ms"] == pytest.approx(1.0)
+        assert snap["max_ms"] == pytest.approx(2000.0)
+
+    def test_empty_percentiles_are_zero(self):
+        h = LatencyHistogram()
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-7, max_value=100.0), min_size=1, max_size=60
+        ),
+        q1=st.floats(min_value=0.0, max_value=1.0),
+        q2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_percentile_monotone_and_bounded(self, samples, q1, q2):
+        h = LatencyHistogram()
+        for s in samples:
+            h.record(s)
+        lo, hi = min(q1, q2), max(q1, q2)
+        p_lo, p_hi = h.percentile(lo), h.percentile(hi)
+        assert p_lo <= p_hi, f"percentile not monotone: q{lo}->{p_lo} q{hi}->{p_hi}"
+        for p in (p_lo, p_hi):
+            assert h.min <= p <= h.max
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=0, max_value=10.0), max_size=30),
+        b=st.lists(st.floats(min_value=0, max_value=10.0), max_size=30),
+    )
+    def test_merge_equals_recording_everything_in_one(self, a, b):
+        merged, reference = LatencyHistogram(), LatencyHistogram()
+        other = LatencyHistogram()
+        for s in a:
+            merged.record(s)
+            reference.record(s)
+        for s in b:
+            other.record(s)
+            reference.record(s)
+        merged.merge(other)
+        assert merged.count == reference.count
+        assert merged.total == pytest.approx(reference.total)
+        assert merged.max == reference.max
+        assert merged.min == reference.min
+        assert merged._buckets == reference._buckets
+
+
+class TestRegistryLabelsAndMerge:
+    def test_labeled_counters_are_distinct(self):
+        r = MetricsRegistry()
+        r.inc("site_requests", site=0)
+        r.inc("site_requests", 2, site=1)
+        r.inc("requests")
+        assert r.get("site_requests", site=0) == 1
+        assert r.get("site_requests", site=1) == 2
+        assert r.get("requests") == 1
+        assert r.get("site_requests") == 0  # unlabeled is a different series
+
+    def test_gauges(self):
+        r = MetricsRegistry()
+        r.set_gauge("hit_rate", 0.75, site=3)
+        assert r.gauge("hit_rate", site=3) == 0.75
+        assert r.gauge("hit_rate", site=4) == 0.0
+
+    def test_snapshot_keys_backward_compatible(self):
+        r = MetricsRegistry()
+        r.inc("requests", 5)
+        r.observe("op.ingest", 0.001)
+        snap = r.snapshot()
+        assert snap["counters"]["requests"] == 5
+        assert snap["latency"]["op.ingest"]["count"] == 1
+        assert "min_ms" in snap["latency"]["op.ingest"]
+
+    def test_merge_combines_parallel_workers(self):
+        workers = []
+        for w in range(3):
+            r = MetricsRegistry()
+            r.inc("requests", 10)
+            r.inc("errors", w)
+            r.set_gauge("inflight", 2.0)
+            r.observe("op.ingest", 0.001 * (w + 1))
+            workers.append(r)
+        total = MetricsRegistry()
+        total.merge(*workers)
+        assert total.get("requests") == 30
+        assert total.get("errors") == 0 + 1 + 2
+        assert total.gauge("inflight") == 6.0
+        hist = total.histogram("op.ingest")
+        assert hist.count == 3
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.003)
+
+    def test_format_log_line_mentions_counters(self):
+        r = MetricsRegistry()
+        r.inc("requests", 2)
+        line = r.format_log_line()
+        assert line.startswith("metrics ")
+        assert "requests=2" in line
+
+
+class TestPrometheusExposition:
+    def test_exact_counter_and_gauge_lines(self):
+        r = MetricsRegistry(clock=lambda: 0.0)
+        r.inc("requests", 7)
+        r.set_gauge("site_hit_rate", 0.25, site=2)
+        text = r.expose()
+        lines = text.splitlines()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert "repro_requests_total 7" in lines
+        assert "# TYPE repro_site_hit_rate gauge" in lines
+        assert 'repro_site_hit_rate{site="2"} 0.25' in lines
+        assert "# TYPE repro_uptime_seconds gauge" in lines
+        assert "repro_uptime_seconds 0" in lines
+        assert text.endswith("\n")
+
+    def test_histogram_lines_are_cumulative_and_terminated(self):
+        r = MetricsRegistry()
+        h = r.histogram("op.ingest")
+        for v in (0.001, 0.001, 0.5):
+            h.record(v)
+        lines = r.expose().splitlines()
+        assert "# TYPE repro_op_ingest_seconds histogram" in lines
+        buckets = [
+            line for line in lines if line.startswith("repro_op_ingest_seconds_bucket")
+        ]
+        assert buckets[-1] == 'repro_op_ingest_seconds_bucket{le="+Inf"} 3'
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert "repro_op_ingest_seconds_count 3" in lines
+        assert any(
+            line.startswith("repro_op_ingest_seconds_sum ") for line in lines
+        )
+
+    def test_names_are_sanitized(self):
+        r = MetricsRegistry()
+        r.inc("op.advise-plan")
+        assert "repro_op_advise_plan_total 1" in r.expose()
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        r.inc("weird", path='a"b\\c')
+        text = r.expose()
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_every_sample_line_is_well_formed(self):
+        r = MetricsRegistry()
+        r.inc("requests", 3)
+        r.inc("site_requests", 4, site=1)
+        r.set_gauge("x", 1.5)
+        r.observe("op.stats", 0.02)
+        for line in r.expose().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part.startswith("repro_")
+            if value != "+Inf":
+                float(value)  # parseable sample value
+
+    def test_overflow_bucket_maps_to_inf_only(self):
+        h = LatencyHistogram()
+        h.record(1e9)  # far beyond the last finite bucket
+        bounds = list(h.bucket_bounds())
+        assert bounds == [(math.inf, 1)]
+
+    def test_bucket_bounds_follow_geometry(self):
+        h = LatencyHistogram()
+        h.record(FIRST_BOUND / 2)  # bucket 0
+        bounds = list(h.bucket_bounds())
+        assert bounds[0] == (FIRST_BOUND, 1)
+        assert bounds[-1] == (math.inf, 1)
+
+
+class TestServiceImportPathCompatibility:
+    def test_old_import_path_is_the_same_objects(self):
+        from repro.service import metrics as svc_metrics
+        from repro.obs import metrics as obs_metrics
+
+        assert svc_metrics.MetricsRegistry is obs_metrics.MetricsRegistry
+        assert svc_metrics.LatencyHistogram is obs_metrics.LatencyHistogram
+        assert svc_metrics.FIRST_BOUND == obs_metrics.FIRST_BOUND
+
+    def test_snapshot_json_serializable(self):
+        r = MetricsRegistry()
+        r.inc("a", site=1)
+        r.observe("op.x", 0.1)
+        r.set_gauge("g", 2.5)
+        json.dumps(r.snapshot())

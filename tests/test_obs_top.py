@@ -1,0 +1,126 @@
+"""repro-top dashboard rendering (pure-function tests, no server)."""
+
+from repro.obs.top import (
+    count_exposition_samples,
+    render_dashboard,
+)
+
+
+def sample_stats():
+    return {
+        "policy": "filecule-lru",
+        "capacity_bytes": 10**9,
+        "jobs_observed": 1200,
+        "files_observed": 340,
+        "n_classes": 17,
+        "top_filecules": [
+            {"class_id": 3, "n_files": 12, "requests": 900, "bytes": 5 * 10**8},
+            {"class_id": 1, "n_files": 4, "requests": 420, "bytes": 10**7},
+        ],
+        "sites": {
+            "0": {
+                "requests": 800,
+                "hit_rate": 0.75,
+                "byte_miss_rate": 0.3,
+                "used_bytes": 6 * 10**8,
+            },
+            "2": {
+                "requests": 100,
+                "hit_rate": 0.5,
+                "byte_miss_rate": 0.6,
+                "used_bytes": 10**8,
+            },
+        },
+        "server": {
+            "uptime_seconds": 61.0,
+            "counters": {"requests": 1000, "errors": 2},
+            "latency": {
+                "op.ingest": {
+                    "count": 900,
+                    "min_ms": 0.1,
+                    "p50_ms": 0.4,
+                    "p99_ms": 3.2,
+                    "max_ms": 9.9,
+                },
+            },
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_header_and_totals(self):
+        frame = render_dashboard(sample_stats(), endpoint="h:7401")
+        assert "repro-top — h:7401" in frame
+        assert "policy=filecule-lru" in frame
+        assert "jobs 1,200" in frame
+        assert "filecules 17" in frame
+        assert "requests 1,000" in frame
+        assert "errors 2" in frame
+
+    def test_latency_table(self):
+        frame = render_dashboard(sample_stats())
+        assert "op.ingest" in frame
+        assert "min ms" in frame and "p99 ms" in frame
+        assert "0.10" in frame and "3.20" in frame
+
+    def test_site_table_sorted_numerically(self):
+        frame = render_dashboard(sample_stats())
+        lines = frame.splitlines()
+        site_lines = [
+            line for line in lines if line.startswith(("0 ", "2 "))
+        ]
+        assert len(site_lines) == 2
+        assert site_lines[0].startswith("0")
+        assert "75.0%" in site_lines[0]
+
+    def test_rate_from_previous_snapshot(self):
+        stats = sample_stats()
+        previous = {"counters": {"requests": 500}}
+        frame = render_dashboard(stats, previous=previous, interval=2.0)
+        assert "(250/s)" in frame
+        # no previous snapshot -> rate reads zero
+        assert "(0/s)" in render_dashboard(stats)
+
+    def test_rate_never_negative(self):
+        stats = sample_stats()
+        previous = {"counters": {"requests": 5000}}  # restarted daemon
+        frame = render_dashboard(stats, previous=previous, interval=2.0)
+        assert "(0/s)" in frame
+
+    def test_top_filecules_capped_at_five(self):
+        stats = sample_stats()
+        stats["top_filecules"] = [
+            {"class_id": i, "n_files": 1, "requests": 1, "bytes": 1}
+            for i in range(9)
+        ]
+        frame = render_dashboard(stats)
+        shown = [
+            line
+            for line in frame.splitlines()
+            if line and line.split()[0].isdigit() and "files" not in line
+        ]
+        # 2 site rows + 5 filecule rows
+        assert len([l for l in shown if len(l.split()) == 4]) <= 5
+
+    def test_exposition_sample_count_line(self):
+        frame = render_dashboard(sample_stats(), exposition_samples=42)
+        assert "exposition: 42 Prometheus samples" in frame
+
+    def test_minimal_stats_do_not_crash(self):
+        frame = render_dashboard({})
+        assert "repro-top" in frame
+
+
+class TestCountExpositionSamples:
+    def test_counts_only_sample_lines(self):
+        body = (
+            "# HELP repro_requests_total x\n"
+            "# TYPE repro_requests_total counter\n"
+            "repro_requests_total 5\n"
+            "\n"
+            'repro_site_hit_rate{site="0"} 0.5\n'
+        )
+        assert count_exposition_samples(body) == 2
+
+    def test_empty(self):
+        assert count_exposition_samples("") == 0

@@ -1,0 +1,110 @@
+"""Tracing: spans, rid binding, ring-buffer recorder, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture()
+def recorder():
+    return trace.SpanRecorder(capacity=8)
+
+
+class TestSpanContextManager:
+    def test_span_records_name_fields_and_duration(self, recorder):
+        with trace.span("advise", recorder=recorder, site=3) as fields:
+            fields["n_entries"] = 2
+        (span,) = recorder.spans()
+        assert span.name == "advise"
+        assert span.status == "ok"
+        assert span.duration_s >= 0.0
+        assert span.fields == {"site": 3, "n_entries": 2}
+
+    def test_span_error_status_and_propagation(self, recorder):
+        with pytest.raises(RuntimeError):
+            with trace.span("boom", recorder=recorder):
+                raise RuntimeError("nope")
+        (span,) = recorder.spans()
+        assert span.status == "error"
+
+    def test_explicit_rid_wins(self, recorder):
+        with trace.bind_rid("ctx-1"):
+            with trace.span("x", recorder=recorder, rid="explicit"):
+                pass
+        assert recorder.spans()[0].rid == "explicit"
+
+    def test_rid_defaults_to_bound_context(self, recorder):
+        with trace.bind_rid("ctx-2"):
+            with trace.span("x", recorder=recorder):
+                pass
+        with trace.span("y", recorder=recorder):
+            pass
+        rids = [s.rid for s in recorder.spans()]
+        assert rids == ["ctx-2", None]
+
+
+class TestRidBinding:
+    def test_bind_and_restore(self):
+        assert trace.current_rid() is None
+        with trace.bind_rid("abc"):
+            assert trace.current_rid() == "abc"
+            with trace.bind_rid("nested"):
+                assert trace.current_rid() == "nested"
+            assert trace.current_rid() == "abc"
+        assert trace.current_rid() is None
+
+    def test_new_rid_unique_and_prefixed(self):
+        a, b = trace.new_rid("load"), trace.new_rid("load")
+        assert a != b
+        assert a.startswith("load") and b.startswith("load")
+
+
+class TestSpanRecorder:
+    def test_ring_eviction_counts_dropped(self):
+        rec = trace.SpanRecorder(capacity=3)
+        for i in range(5):
+            with trace.span(f"s{i}", recorder=rec):
+                pass
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [s.name for s in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            trace.SpanRecorder(capacity=0)
+
+    def test_clear(self, recorder):
+        with trace.span("a", recorder=recorder):
+            pass
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_jsonl_export_round_trips(self, recorder, tmp_path):
+        with trace.bind_rid("req-9"):
+            with trace.span("op.ingest", recorder=recorder, site=0) as f:
+                f["n_files"] = 4
+        path = tmp_path / "sub" / "spans.jsonl"
+        n = recorder.export_jsonl(path)  # creates parent dirs
+        assert n == 1
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["name"] == "op.ingest"
+        assert record["rid"] == "req-9"
+        assert record["status"] == "ok"
+        assert record["n_files"] == 4
+        assert record["site"] == 0
+        assert record["duration_ms"] >= 0.0
+        assert record == json.loads(recorder.to_jsonl().splitlines()[0])
+
+    def test_global_recorder_swap(self):
+        mine = trace.SpanRecorder(capacity=4)
+        previous = trace.set_recorder(mine)
+        try:
+            with trace.span("global"):
+                pass
+            assert [s.name for s in mine.spans()] == ["global"]
+        finally:
+            trace.set_recorder(previous)

@@ -1,0 +1,220 @@
+"""End-to-end observability: metrics op, rid propagation, HTTP scrape.
+
+In-process daemon on an ephemeral loopback port, real clients — the
+same pattern as test_service_server.py, focused on the observability
+surface: the ``metrics`` protocol op, rid echo + span capture, the
+optional HTTP exposition endpoint, span-log export and slow-op logging.
+"""
+
+import asyncio
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.service import AsyncServiceClient, FileculeServer, ServiceState
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(state, fn, **server_kwargs):
+    server = FileculeServer(state, **server_kwargs)
+    await server.start()
+    try:
+        return await fn(server)
+    finally:
+        await server.stop()
+
+
+class TestMetricsOp:
+    def test_prometheus_text_over_the_protocol(self):
+        async def scenario(server):
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                await client.ingest([1, 2], sizes=[10, 20], site=1)
+                await client.advise([1, 2], site=1)
+                payload = await client.request("metrics")
+                assert payload["content_type"] == PROMETHEUS_CONTENT_TYPE
+                body = payload["body"]
+                lines = body.splitlines()
+                assert any(
+                    line.startswith("repro_requests_total ") for line in lines
+                )
+                # per-op latency histograms for the ops we just exercised
+                assert "# TYPE repro_op_ingest_seconds histogram" in lines
+                assert "# TYPE repro_op_advise_seconds histogram" in lines
+                # per-site gauges carry the site label
+                assert any(
+                    line.startswith('repro_site_hit_rate{site="1"} ')
+                    for line in lines
+                )
+                # every sample line parses: name{labels} value
+                for line in lines:
+                    if not line or line.startswith("#"):
+                        continue
+                    _, value = line.rsplit(" ", 1)
+                    if value != "+Inf":
+                        float(value)
+
+        run(_with_server(ServiceState(), scenario))
+
+
+class TestRidPropagation:
+    def test_rid_echoed_and_in_span_log(self, tmp_path):
+        span_log = tmp_path / "spans.jsonl"
+
+        async def scenario(server):
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                receipt = await client.ingest(
+                    [7, 8], sizes=[5, 5], rid="trace-me-42"
+                )
+                assert receipt["n_files"] == 2
+                plain = await client.ping()
+                assert plain["pong"] is True
+            return server
+
+        server = run(
+            _with_server(
+                ServiceState(), scenario, span_log_path=str(span_log)
+            )
+        )
+        # after stop(): spans exported to JSONL
+        records = [
+            json.loads(line) for line in span_log.read_text().splitlines()
+        ]
+        by_rid = {r.get("rid"): r for r in records}
+        assert "trace-me-42" in by_rid
+        assert by_rid["trace-me-42"]["name"] == "op.ingest"
+        assert by_rid["trace-me-42"]["status"] == "ok"
+        # the un-tagged ping produced a span without a rid
+        assert any(r["name"] == "op.ping" and "rid" not in r for r in records)
+        # and the live recorder held it too
+        assert any(s.rid == "trace-me-42" for s in server.spans.spans())
+
+    def test_rid_echoed_in_raw_response(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(
+                    json.dumps(
+                        {"v": 1, "op": "ping", "id": 1, "rid": "raw-1"}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is True
+                assert response["rid"] == "raw-1"
+                # a request without a rid gets a response without one
+                writer.write(b'{"v": 1, "op": "ping", "id": 2}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert "rid" not in response
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        run(_with_server(ServiceState(), scenario))
+
+    def test_bad_rid_rejected(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(
+                    json.dumps(
+                        {"v": 1, "op": "ping", "id": 1, "rid": "x" * 200}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad-request"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        run(_with_server(ServiceState(), scenario))
+
+
+class TestHttpExposition:
+    def test_scrape_over_http(self):
+        async def scenario(server):
+            assert server.metrics_port not in (None, 0)
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                await client.ingest([1], sizes=[10])
+            url = f"http://127.0.0.1:{server.metrics_port}/metrics"
+            body, content_type = await asyncio.to_thread(_http_get, url)
+            assert content_type == PROMETHEUS_CONTENT_TYPE
+            assert "repro_requests_total" in body
+            assert body.endswith("\n")
+
+        run(_with_server(ServiceState(), scenario, metrics_port=0))
+
+    def test_unknown_path_404(self):
+        async def scenario(server):
+            url = f"http://127.0.0.1:{server.metrics_port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                await asyncio.to_thread(_http_get, url)
+            assert exc_info.value.code == 404
+
+        run(_with_server(ServiceState(), scenario, metrics_port=0))
+
+    def test_no_http_listener_by_default(self):
+        async def scenario(server):
+            assert server.metrics_port is None
+
+        run(_with_server(ServiceState(), scenario))
+
+
+def _http_get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (
+            response.read().decode(),
+            response.headers.get("Content-Type"),
+        )
+
+
+class TestSlowOpLogging:
+    def test_slow_op_emits_structured_warning_with_rid(self, tmp_path):
+        sink = io.StringIO()
+        obslog.configure(stream=sink, min_level="debug")
+        try:
+
+            async def scenario(server):
+                async with await AsyncServiceClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    await client.ingest([1], sizes=[10], rid="slowpoke")
+
+            # threshold 0: every op counts as slow
+            run(
+                _with_server(
+                    ServiceState(), scenario, slow_op_seconds=0.0
+                )
+            )
+        finally:
+            obslog.configure(stream=None, min_level="info")
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        slow = [r for r in records if r["event"] == "slow-op"]
+        assert slow, "expected at least one slow-op record"
+        tagged = [r for r in slow if r.get("rid") == "slowpoke"]
+        assert tagged and tagged[0]["op"] == "ingest"
+        assert tagged[0]["duration_ms"] >= 0.0
