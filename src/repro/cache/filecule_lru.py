@@ -17,10 +17,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-import numpy as np
-
-from repro.cache.base import ReplacementPolicy, RequestOutcome
+from repro.cache.base import HIT, ReplacementPolicy, RequestOutcome
 from repro.core.filecule import FileculePartition
+
+#: Shared outcome for the ``intra_job_hits=False`` case: the triggering
+#: job re-requests a member whose bytes are still in flight — a miss
+#: that fetches nothing.
+_IN_FLIGHT = RequestOutcome(hit=False, bytes_fetched=0)
 
 
 class FileculeLRU(ReplacementPolicy):
@@ -62,9 +65,15 @@ class FileculeLRU(ReplacementPolicy):
         self._partition = partition
         self._labels = partition.labels
         self._sizes = partition.sizes_bytes
+        # request() runs once per access; plain-list copies avoid boxing
+        # a numpy scalar per lookup (int(labels[f]) / int(sizes[label])).
+        self._label_list: list[int] = partition.labels.tolist()
+        self._size_list: list[int] = partition.sizes_bytes.tolist()
         self._entries: OrderedDict[int, int] = OrderedDict()  # label -> size
         self._intra_job_hits = intra_job_hits
         self._load_key: dict[int, float] = {}  # label -> loading job's time
+        self._miss_outcomes: dict[int, RequestOutcome] = {}  # label -> miss
+        self._bypass_outcomes: dict[int, RequestOutcome] = {}  # file -> bypass
 
     def __contains__(self, file_id: int) -> bool:
         label = int(self._labels[file_id])
@@ -75,31 +84,42 @@ class FileculeLRU(ReplacementPolicy):
         return list(self._entries)
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
-        label = int(self._labels[file_id])
+        label = self._label_list[file_id]
         if label < 0:
             raise KeyError(
                 f"file {file_id} has no filecule; partition does not match "
                 f"the replayed trace"
             )
-        if label in self._entries:
-            self._entries.move_to_end(label)
+        entries = self._entries
+        if label in entries:
+            entries.move_to_end(label)
             if (
                 not self._intra_job_hits
                 and self._load_key.get(label) == now
             ):
                 # same job that triggered the load: bytes were in flight
-                return RequestOutcome(hit=False, bytes_fetched=0)
-            return RequestOutcome(hit=True)
-        fc_size = int(self._sizes[label])
+                return _IN_FLIGHT
+            return HIT
+        fc_size = self._size_list[label]
         if fc_size > self.capacity_bytes:
             # Whole filecule cannot fit: stream just the requested file.
-            return RequestOutcome(hit=False, bytes_fetched=size, bypassed=True)
+            outcome = self._bypass_outcomes.get(file_id)
+            if outcome is None or outcome.bytes_fetched != size:
+                outcome = RequestOutcome(
+                    hit=False, bytes_fetched=size, bypassed=True
+                )
+                self._bypass_outcomes[file_id] = outcome
+            return outcome
         while self.used_bytes + fc_size > self.capacity_bytes:
-            evicted_label, evicted = self._entries.popitem(last=False)
+            evicted_label, evicted = entries.popitem(last=False)
             self._release(evicted)
             self._load_key.pop(evicted_label, None)
-        self._entries[label] = fc_size
+        entries[label] = fc_size
         self._charge(fc_size)
         if not self._intra_job_hits:
             self._load_key[label] = now
-        return RequestOutcome(hit=False, bytes_fetched=fc_size)
+        outcome = self._miss_outcomes.get(label)
+        if outcome is None:
+            outcome = RequestOutcome(hit=False, bytes_fetched=fc_size)
+            self._miss_outcomes[label] = outcome
+        return outcome

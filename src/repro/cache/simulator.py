@@ -3,15 +3,22 @@
 :func:`simulate` replays a trace's file requests — each traced job issues
 its input files at its start time, in job order — against one policy
 instance and returns :class:`CacheMetrics`.  :func:`sweep` runs a grid of
-policies × capacities (Figure 10 is a two-policy, seven-capacity sweep).
+policies × capacities (Figure 10 is a two-policy, seven-capacity sweep);
+with ``jobs=N`` the grid fans out over a process pool
+(:mod:`repro.parallel`) with the trace shipped zero-copy through shared
+memory, and the result is guaranteed identical to the serial path.
 
 Both accept an optional :class:`~repro.obs.instrument.Instrumentation`:
 observation-only callbacks per access/hit/miss/eviction plus periodic
 progress checkpoints, so multi-million-access runs report live hit
 rates, evicted bytes and ETA instead of executing as black boxes.  With
-``instrumentation=None`` the original tight loop runs — zero overhead —
-and the instrumented path is guaranteed (and tested) to produce
-identical miss rates.
+``instrumentation=None`` a tight fast path runs: the trace's columns are
+read as plain Python lists (:attr:`~repro.traces.trace.Trace.replay_columns`,
+converted once per trace, not per run), per-job values are hoisted out
+of the per-access loop, and metrics counters accumulate in locals that
+are folded into :class:`CacheMetrics` once at the end.  The instrumented
+path updates metrics per access (hooks observe live state) and is
+guaranteed (and tested) to produce identical miss rates.
 """
 
 from __future__ import annotations
@@ -48,44 +55,65 @@ def simulate(
     metrics = CacheMetrics(
         name=name or policy.name, capacity_bytes=int(capacity)
     )
-    sizes = trace.file_sizes
-    starts = trace.job_starts
-    access_jobs = trace.access_jobs
     access_files = trace.access_files
-    record = metrics.record
+    ptr_list, files, sizes, starts = trace.replay_columns
     request = policy.request
     begin_job = policy.begin_job
-    ptr = trace.job_access_ptr
-    current_job = -1
     if instrumentation is None:
-        for i in range(len(access_jobs)):
-            j = int(access_jobs[i])
-            if j != current_job:
-                begin_job(
-                    trace.access_files[ptr[j] : ptr[j + 1]], float(starts[j])
-                )
-                current_job = j
-            f = int(access_files[i])
-            size = int(sizes[f])
-            record(size, request(f, size, float(starts[j])))
+        # Fast path: per-job outer loop (job id and timestamp hoisted out
+        # of the access loop), list columns (no numpy scalar boxing) and
+        # local counters folded into the metrics once at the end.  Job
+        # order and per-job file order are the canonical access order,
+        # so the request stream is identical to the instrumented path.
+        requests = hits = 0
+        bytes_requested = bytes_hit = bytes_fetched = bypasses = 0
+        for job in range(trace.n_jobs):
+            lo = ptr_list[job]
+            hi = ptr_list[job + 1]
+            if lo == hi:
+                continue
+            now = starts[job]
+            begin_job(access_files[lo:hi], now)
+            for f in files[lo:hi]:
+                size = sizes[f]
+                outcome = request(f, size, now)
+                requests += 1
+                bytes_requested += size
+                if outcome.hit:
+                    hits += 1
+                    bytes_hit += size
+                else:
+                    fetched = outcome.bytes_fetched
+                    if fetched:
+                        bytes_fetched += fetched
+                    if outcome.bypassed:
+                        bypasses += 1
+        metrics.requests = requests
+        metrics.hits = hits
+        metrics.bytes_requested = bytes_requested
+        metrics.bytes_hit = bytes_hit
+        metrics.bytes_fetched = bytes_fetched
+        metrics.bypasses = bypasses
         return metrics
 
     inst = instrumentation
-    total = len(access_jobs)
+    total = len(files)
     progress_every = inst.progress_every
     inst.on_run_start(metrics.name, int(capacity), total)
     policy.evict_listener = inst.on_evict
+    record = metrics.record
+    access_jobs = trace.access_jobs
+    current_job = -1
+    now = 0.0
     try:
         for i in range(total):
             j = int(access_jobs[i])
             if j != current_job:
-                begin_job(
-                    trace.access_files[ptr[j] : ptr[j + 1]], float(starts[j])
-                )
+                now = starts[j]
+                begin_job(access_files[ptr_list[j] : ptr_list[j + 1]], now)
                 current_job = j
-            f = int(access_files[i])
-            size = int(sizes[f])
-            now = float(starts[j])
+            f = files[i]
+            size = sizes[f]
             inst.on_access(f, size, now)
             outcome = request(f, size, now)
             record(size, outcome)
@@ -121,12 +149,20 @@ class SweepResult:
         """Per-capacity ratio baseline miss rate / contender miss rate.
 
         The paper's headline is a 4–5× factor of file-LRU over
-        filecule-LRU at large caches.  Capacities where the contender has
-        a zero miss rate report ``inf``.
+        filecule-LRU at large caches.  Capacities where only the
+        contender has a zero miss rate report ``inf``; where *both*
+        policies have zero miss rate (e.g. an empty or fully-cached
+        cell) the factor is undefined and reports ``nan`` so downstream
+        tables don't render a spurious ``inf×``.
         """
         out = []
         for b, c in zip(self.metrics[baseline], self.metrics[contender]):
-            out.append(b.miss_rate / c.miss_rate if c.miss_rate > 0 else float("inf"))
+            if c.miss_rate > 0:
+                out.append(b.miss_rate / c.miss_rate)
+            elif b.miss_rate > 0:
+                out.append(float("inf"))
+            else:
+                out.append(float("nan"))
         return out
 
 
@@ -135,6 +171,7 @@ def sweep(
     factories: dict[str, PolicyFactory],
     capacities: Sequence[int],
     instrumentation: Instrumentation | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run every (policy, capacity) combination over the same trace.
 
@@ -142,12 +179,35 @@ def sweep(
     :meth:`~repro.obs.instrument.Instrumentation.on_run_start` announces
     each (policy, capacity) cell, so a progress reporter labels its
     output per run while a stats collector aggregates the whole grid.
+
+    ``jobs > 1`` dispatches the grid to
+    :class:`repro.parallel.ParallelSweepRunner`: each cell replays the
+    identical immutable trace in a worker process (columns shared via
+    :mod:`multiprocessing.shared_memory`, reconstructed once per worker)
+    and the per-cell metrics are merged into a :class:`SweepResult`
+    identical to the serial one.  ``jobs`` is a ceiling — the pool is
+    clamped to the cell count and the machine's CPU count (the replay is
+    CPU-bound; oversubscribing cores only slows it down).  Per-access hooks cannot cross process
+    boundaries, so only ``None``, :class:`~repro.obs.instrument.SimStats`,
+    :class:`~repro.obs.instrument.ProgressReporter` (progress checkpoints
+    forwarded over a queue) and combinations of those are supported in
+    parallel mode.
     """
     if not factories:
         raise ValueError("need at least one policy factory")
     caps = tuple(int(c) for c in capacities)
     if not caps:
         raise ValueError("need at least one capacity")
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        from repro.parallel.runner import parallel_sweep
+
+        return parallel_sweep(
+            trace, factories, caps, jobs=jobs, instrumentation=instrumentation
+        )
     metrics: dict[str, tuple[CacheMetrics, ...]] = {}
     for name, factory in factories.items():
         metrics[name] = tuple(

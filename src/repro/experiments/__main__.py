@@ -40,6 +40,17 @@ def main(argv: list[str] | None = None) -> int:
         help=f"workload seed (default: {EXPERIMENT_SEED})",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the sweep-backed experiments (fig10, "
+            "null_model, robustness, ablations); default: 1 (serial). "
+            "Parallel results are identical to serial by construction."
+        ),
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero if any qualitative check fails",
@@ -60,10 +71,13 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
-    ctx = get_context(args.scale, args.seed)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    ctx = get_context(args.scale, args.seed, args.jobs)
     print(
         f"workload: scale={ctx.scale}, seed={ctx.seed}, {ctx.trace!r}, "
-        f"{len(ctx.partition)} filecules",
+        f"{len(ctx.partition)} filecules"
+        + (f", {ctx.jobs} sweep workers" if ctx.jobs > 1 else ""),
         flush=True,
     )
     if args.report:

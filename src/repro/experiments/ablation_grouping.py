@@ -49,7 +49,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         "filecule-lfu": lambda c: FileculeLFU(c, partition),
         "filecule-gds": lambda c: FileculeGDS(c, partition),
     }
-    result = sweep(trace, factories, [capacity])
+    result = sweep(trace, factories, [capacity], jobs=ctx.jobs)
     rows = tuple(
         (
             name,

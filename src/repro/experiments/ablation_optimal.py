@@ -44,6 +44,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         },
         caps,
         instrumentation=progress_from_env("ablation_optimal"),
+        jobs=ctx.jobs,
     )
     rows = []
     for i, cap in enumerate(caps):

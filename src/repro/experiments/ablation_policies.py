@@ -45,7 +45,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         ),
         "filecule-lru": lambda c: FileculeLRU(c, partition),
     }
-    result = sweep(trace, factories, [capacity])
+    result = sweep(trace, factories, [capacity], jobs=ctx.jobs)
     rows = tuple(
         (
             name,

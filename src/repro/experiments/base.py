@@ -29,17 +29,31 @@ _SCALES = {
 
 @dataclass(frozen=True)
 class ExperimentContext:
-    """The workload every experiment runs against."""
+    """The workload every experiment runs against.
+
+    ``jobs`` is the worker-process count for the sweep-backed
+    experiments (``fig10``, ``null_model``, ``robustness`` and the
+    ablations): 1 replays serially, N > 1 fans the (policy, capacity)
+    grid out through :mod:`repro.parallel` with results guaranteed
+    identical to serial.
+    """
 
     scale: str
     seed: int
     trace: Trace
     partition: FileculePartition
+    jobs: int = 1
 
 
 @lru_cache(maxsize=4)
-def get_context(scale: str = "default", seed: int = EXPERIMENT_SEED) -> ExperimentContext:
+def get_context(
+    scale: str = "default",
+    seed: int = EXPERIMENT_SEED,
+    jobs: int = 1,
+) -> ExperimentContext:
     """Build (once per scale/seed) the shared trace and partition."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     try:
         config = _SCALES[scale]()
     except KeyError:
@@ -52,6 +66,7 @@ def get_context(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Experime
         seed=seed,
         trace=trace,
         partition=find_filecules(trace),
+        jobs=jobs,
     )
 
 

@@ -53,8 +53,11 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         caps,
         # Observation-only live progress (hit rate, evicted bytes, ETA)
         # when REPRO_PROGRESS=1; silent otherwise.  Identical miss rates
-        # either way — asserted by tests/test_obs_instrument.py.
+        # either way — asserted by tests/test_obs_instrument.py.  With
+        # jobs > 1 the 7×2 grid fans out over worker processes and
+        # progress is forwarded from the workers over a queue.
         instrumentation=progress_from_env("fig10"),
+        jobs=ctx.jobs,
     )
     file_mr = result.miss_rates("file-lru")
     cule_mr = result.miss_rates("filecule-lru")

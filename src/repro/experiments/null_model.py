@@ -49,6 +49,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
                 "cule": lambda c, p=partition: FileculeLRU(c, p),
             },
             [capacity],
+            jobs=ctx.jobs,
         )
         factor = result.improvement_factor("file", "cule")[0]
         factors[label] = factor

@@ -44,6 +44,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
                 "cule": lambda c: FileculeLRU(c, partition),
             },
             caps,
+            jobs=ctx.jobs,
         )
         factors = result.improvement_factor("file", "cule")
         per_seed_factors[seed] = factors

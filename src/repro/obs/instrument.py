@@ -104,6 +104,24 @@ class SimStats(Instrumentation):
     def on_progress(self, done: int, total: int, metrics) -> None:
         self.progress_calls += 1
 
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Fold another collector's counters into this one (in place).
+
+        Parallel sweep workers each observe their own cells with a
+        private ``SimStats``; the parent combines them with this, the
+        counting analogue of
+        :meth:`repro.obs.metrics.MetricsRegistry.merge`.
+        """
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.bypasses += other.bypasses
+        self.bytes_requested += other.bytes_requested
+        self.bytes_fetched += other.bytes_fetched
+        self.bytes_evicted += other.bytes_evicted
+        self.progress_calls += other.progress_calls
+        return self
+
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0

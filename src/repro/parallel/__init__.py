@@ -1,0 +1,49 @@
+"""Process-parallel sweep engine with shared-memory trace transport.
+
+``repro.parallel`` makes the repository's dominant compute pattern — a
+grid of independent (policy, capacity) cache replays over one immutable
+trace (Figure 10, the null model, robustness, the ablations) — N-core
+fast:
+
+* :class:`ParallelSweepRunner` — fans a sweep grid over a ``fork``
+  process pool and merges per-cell metrics into a
+  :class:`~repro.cache.simulator.SweepResult` identical to the serial
+  path;
+* :class:`SharedTraceBuffers` / :func:`attach_trace` — pack a trace's
+  numpy columns into one shared-memory segment and rebuild zero-copy
+  views per worker (:mod:`repro.parallel.shm`);
+* :class:`SweepCellError` — failure wrapper naming the failing cell.
+
+Most callers never touch this module directly: pass ``jobs=N`` to
+:func:`repro.cache.simulator.sweep` (or ``--jobs N`` to
+``repro-experiments`` and the sweep-backed benchmark drivers).
+
+See ``docs/PERFORMANCE.md`` for the design, the equivalence guarantees
+and how to read ``BENCH_sweep.json``.
+"""
+
+from repro.parallel.runner import (
+    DEFAULT_PROGRESS_EVERY,
+    ParallelSweepRunner,
+    SweepCellError,
+    parallel_sweep,
+)
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    SharedTraceBuffers,
+    SharedTraceSpec,
+    TRACE_COLUMNS,
+    attach_trace,
+)
+
+__all__ = [
+    "DEFAULT_PROGRESS_EVERY",
+    "ParallelSweepRunner",
+    "SweepCellError",
+    "parallel_sweep",
+    "SEGMENT_PREFIX",
+    "SharedTraceBuffers",
+    "SharedTraceSpec",
+    "TRACE_COLUMNS",
+    "attach_trace",
+]

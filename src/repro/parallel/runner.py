@@ -1,0 +1,420 @@
+"""Process-parallel (policy, capacity) sweep engine.
+
+The Figure 10 grid — and every experiment built on
+:func:`repro.cache.simulator.sweep` — is embarrassingly parallel: each
+cell replays the identical immutable trace against a fresh policy
+instance.  :class:`ParallelSweepRunner` fans the grid out over a
+``fork``-context :class:`multiprocessing.Pool`:
+
+* the trace's columns travel **zero-copy** through one shared-memory
+  segment (:mod:`repro.parallel.shm`), reconstructed once per worker in
+  the pool initializer — never per cell;
+* policy factories (arbitrary closures over partitions/traces) are
+  inherited by the forked workers, so no factory pickling is required;
+* each cell returns its :class:`~repro.cache.base.CacheMetrics` plus a
+  per-cell :class:`~repro.obs.metrics.MetricsRegistry`, which the parent
+  folds together with the existing
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge`;
+* with progress enabled (``REPRO_PROGRESS=1`` through the drivers, or a
+  :class:`~repro.obs.instrument.ProgressReporter` passed to ``sweep``),
+  workers forward periodic checkpoints over a queue and the parent
+  prints throttled live hit-rate/ETA lines exactly like the serial path;
+* a failing cell raises :class:`SweepCellError` naming the (policy,
+  capacity) cell, and the shared-memory segment is unlinked in a
+  ``finally`` — no leaks even on failure.
+
+Results are **identical** to the serial path by construction: the same
+:func:`~repro.cache.simulator.simulate` code runs over byte-identical
+columns, and the property tests assert equality cell by cell.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from typing import IO
+
+from repro.cache.base import CacheMetrics
+from repro.cache.simulator import PolicyFactory, SweepResult, simulate
+from repro.obs.instrument import (
+    Instrumentation,
+    MultiInstrumentation,
+    ProgressReporter,
+    SimStats,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.shm import SharedTraceBuffers, SharedTraceSpec, attach_trace
+from repro.traces.trace import Trace
+from repro.util.units import format_bytes
+
+#: Default accesses between forwarded progress checkpoints (matches
+#: :class:`~repro.obs.instrument.ProgressReporter`).
+DEFAULT_PROGRESS_EVERY = 65536
+
+
+class SweepCellError(RuntimeError):
+    """A worker failed while simulating one (policy, capacity) cell."""
+
+    def __init__(self, policy: str, capacity: int, cause: BaseException):
+        self.policy = policy
+        self.capacity = capacity
+        super().__init__(
+            f"sweep cell failed: policy {policy!r} at capacity {capacity} "
+            f"({format_bytes(capacity, 1)}): {cause!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer (fork context: the
+#: factories dict — closures included — arrives by inheritance, and the
+#: trace is attached from shared memory exactly once per worker).
+_WORKER: dict = {}
+
+
+def _init_worker(
+    spec: SharedTraceSpec,
+    factories: dict[str, PolicyFactory],
+    progress: tuple | None,
+    collect_stats: bool,
+) -> None:
+    trace, shm = attach_trace(spec)
+    _WORKER["trace"] = trace
+    _WORKER["shm"] = shm  # keep the mapping alive for the process lifetime
+    _WORKER["factories"] = factories
+    _WORKER["progress"] = progress
+    _WORKER["collect_stats"] = collect_stats
+
+
+class _QueueProgress(Instrumentation):
+    """Worker-side hook forwarding progress checkpoints to the parent."""
+
+    def __init__(self, queue, progress_every: int) -> None:
+        self.queue = queue
+        self.progress_every = progress_every
+        self._name = ""
+        self._capacity = 0
+        self._evicted = 0
+
+    def on_run_start(self, name: str, capacity: int, total_accesses: int) -> None:
+        self._name = name
+        self._capacity = capacity
+        self._evicted = 0
+        self.queue.put(("run", name, capacity, total_accesses))
+
+    def on_evict(self, bytes_evicted: int) -> None:
+        self._evicted += bytes_evicted
+
+    def on_progress(self, done: int, total: int, metrics) -> None:
+        self.queue.put(
+            (
+                "tick",
+                self._name,
+                self._capacity,
+                done,
+                total,
+                metrics.hit_rate,
+                self._evicted,
+            )
+        )
+
+
+def _run_cell(name: str, index: int, capacity: int):
+    trace: Trace = _WORKER["trace"]
+    factory = _WORKER["factories"][name]
+    hooks: list[Instrumentation] = []
+    stats = SimStats() if _WORKER["collect_stats"] else None
+    if stats is not None:
+        hooks.append(stats)
+    progress = _WORKER["progress"]
+    if progress is not None:
+        hooks.append(_QueueProgress(*progress))
+    instrumentation: Instrumentation | None
+    if not hooks:
+        instrumentation = None
+    elif len(hooks) == 1:
+        instrumentation = hooks[0]
+    else:
+        instrumentation = MultiInstrumentation(*hooks)
+    t0 = time.perf_counter()
+    metrics = simulate(
+        trace, factory, capacity, name=name, instrumentation=instrumentation
+    )
+    wall = time.perf_counter() - t0
+    registry = MetricsRegistry()
+    registry.inc("sweep_cells", policy=name)
+    registry.inc("sweep_accesses", metrics.requests, policy=name)
+    registry.inc("sweep_hits", metrics.hits, policy=name)
+    registry.inc("sweep_misses", metrics.misses, policy=name)
+    registry.inc("sweep_bytes_fetched", metrics.bytes_fetched, policy=name)
+    registry.observe("sweep_cell", wall, policy=name)
+    return name, index, metrics, stats, registry
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class _ProgressPrinter:
+    """Parent-side consumer of forwarded checkpoints.
+
+    Cells from several workers interleave, so lines are labeled per cell
+    (``policy@capacity``) and rate/ETA are computed from the parent's
+    clock per cell; output is throttled globally like the serial
+    :class:`~repro.obs.instrument.ProgressReporter`.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        stream: IO[str] | None,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._started: dict[tuple[str, int], float] = {}
+        self._t_last = float("-inf")
+
+    def handle(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "run":
+            _, name, capacity, _total = message
+            self._started[(name, capacity)] = time.perf_counter()
+            return
+        _, name, capacity, done, total, hit_rate, evicted = message
+        now = time.perf_counter()
+        if done < total and now - self._t_last < self.min_interval_s:
+            return
+        self._t_last = now
+        t0 = self._started.get((name, capacity), now)
+        elapsed = now - t0
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (total - done) / rate if rate > 0 and done < total else 0.0
+        self.stream.write(
+            f"[{self.label} {name}@{format_bytes(capacity, 1)}] "
+            f"{done / total:6.1%} {done}/{total} "
+            f"hit={hit_rate:.3f} "
+            f"evicted={format_bytes(evicted, 1)} "
+            f"{rate:,.0f} acc/s eta={eta:.0f}s\n"
+        )
+        self.stream.flush()
+
+
+class ParallelSweepRunner:
+    """Fan a (policy, capacity) grid out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process *ceiling*.  The pool never exceeds the cell count
+        and — unless ``oversubscribe`` — never exceeds the machine's CPU
+        count either: the replay is CPU-bound, so extra workers on the
+        same core only add context-switch and cache-thrash cost (measured
+        ~2.4× slower at 4 workers on 1 core; see ``BENCH_sweep.json``).
+        The worker count actually used is exposed as
+        :attr:`effective_jobs` after :meth:`run`.
+    progress, progress_stream, progress_every, label:
+        Enable live progress forwarding from workers (off by default;
+        ``sweep`` turns it on when handed a ``ProgressReporter``).
+    collect_stats:
+        Run every cell under a :class:`~repro.obs.instrument.SimStats`
+        collector and merge the workers' collectors into :attr:`stats`.
+        This uses the (slower) instrumented simulation path, exactly as
+        it would serially.
+    oversubscribe:
+        Allow more workers than CPUs (up to ``jobs``).  A diagnostic /
+        benchmarking knob — the default clamp is the right call for real
+        runs.
+
+    After :meth:`run`, :attr:`registry` holds the merged per-cell worker
+    registries (cell counters plus a ``sweep_cell`` wall-time histogram,
+    combined with :meth:`~repro.obs.metrics.MetricsRegistry.merge`) and
+    :attr:`stats` the merged :class:`~repro.obs.instrument.SimStats`
+    (``None`` unless ``collect_stats``).
+
+    Requires a platform with the ``fork`` start method (POSIX): forked
+    workers inherit the policy factories, which are arbitrary closures
+    and deliberately never pickled.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        progress: bool = False,
+        progress_stream: IO[str] | None = None,
+        progress_every: int = DEFAULT_PROGRESS_EVERY,
+        label: str = "psweep",
+        collect_stats: bool = False,
+        oversubscribe: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.progress = progress
+        self.progress_stream = progress_stream
+        self.progress_every = progress_every
+        self.label = label
+        self.collect_stats = collect_stats
+        self.oversubscribe = oversubscribe
+        self.registry = MetricsRegistry()
+        self.stats: SimStats | None = None
+        #: Worker count the last :meth:`run` actually used.
+        self.effective_jobs = 0
+
+    def run(
+        self,
+        trace: Trace,
+        factories: dict[str, PolicyFactory],
+        capacities,
+    ) -> SweepResult:
+        """Run the grid; identical results to serial ``sweep``."""
+        if not factories:
+            raise ValueError("need at least one policy factory")
+        caps = tuple(int(c) for c in capacities)
+        if not caps:
+            raise ValueError("need at least one capacity")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "parallel sweeps need the 'fork' start method; "
+                "run sweep(jobs=1) on this platform"
+            ) from None
+        cells = [
+            (name, index, cap)
+            for name in factories
+            for index, cap in enumerate(caps)
+        ]
+        processes = min(self.jobs, len(cells))
+        if not self.oversubscribe:
+            processes = min(processes, os.cpu_count() or processes)
+        processes = max(1, processes)
+        self.effective_jobs = processes
+        queue = ctx.Queue() if self.progress else None
+        printer_thread = None
+        if queue is not None:
+            printer = _ProgressPrinter(self.label, self.progress_stream)
+
+            def drain() -> None:
+                while True:
+                    message = queue.get()
+                    if message is None:
+                        return
+                    printer.handle(message)
+
+            printer_thread = threading.Thread(
+                target=drain, name="psweep-progress", daemon=True
+            )
+            printer_thread.start()
+
+        grid: dict[str, list[CacheMetrics | None]] = {
+            name: [None] * len(caps) for name in factories
+        }
+        merged_stats = SimStats() if self.collect_stats else None
+        buffers = SharedTraceBuffers(trace)
+        try:
+            progress_cfg = (
+                (queue, self.progress_every) if queue is not None else None
+            )
+            with ctx.Pool(
+                processes,
+                initializer=_init_worker,
+                initargs=(
+                    buffers.spec,
+                    dict(factories),
+                    progress_cfg,
+                    self.collect_stats,
+                ),
+            ) as pool:
+                pending = [
+                    (name, index, pool.apply_async(_run_cell, (name, index, cap)))
+                    for name, index, cap in cells
+                ]
+                for name, index, handle in pending:
+                    try:
+                        _, _, metrics, stats, registry = handle.get()
+                    except Exception as exc:
+                        raise SweepCellError(name, caps[index], exc) from exc
+                    grid[name][index] = metrics
+                    self.registry.merge(registry)
+                    if merged_stats is not None and stats is not None:
+                        merged_stats.merge(stats)
+        finally:
+            if queue is not None:
+                queue.put(None)
+                printer_thread.join(timeout=5.0)
+                queue.close()
+            buffers.close()
+            buffers.unlink()
+        self.stats = merged_stats
+        return SweepResult(
+            capacities=caps,
+            metrics={name: tuple(grid[name]) for name in factories},
+        )
+
+
+def parallel_sweep(
+    trace: Trace,
+    factories: dict[str, PolicyFactory],
+    capacities,
+    *,
+    jobs: int,
+    instrumentation: Instrumentation | None = None,
+) -> SweepResult:
+    """``sweep(jobs=N)`` backend: map the instrumentation contract onto a
+    :class:`ParallelSweepRunner`.
+
+    Per-access hooks cannot cross process boundaries, so only the two
+    shipped observation types (and combinations of them) are supported:
+    a :class:`~repro.obs.instrument.ProgressReporter` has its checkpoint
+    stream forwarded from the workers over a queue, and a
+    :class:`~repro.obs.instrument.SimStats` receives the merged worker
+    collectors after the run.  Anything else raises ``ValueError`` —
+    run serially for custom per-access instrumentation.
+    """
+    hooks: tuple[Instrumentation, ...]
+    if instrumentation is None:
+        hooks = ()
+    elif isinstance(instrumentation, MultiInstrumentation):
+        hooks = instrumentation.children
+    else:
+        hooks = (instrumentation,)
+    reporter: ProgressReporter | None = None
+    sinks: list[SimStats] = []
+    for hook in hooks:
+        if isinstance(hook, ProgressReporter):
+            reporter = hook
+        elif isinstance(hook, SimStats):
+            sinks.append(hook)
+        else:
+            raise ValueError(
+                "parallel sweeps forward progress checkpoints and SimStats "
+                "only; got unsupported instrumentation "
+                f"{type(hook).__name__} — use jobs=1 for custom per-access "
+                "hooks"
+            )
+    runner = ParallelSweepRunner(
+        jobs=jobs,
+        progress=reporter is not None,
+        progress_stream=reporter.stream if reporter is not None else None,
+        progress_every=(
+            reporter.progress_every
+            if reporter is not None
+            else DEFAULT_PROGRESS_EVERY
+        ),
+        label=reporter.label if reporter is not None else "psweep",
+        collect_stats=bool(sinks),
+    )
+    result = runner.run(trace, factories, capacities)
+    if sinks and runner.stats is not None:
+        for sink in sinks:
+            sink.merge(runner.stats)
+    return result

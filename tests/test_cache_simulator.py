@@ -91,6 +91,29 @@ class TestSweep:
         )
         assert res2.improvement_factor("base", "perfect") == [float("inf")]
 
+    def test_factor_nan_when_both_miss_rates_zero(self):
+        import math
+
+        from repro.cache.base import CacheMetrics
+        from repro.cache.simulator import SweepResult
+
+        res = SweepResult(
+            capacities=(1, 2),
+            metrics={
+                "base": (
+                    CacheMetrics(requests=10, hits=10),
+                    CacheMetrics(),  # empty cell: no requests at all
+                ),
+                "contender": (
+                    CacheMetrics(requests=10, hits=10),
+                    CacheMetrics(),
+                ),
+            },
+        )
+        factors = res.improvement_factor("base", "contender")
+        assert len(factors) == 2
+        assert all(math.isnan(f) for f in factors)
+
     def test_empty_args_rejected(self, trace):
         with pytest.raises(ValueError):
             sweep(trace, {}, [10])

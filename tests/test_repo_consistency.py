@@ -10,7 +10,7 @@ REPO = Path(__file__).parent.parent
 
 #: Benchmarks of whole subsystems rather than paper experiments; exempt
 #: from the experiment-registry pairing below.
-NON_EXPERIMENT_BENCHMARKS = {"service"}
+NON_EXPERIMENT_BENCHMARKS = {"service", "sweep"}
 
 
 class TestBenchmarkCoverage:
