@@ -66,6 +66,29 @@ class CacheMetrics:
         if outcome.bypassed:
             self.bypasses += 1
 
+    def record_totals(
+        self,
+        requests: int,
+        hits: int,
+        bytes_requested: int,
+        bytes_hit: int,
+        bytes_fetched: int,
+        bypasses: int,
+    ) -> None:
+        """Fold pre-aggregated outcome totals in — one call per batch.
+
+        Bit-identical to calling :meth:`record` once per access; lets a
+        caller that already walks the accesses (the service's ingest hot
+        loop) accumulate locals and pay one method call per job instead
+        of one per file.
+        """
+        self.requests += requests
+        self.hits += hits
+        self.bytes_requested += bytes_requested
+        self.bytes_hit += bytes_hit
+        self.bytes_fetched += bytes_fetched
+        self.bypasses += bypasses
+
     @property
     def misses(self) -> int:
         return self.requests - self.hits

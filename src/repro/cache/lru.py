@@ -47,13 +47,27 @@ class FileLRU(ReplacementPolicy):
         if outcome.bypassed:
             # Larger than the whole cache: stream without caching.
             return outcome
+        # Inlined _release/_charge: a full cache evicts on nearly every
+        # miss, so the accounting runs on locals and writes occupancy
+        # back once.  The negative-occupancy guard is impossible here
+        # (we only subtract sizes we previously charged); the capacity
+        # guard is kept verbatim.
         capacity = self.capacity_bytes
-        if self.used_bytes + size > capacity:
+        used = self.used_bytes
+        if used + size > capacity:
             popitem = entries.popitem
-            release = self._release
-            while self.used_bytes + size > capacity:
+            listener = self.evict_listener
+            while used + size > capacity:
                 _, evicted_size = popitem(last=False)
-                release(evicted_size)
+                used -= evicted_size
+                if listener is not None:
+                    listener(evicted_size)
         entries[file_id] = size
-        self._charge(size)
+        used += size
+        if used > capacity:
+            raise RuntimeError(
+                f"{self.name}: used {used} exceeds capacity "
+                f"{capacity} — eviction logic is broken"
+            )
+        self.used_bytes = used
         return outcome

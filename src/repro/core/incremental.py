@@ -36,8 +36,10 @@ class IncrementalFileculeIdentifier:
     Example
     -------
     >>> ident = IncrementalFileculeIdentifier()
-    >>> ident.observe_job([1, 2, 3])
-    >>> ident.observe_job([2, 3])
+    >>> sorted(ident.observe_job([1, 2, 3]))  # class 0 created
+    [0]
+    >>> sorted(ident.observe_job([2, 3]))  # class 0 split -> 0 and 1
+    [0, 1]
     >>> sorted(tuple(c) for c in ident.classes())
     [(1,), (2, 3)]
     """
@@ -91,29 +93,41 @@ class IncrementalFileculeIdentifier:
         self._next_class += 1
         self._members[cid] = members
         self._requests[cid] = requests
-        for f in members:
-            self._class_of[f] = cid
+        # dict.fromkeys + update walk the members at C speed.
+        self._class_of.update(dict.fromkeys(members, cid))
         return cid
 
-    def observe_job(self, file_ids: Iterable[int]) -> None:
-        """Refine the partition with one job's input set."""
-        request = {int(f) for f in file_ids}
-        self._n_jobs += 1
-        if not request:
-            return
+    def observe_job(self, file_ids: Iterable[int]) -> set[int]:
+        """Refine the partition with one job's input set.
 
-        new_files = {f for f in request if f not in self._class_of}
+        Returns the ids of every class the job affected — freshly created
+        classes, both halves of a split, and whole classes whose request
+        count advanced.  Callers that memoize per-class derived data (the
+        service's lookup fast path) invalidate exactly these entries.
+        """
+        # map(int, ...) normalizes numpy integers from direct callers (so
+        # keys hash/serialize as plain ints) without per-element bytecode.
+        request = set(map(int, file_ids))
+        self._n_jobs += 1
+        affected: set[int] = set()
+        if not request:
+            return affected
+
+        class_of = self._class_of
+        # Set-minus against the dict's keys view runs entirely in C.
+        new_files = request - class_of.keys()
         if new_files:
             # Unseen files share the signature {this job} so far.
-            self._fresh_class(set(new_files), requests=1)
+            affected.add(self._fresh_class(new_files, requests=1))
             request -= new_files
 
         # Group the remaining (known) files by their current class.
         touched: dict[int, set[int]] = {}
         for f in request:
-            touched.setdefault(self._class_of[f], set()).add(f)
+            touched.setdefault(class_of[f], set()).add(f)
 
         for cid, touched_files in touched.items():
+            affected.add(cid)
             current = self._members[cid]
             if len(touched_files) == len(current):
                 # whole class requested: signature extends uniformly
@@ -121,7 +135,12 @@ class IncrementalFileculeIdentifier:
             else:
                 # split: touched part gains this job in its signature
                 current -= touched_files
-                self._fresh_class(touched_files, requests=self._requests[cid] + 1)
+                affected.add(
+                    self._fresh_class(
+                        touched_files, requests=self._requests[cid] + 1
+                    )
+                )
+        return affected
 
     def state_dict(self) -> dict:
         """Serializable form of the full identifier state.

@@ -157,6 +157,37 @@ class LatencyHistogram:
             self._min = other._min
         return self
 
+    def state_dict(self) -> dict:
+        """Full-fidelity serializable form (sparse buckets; JSON-safe).
+
+        Unlike :meth:`snapshot` (which reduces to percentiles), this
+        round-trips through :meth:`from_state_dict` without losing bucket
+        counts — what lets per-process histograms travel across process
+        or HTTP boundaries and still :meth:`merge` exactly.
+        """
+        return {
+            "buckets": {
+                str(i): n for i, n in enumerate(self._buckets) if n
+            },
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "min": self._min if self.count else None,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        hist = cls()
+        for index, n in state.get("buckets", {}).items():
+            hist._buckets[int(index)] = int(n)
+        hist.count = int(state["count"])
+        hist.total = float(state["total"])
+        hist.max = float(state["max"])
+        raw_min = state.get("min")
+        hist._min = math.inf if raw_min is None else float(raw_min)
+        return hist
+
     def bucket_bounds(self) -> Iterable[tuple[float, int]]:
         """Yield ``(upper_bound_seconds, cumulative_count)`` per non-empty
         bucket, ending with ``(inf, count)`` — Prometheus histogram shape.
@@ -253,6 +284,58 @@ class MetricsRegistry:
                 name, labels = key
                 self.histogram(name, **dict(labels)).merge(hist)
         return self
+
+    # ------------------------------------------------------------------
+    # serialization (cross-process / cross-worker aggregation)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full-fidelity JSON-safe form of every metric in the registry.
+
+        This is the cross-worker aggregation wire format: each worker of
+        a sharded daemon serves its registry's ``state_dict`` over its
+        admin endpoint, and an aggregator rebuilds them with
+        :meth:`from_state_dict` and folds them together with
+        :meth:`merge` — bucket-exact, unlike merging rendered
+        percentiles.
+        """
+        return {
+            "namespace": self.namespace,
+            "uptime_seconds": self.uptime_seconds,
+            "counters": [
+                [name, list(labels), value]
+                for (name, labels), value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, list(labels), value]
+                for (name, labels), value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [name, list(labels), hist.state_dict()]
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`state_dict` output.
+
+        Uptime restarts at zero (it is a property of the local clock, not
+        of the serialized observations).
+        """
+        registry = cls(namespace=state.get("namespace", "repro"))
+        for name, labels, value in state.get("counters", []):
+            registry._counters[(name, tuple(tuple(kv) for kv in labels))] = int(
+                value
+            )
+        for name, labels, value in state.get("gauges", []):
+            registry._gauges[(name, tuple(tuple(kv) for kv in labels))] = float(
+                value
+            )
+        for name, labels, hist_state in state.get("histograms", []):
+            registry._histograms[
+                (name, tuple(tuple(kv) for kv in labels))
+            ] = LatencyHistogram.from_state_dict(hist_state)
+        return registry
 
     # ------------------------------------------------------------------
     # exposition

@@ -11,6 +11,12 @@ Usage::
     repro-top --port 7401                # refresh every 2 s until ^C
     repro-top --port 7401 --count 1      # one frame (scripts/CI)
     repro-top --port 7401 --raw          # dump Prometheus text and exit
+    repro-top --workers 4 --metrics-port 9401   # whole-cluster view
+
+With ``--workers N`` the dashboard polls every worker's admin HTTP port
+(``metrics-port + k``) instead of the data port and renders the merged
+cluster view (:func:`repro.service.aggregate.aggregate_stats`): partition
+classes merged with the §6 meet, metric registries folded bucket-exactly.
 
 Rendering is split from polling: :func:`render_dashboard` is a pure
 function of two ``stats`` payloads (current + previous, for rates), so
@@ -149,7 +155,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print one Prometheus exposition payload and exit",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="aggregate a cluster's N workers over their admin ports",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="BASE",
+        help="cluster admin port base (worker k listens on BASE + k)",
+    )
     args = parser.parse_args(argv)
+    if args.workers > 1:
+        return _main_cluster(args)
     endpoint = f"{args.host}:{args.port}"
 
     try:
@@ -192,3 +214,54 @@ def main(argv: list[str] | None = None) -> int:
             client.close()
         except OSError:
             pass
+
+
+def _main_cluster(args: argparse.Namespace) -> int:
+    """Aggregated-dashboard loop for ``--workers N`` (admin-port polling)."""
+    import urllib.error
+
+    from repro.service.aggregate import (
+        aggregate_registry,
+        aggregate_stats,
+        worker_ports,
+    )
+
+    if args.metrics_port is None:
+        print(
+            "repro-top: --workers needs --metrics-port (admin port base)",
+            file=sys.stderr,
+        )
+        return 2
+    ports = worker_ports(args.metrics_port, args.workers)
+    endpoint = f"{args.host}:{ports[0]}..{ports[-1]} ({args.workers} workers)"
+    try:
+        if args.raw:
+            print(aggregate_registry(args.host, ports).expose(), end="")
+            return 0
+        previous = None
+        frame = 0
+        while True:
+            stats = aggregate_stats(args.host, ports)
+            samples = count_exposition_samples(
+                aggregate_registry(args.host, ports).expose()
+            )
+            rendered = render_dashboard(
+                stats,
+                previous=previous,
+                interval=args.interval if previous is not None else None,
+                endpoint=endpoint,
+                exposition_samples=samples,
+            )
+            if not args.no_clear:
+                sys.stdout.write(CLEAR)
+            print(rendered, flush=True)
+            previous = stats.get("server")
+            frame += 1
+            if args.count and frame >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except (ConnectionError, OSError, urllib.error.URLError) as exc:
+        print(f"repro-top: cluster poll failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0

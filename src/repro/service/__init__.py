@@ -12,12 +12,22 @@ succeeded SAM (XCache-style services fed by a live job stream):
 * :mod:`repro.service.state` — single-writer service state: the exact
   incremental filecule partition, per-site cache advisors backed by a
   configurable :mod:`repro.cache` policy, and JSONL snapshot/restore;
+* :mod:`repro.service.shard` — site-sharded state: N independent
+  single-writer shards whose partitions merge exactly via the §6
+  partial-knowledge meet;
 * :mod:`repro.service.server` — asyncio daemon with per-connection
-  backpressure, cross-connection request batching and graceful shutdown;
-* :mod:`repro.service.client` — sync and async clients;
+  backpressure, per-shard actors, cross-connection request batching,
+  coalesced writes and graceful shutdown;
+* :mod:`repro.service.cluster` — pre-fork ``SO_REUSEPORT`` multi-worker
+  supervisor with crash restarts and coordinated shutdown
+  (``repro-serve serve --workers N``);
+* :mod:`repro.service.aggregate` — cross-worker read side: merges
+  partitions, stats and metric registries over per-worker admin ports;
+* :mod:`repro.service.client` — sync and async clients, both pipelined;
 * :mod:`repro.service.loadgen` — concurrent load generator replaying a
-  :class:`~repro.traces.Trace` or synthetic stream at a target rate,
-  reporting throughput and latency percentiles;
+  :class:`~repro.traces.Trace` or synthetic stream at a target rate —
+  optionally pipelined and multi-process — reporting throughput and
+  latency percentiles;
 * :mod:`repro.service.metrics` — compatibility re-export of
   :mod:`repro.obs.metrics`: counters, gauges and log-bucketed latency
   histograms behind the ``stats`` and ``metrics`` queries (the latter in
@@ -54,12 +64,32 @@ from repro.service.state import (
     ServiceState,
     SnapshotError,
 )
+from repro.service.shard import (
+    ShardedServiceState,
+    merge_partition_payloads,
+    restore_state,
+    shard_of_site,
+)
 from repro.service.server import FileculeServer
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterServer,
+    pick_free_port,
+    pick_free_port_block,
+)
+from repro.service.aggregate import (
+    aggregate_partition,
+    aggregate_registry,
+    aggregate_stats,
+    worker_ports,
+)
 from repro.service.client import AsyncServiceClient, ServiceClient
 from repro.service.loadgen import (
     LoadReport,
     jobs_from_trace,
+    merge_reports,
     run_load,
+    run_load_procs,
     run_load_sync,
 )
 
@@ -78,11 +108,25 @@ __all__ = [
     "POLICY_REGISTRY",
     "ServiceState",
     "SnapshotError",
+    "ShardedServiceState",
+    "merge_partition_payloads",
+    "restore_state",
+    "shard_of_site",
     "FileculeServer",
+    "ClusterConfig",
+    "ClusterServer",
+    "pick_free_port",
+    "pick_free_port_block",
+    "aggregate_partition",
+    "aggregate_registry",
+    "aggregate_stats",
+    "worker_ports",
     "AsyncServiceClient",
     "ServiceClient",
     "LoadReport",
     "jobs_from_trace",
+    "merge_reports",
     "run_load",
+    "run_load_procs",
     "run_load_sync",
 ]

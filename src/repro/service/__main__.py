@@ -2,19 +2,26 @@
 
 Four subcommands::
 
-    repro-serve serve --port 7401 --policy lru --capacity 10TB \
-        --snapshot /var/lib/repro/state.jsonl --snapshot-interval 60 \
-        --metrics-port 9401 --span-log spans.jsonl
+    repro-serve serve --port 7401 --workers 4 --shards 2 --policy lru \
+        --capacity 10TB --snapshot /var/lib/repro/state.jsonl \
+        --snapshot-interval 60 --metrics-port 9401 --span-log spans.jsonl
     repro-serve loadgen --port 7401 --scale tiny --seed 42 --jobs 2000 \
-        --connections 8 --rate 500 --json load.json
+        --connections 8 --pipeline 32 --procs 2 --rate 500 --json load.json
     repro-serve stats --port 7401
     repro-serve metrics --port 7401
+    repro-serve metrics --metrics-port 9401 --worker 2
+    repro-serve metrics --metrics-port 9401 --aggregate --workers 4
 
 ``serve`` runs the daemon in the foreground (SIGINT/SIGTERM shut it down
-gracefully, writing a final snapshot when configured); ``loadgen``
-replays a calibrated synthetic workload against a running daemon and
-prints a throughput/latency report; ``stats`` pretty-prints one ``stats``
-query; ``metrics`` prints one Prometheus text exposition payload.  The
+gracefully, writing a final snapshot when configured); ``--workers N``
+forks a pre-fork ``SO_REUSEPORT`` cluster (:mod:`repro.service.cluster`)
+where worker ``k`` snapshots to ``<snapshot>.w<k>`` and serves admin HTTP
+on ``metrics-port + k``.  ``loadgen`` replays a calibrated synthetic
+workload against a running daemon — pipelined and/or from several forked
+generator processes — and prints a throughput/latency report; ``stats``
+pretty-prints one ``stats`` query; ``metrics`` prints one Prometheus text
+exposition payload — from the data port, from one worker's admin port
+(``--worker``), or merged across every worker (``--aggregate``).  The
 live dashboard is the separate ``repro-top`` script
 (:mod:`repro.obs.top`).
 """
@@ -28,9 +35,12 @@ from pathlib import Path
 
 from repro.obs import log as obslog
 
+from repro.service.aggregate import aggregate_registry, fetch_text, worker_ports
 from repro.service.client import ServiceClient
-from repro.service.loadgen import jobs_from_trace, run_load_sync
+from repro.service.cluster import ClusterConfig, run_cluster
+from repro.service.loadgen import jobs_from_trace, run_load_procs, run_load_sync
 from repro.service.server import FileculeServer
+from repro.service.shard import ShardedServiceState, restore_state
 from repro.service.state import POLICY_REGISTRY, ServiceState
 from repro.util.units import parse_size
 from repro.workload.calibration import (
@@ -56,29 +66,55 @@ def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     obslog.configure(min_level=args.log_level)
+    if args.restore and not args.snapshot:
+        print("--restore requires --snapshot", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return run_cluster(
+            ClusterConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                shards=args.shards,
+                policy=args.policy,
+                capacity_bytes=args.capacity,
+                default_size=args.default_size,
+                snapshot_path=args.snapshot,
+                snapshot_interval=args.snapshot_interval,
+                log_interval=args.log_interval,
+                metrics_port=args.metrics_port,
+                span_log_path=args.span_log,
+                slow_op_seconds=args.slow_op_ms / 1e3,
+                restore=args.restore,
+            )
+        )
+
+    def fresh_state():
+        if args.shards > 1:
+            return ShardedServiceState(
+                n_shards=args.shards,
+                policy=args.policy,
+                capacity_bytes=args.capacity,
+                default_size=args.default_size,
+            )
+        return ServiceState(
+            policy=args.policy,
+            capacity_bytes=args.capacity,
+            default_size=args.default_size,
+        )
+
     if args.restore:
-        if not args.snapshot:
-            print("--restore requires --snapshot", file=sys.stderr)
-            return 2
         if Path(args.snapshot).exists():
-            state = ServiceState.restore(args.snapshot)
+            state = restore_state(args.snapshot)
             print(
                 f"restored {state.stats()['jobs_observed']} jobs / "
                 f"{state.stats()['n_classes']} classes from {args.snapshot}"
             )
         else:
             print(f"no snapshot at {args.snapshot}; starting fresh")
-            state = ServiceState(
-                policy=args.policy,
-                capacity_bytes=args.capacity,
-                default_size=args.default_size,
-            )
+            state = fresh_state()
     else:
-        state = ServiceState(
-            policy=args.policy,
-            capacity_bytes=args.capacity,
-            default_size=args.default_size,
-        )
+        state = fresh_state()
     server = FileculeServer(
         state,
         host=args.host,
@@ -99,14 +135,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     jobs = jobs_from_trace(trace)
     if args.jobs is not None:
         jobs = jobs[: args.jobs]
-    print(f"replaying {len(jobs)} jobs from '{args.scale}' (seed {args.seed})")
-    report = run_load_sync(
+    print(
+        f"replaying {len(jobs)} jobs from '{args.scale}' (seed {args.seed})"
+        + (f" across {args.procs} processes" if args.procs > 1 else "")
+    )
+    report = run_load_procs(
         args.host,
         args.port,
         jobs,
+        procs=args.procs,
         connections=args.connections,
         target_rate=args.rate,
         advise_every=args.advise_every,
+        pipeline_depth=args.pipeline,
         rid_prefix=args.rid_prefix,
         progress_every=args.progress_every,
     )
@@ -130,6 +171,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.worker is not None or args.aggregate:
+        if args.metrics_port is None:
+            print(
+                "--worker/--aggregate need --metrics-port (the cluster's "
+                "admin port base)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.worker is not None:
+            # One specific worker's exposition, via its admin port.  The
+            # data port cannot address a worker: under SO_REUSEPORT the
+            # kernel hands the connection to an arbitrary one.
+            print(
+                fetch_text(args.host, args.metrics_port + args.worker, "/metrics"),
+                end="",
+            )
+            return 0
+        ports = worker_ports(args.metrics_port, args.workers)
+        print(aggregate_registry(args.host, ports).expose(), end="")
+        return 0
     with ServiceClient(args.host, args.port) as client:
         print(client.metrics()["body"], end="")
     return 0
@@ -144,6 +205,20 @@ def main(argv: list[str] | None = None) -> int:
 
     p_serve = sub.add_parser("serve", help="run the daemon in the foreground")
     _add_endpoint_args(p_serve)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-fork N worker processes sharing the port (SO_REUSEPORT)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="site-shard each worker's state into K single-writer actors",
+    )
     p_serve.add_argument(
         "--policy", default="lru", choices=sorted(POLICY_REGISTRY)
     )
@@ -210,6 +285,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_load.add_argument("--connections", type=int, default=4)
     p_load.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        metavar="DEPTH",
+        help="jobs kept in flight per connection (1 = request/response)",
+    )
+    p_load.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fork N generator processes and merge their reports",
+    )
+    p_load.add_argument(
         "--rate", type=float, default=None, help="target ingest requests/s"
     )
     p_load.add_argument(
@@ -242,6 +331,32 @@ def main(argv: list[str] | None = None) -> int:
         "metrics", help="print one Prometheus exposition payload"
     )
     _add_endpoint_args(p_metrics)
+    p_metrics.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="BASE",
+        help="cluster admin port base (worker k listens on BASE + k)",
+    )
+    p_metrics.add_argument(
+        "--worker",
+        type=int,
+        default=None,
+        metavar="IDX",
+        help="scrape worker IDX's admin port instead of the data port",
+    )
+    p_metrics.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="merge the expositions of all --workers workers",
+    )
+    p_metrics.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for --aggregate",
+    )
     p_metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)

@@ -10,6 +10,15 @@ server's machine-readable error code.
 :class:`ServiceClient` is the blocking convenience wrapper for scripts
 and operational tooling; :class:`AsyncServiceClient` is what the load
 generator uses (many instances, one per simulated submission stream).
+
+Both clients support **pipelining**: ``send_nowait`` buffers an encoded
+request without waiting for its response, ``flush`` pushes the batch out
+in one write, and ``read_response`` consumes answers in request order
+(``pipeline`` wraps the three).  Keep each in-flight batch below the
+server's per-connection backpressure window (128 by default): the server
+stops reading a connection with that many unanswered requests, and a
+client that writes unboundedly before reading can deadlock against it
+once the socket buffers fill.
 """
 
 from __future__ import annotations
@@ -102,12 +111,41 @@ class ServiceClient(_RequestMixin):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
         self._next_id = 0
+        self._send_buffer = bytearray()
 
     def request(self, op: str, **fields) -> dict[str, Any]:
         request_id = self._next_id
         self._next_id += 1
         self._sock.sendall(encode_request(op, request_id, **fields))
         return _check_response(self._rfile.readline(), request_id)
+
+    # -- pipelining ----------------------------------------------------
+    def send_nowait(self, op: str, **fields) -> int:
+        """Buffer one request; returns its id for :meth:`read_response`."""
+        request_id = self._next_id
+        self._next_id += 1
+        self._send_buffer += encode_request(op, request_id, **fields)
+        return request_id
+
+    def flush(self) -> None:
+        """Write every buffered request in one send."""
+        if self._send_buffer:
+            self._sock.sendall(self._send_buffer)
+            del self._send_buffer[:]
+
+    def read_response(self, expected_id: int) -> dict[str, Any]:
+        """Read the next response; must be consumed in request order."""
+        return _check_response(self._rfile.readline(), expected_id)
+
+    def pipeline(self, requests: list[tuple[str, dict]]) -> list[dict[str, Any]]:
+        """Send a batch of ``(op, fields)`` then read all responses.
+
+        Responses come back in request order; a failed response raises
+        :class:`ServiceError` after the earlier responses were consumed.
+        """
+        ids = [self.send_nowait(op, **fields) for op, fields in requests]
+        self.flush()
+        return [self.read_response(request_id) for request_id in ids]
 
     def close(self) -> None:
         self._rfile.close()
@@ -143,6 +181,35 @@ class AsyncServiceClient(_RequestMixin):
         self._writer.write(encode_request(op, request_id, **fields))
         await self._writer.drain()
         return _check_response(await self._reader.readline(), request_id)
+
+    # -- pipelining ----------------------------------------------------
+    def send_nowait(self, op: str, **fields) -> int:
+        """Queue one request on the transport; returns its id.
+
+        The bytes sit in the transport's write buffer until
+        :meth:`flush` (or the event loop) pushes them out — many
+        requests coalesce into few writes.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        self._writer.write(encode_request(op, request_id, **fields))
+        return request_id
+
+    async def flush(self) -> None:
+        """Drain the transport's write buffer (backpressure point)."""
+        await self._writer.drain()
+
+    async def read_response(self, expected_id: int) -> dict[str, Any]:
+        """Read the next response; must be consumed in request order."""
+        return _check_response(await self._reader.readline(), expected_id)
+
+    async def pipeline(
+        self, requests: list[tuple[str, dict]]
+    ) -> list[dict[str, Any]]:
+        """Send a batch of ``(op, fields)`` then read all responses."""
+        ids = [self.send_nowait(op, **fields) for op, fields in requests]
+        await self.flush()
+        return [await self.read_response(request_id) for request_id in ids]
 
     async def close(self) -> None:
         self._writer.close()

@@ -17,18 +17,32 @@ Open-loop pacing: each job has an absolute scheduled send time
 (``start + k / target_rate``).  A slow server makes latencies grow
 instead of silently lowering the offered load — the honest way to
 measure a service (coordinated-omission-free).
+
+Two throughput levers beyond connection count:
+
+* ``pipeline_depth > 1`` keeps that many jobs in flight per connection
+  (batched writes, responses consumed in order).  Latency samples then
+  measure batch-send → individual-response, so percentiles under deep
+  pipelining reflect queueing inside the batch — by design: that is
+  what a pipelining client experiences;
+* :func:`run_load_procs` forks N generator processes so a single Python
+  client process is never the bottleneck of a multi-worker measurement;
+  per-op latency histograms from the children merge bucket-exactly
+  (:meth:`LatencyHistogram.merge`) into one report.
 """
 
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.obs.log import get_logger
-from repro.service.client import AsyncServiceClient
+from repro.obs.metrics import LatencyHistogram
+from repro.service.client import AsyncServiceClient, ServiceClient
 from repro.service.protocol import ServiceError
 from repro.traces.trace import Trace
 
@@ -45,7 +59,7 @@ def jobs_from_trace(trace: Trace) -> list[dict]:
     sites = trace.job_sites
     events = []
     for job_id, files in trace.iter_jobs():
-        file_list = [int(f) for f in files]
+        file_list = files.tolist()
         events.append(
             {
                 "files": file_list,
@@ -66,6 +80,9 @@ class LoadReport:
     duration_seconds: float
     latencies_ms: dict[str, dict] = field(default_factory=dict)
     final_stats: dict | None = None
+    #: Full-fidelity per-op histograms (:meth:`LatencyHistogram.state_dict`)
+    #: — what lets reports from parallel generator processes merge exactly.
+    histograms: dict[str, dict] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -109,6 +126,55 @@ def _summarize(samples: list[float]) -> dict:
     }
 
 
+def _histogram_state(samples: list[float]) -> dict:
+    hist = LatencyHistogram()
+    for value in samples:
+        hist.record(value)
+    return hist.state_dict()
+
+
+def _summarize_histogram(hist: LatencyHistogram) -> dict:
+    return {
+        "count": hist.count,
+        "mean": hist.mean * 1e3,
+        "p50": hist.percentile(0.50) * 1e3,
+        "p90": hist.percentile(0.90) * 1e3,
+        "p99": hist.percentile(0.99) * 1e3,
+        "max": hist.max * 1e3,
+    }
+
+
+def merge_reports(reports: list["LoadReport"]) -> "LoadReport":
+    """Fold reports from parallel generator processes into one.
+
+    Counts sum; the duration is the slowest process's wall time (they
+    start together, so that is the aggregate wall time); latency
+    percentiles come from bucket-exact histogram merges rather than
+    averaging the children's percentiles.
+    """
+    if not reports:
+        raise ValueError("no reports to merge")
+    hists: dict[str, LatencyHistogram] = {}
+    for report in reports:
+        for op, state in report.histograms.items():
+            incoming = LatencyHistogram.from_state_dict(state)
+            into = hists.get(op)
+            if into is None:
+                hists[op] = incoming
+            else:
+                into.merge(incoming)
+    return LoadReport(
+        jobs=sum(r.jobs for r in reports),
+        requests=sum(r.requests for r in reports),
+        errors=sum(r.errors for r in reports),
+        duration_seconds=max(r.duration_seconds for r in reports),
+        latencies_ms={
+            op: _summarize_histogram(hist) for op, hist in hists.items()
+        },
+        histograms={op: hist.state_dict() for op, hist in hists.items()},
+    )
+
+
 async def run_load(
     host: str,
     port: int,
@@ -117,6 +183,7 @@ async def run_load(
     connections: int = 4,
     target_rate: float | None = None,
     advise_every: int = 0,
+    pipeline_depth: int = 1,
     fetch_final_stats: bool = True,
     rid_prefix: str | None = None,
     progress_every: int = 0,
@@ -133,6 +200,10 @@ async def run_load(
         When > 0, every k-th job first asks for an ``advise`` plan —
         modelling a data-management middleware that consults the service
         before scheduling the job's transfers.
+    pipeline_depth:
+        Jobs kept in flight per connection before reading responses
+        (1 = classic request/response).  Keep below the server's
+        per-connection backpressure window (128 by default).
     fetch_final_stats:
         Issue one final ``stats`` query and attach it to the report.
     rid_prefix:
@@ -145,6 +216,8 @@ async def run_load(
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
+    if pipeline_depth < 1:
+        raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
     if not jobs:
         raise ValueError("no jobs to replay")
 
@@ -153,57 +226,115 @@ async def run_load(
     jobs_done = 0
     start = time.perf_counter()
 
-    async def worker(worker_id: int) -> int:
-        nonlocal errors, jobs_done
-        client = await AsyncServiceClient.connect(host, port)
+    def note_progress(batch: int) -> None:
+        nonlocal jobs_done
+        before = jobs_done
+        jobs_done += batch
+        if progress_every and jobs_done // progress_every != before // progress_every:
+            elapsed = time.perf_counter() - start
+            slog.info(
+                "loadgen-progress",
+                jobs=jobs_done,
+                total=len(jobs),
+                errors=errors,
+                elapsed_s=round(elapsed, 2),
+                jobs_per_s=round(jobs_done / elapsed, 1) if elapsed > 0 else 0.0,
+            )
+
+    async def worker_serial(client: AsyncServiceClient, worker_id: int) -> int:
+        nonlocal errors
         sent = 0
-        try:
-            for k in range(worker_id, len(jobs), connections):
-                if target_rate is not None:
-                    scheduled = start + k / target_rate
-                    delay = scheduled - time.perf_counter()
-                    if delay > 0:
-                        await asyncio.sleep(delay)
-                job = jobs[k]
-                rid = f"{rid_prefix}-{k}" if rid_prefix else None
-                if advise_every and k % advise_every == 0:
-                    t0 = time.perf_counter()
-                    try:
-                        await client.advise(
-                            job["files"], site=job.get("site", 0), rid=rid
-                        )
-                        samples["advise"].append(time.perf_counter() - t0)
-                    except ServiceError:
-                        errors += 1
-                    sent += 1
+        for k in range(worker_id, len(jobs), connections):
+            if target_rate is not None:
+                scheduled = start + k / target_rate
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            job = jobs[k]
+            rid = f"{rid_prefix}-{k}" if rid_prefix else None
+            if advise_every and k % advise_every == 0:
                 t0 = time.perf_counter()
                 try:
-                    await client.ingest(
-                        job["files"],
-                        sizes=job.get("sizes"),
-                        site=job.get("site", 0),
-                        rid=rid,
+                    await client.advise(
+                        job["files"], site=job.get("site", 0), rid=rid
                     )
-                    samples["ingest"].append(time.perf_counter() - t0)
+                    samples["advise"].append(time.perf_counter() - t0)
                 except ServiceError:
                     errors += 1
                 sent += 1
-                jobs_done += 1
-                if progress_every and jobs_done % progress_every == 0:
-                    elapsed = time.perf_counter() - start
-                    slog.info(
-                        "loadgen-progress",
-                        jobs=jobs_done,
-                        total=len(jobs),
-                        errors=errors,
-                        elapsed_s=round(elapsed, 2),
-                        jobs_per_s=round(jobs_done / elapsed, 1)
-                        if elapsed > 0
-                        else 0.0,
+            t0 = time.perf_counter()
+            try:
+                await client.ingest(
+                    job["files"],
+                    sizes=job.get("sizes"),
+                    site=job.get("site", 0),
+                    rid=rid,
+                )
+                samples["ingest"].append(time.perf_counter() - t0)
+            except ServiceError:
+                errors += 1
+            sent += 1
+            note_progress(1)
+        return sent
+
+    async def worker_pipelined(client: AsyncServiceClient, worker_id: int) -> int:
+        nonlocal errors
+        sent = 0
+        indices = range(worker_id, len(jobs), connections)
+        for batch_start in range(0, len(indices), pipeline_depth):
+            batch = indices[batch_start : batch_start + pipeline_depth]
+            if target_rate is not None:
+                scheduled = start + batch[0] / target_rate
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            in_flight: list[tuple[str, int]] = []
+            for k in batch:
+                job = jobs[k]
+                rid = f"{rid_prefix}-{k}" if rid_prefix else None
+                fields = {"site": job.get("site", 0)}
+                if rid is not None:
+                    fields["rid"] = rid
+                if advise_every and k % advise_every == 0:
+                    in_flight.append(
+                        (
+                            "advise",
+                            client.send_nowait(
+                                "advise", files=job["files"], **fields
+                            ),
+                        )
                     )
+                in_flight.append(
+                    (
+                        "ingest",
+                        client.send_nowait(
+                            "ingest",
+                            files=job["files"],
+                            sizes=job.get("sizes"),
+                            **fields,
+                        ),
+                    )
+                )
+            t0 = time.perf_counter()
+            await client.flush()
+            for op, request_id in in_flight:
+                try:
+                    await client.read_response(request_id)
+                    samples[op].append(time.perf_counter() - t0)
+                except ServiceError:
+                    errors += 1
+                sent += 1
+            note_progress(len(batch))
+        return sent
+
+    async def worker(worker_id: int) -> int:
+        client = await AsyncServiceClient.connect(host, port)
+        try:
+            if pipeline_depth > 1:
+                return await worker_pipelined(client, worker_id)
+            return await worker_serial(client, worker_id)
         finally:
             await client.close()
-        return sent
 
     sent_counts = await asyncio.gather(
         *(worker(i) for i in range(min(connections, len(jobs))))
@@ -224,9 +355,94 @@ async def run_load(
             op: _summarize(vals) for op, vals in samples.items() if vals
         },
         final_stats=final_stats,
+        histograms={
+            op: _histogram_state(vals) for op, vals in samples.items() if vals
+        },
     )
 
 
 def run_load_sync(host: str, port: int, jobs: list[dict], **kwargs) -> LoadReport:
     """Blocking wrapper around :func:`run_load` (used by the CLI)."""
     return asyncio.run(run_load(host, port, jobs, **kwargs))
+
+
+def _replay_slice(host: str, port: int, jobs: list[dict], kwargs: dict) -> dict:
+    """Child-process body of :func:`run_load_procs` (top level: picklable)."""
+    report = asyncio.run(
+        run_load(host, port, jobs, fetch_final_stats=False, **kwargs)
+    )
+    return {
+        "jobs": report.jobs,
+        "requests": report.requests,
+        "errors": report.errors,
+        "duration_seconds": report.duration_seconds,
+        "histograms": report.histograms,
+    }
+
+
+def run_load_procs(
+    host: str,
+    port: int,
+    jobs: list[dict],
+    *,
+    procs: int = 2,
+    target_rate: float | None = None,
+    fetch_final_stats: bool = True,
+    **kwargs,
+) -> LoadReport:
+    """Multi-process open-loop generation: ``procs`` forked generators.
+
+    Each child replays a strided slice of ``jobs`` (slice ``i`` is
+    ``jobs[i::procs]``) through its own event loop and connections, so
+    one Python process's CPU is never the ceiling on offered load.  The
+    target rate is divided evenly across children; per-op latency
+    histograms merge bucket-exactly into the returned report.
+
+    Requires the ``fork`` start method (POSIX) — same constraint as
+    :mod:`repro.parallel`.
+    """
+    if procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
+    if procs == 1:
+        return run_load_sync(
+            host,
+            port,
+            jobs,
+            target_rate=target_rate,
+            fetch_final_stats=fetch_final_stats,
+            **kwargs,
+        )
+    if not jobs:
+        raise ValueError("no jobs to replay")
+    procs = min(procs, len(jobs))
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "multi-process load generation needs the 'fork' start method; "
+            "use procs=1 on this platform"
+        )
+    child_kwargs = dict(kwargs)
+    child_kwargs["target_rate"] = (
+        target_rate / procs if target_rate is not None else None
+    )
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(procs) as pool:
+        results = pool.starmap(
+            _replay_slice,
+            [(host, port, jobs[i::procs], child_kwargs) for i in range(procs)],
+        )
+    merged = merge_reports(
+        [
+            LoadReport(
+                jobs=r["jobs"],
+                requests=r["requests"],
+                errors=r["errors"],
+                duration_seconds=r["duration_seconds"],
+                histograms=r["histograms"],
+            )
+            for r in results
+        ]
+    )
+    if fetch_final_stats:
+        with ServiceClient(host, port) as client:
+            merged.final_stats = client.stats()
+    return merged

@@ -1,42 +1,62 @@
 """The asyncio daemon serving the filecule-management protocol.
 
-Concurrency model — one event loop, one writer:
+Concurrency model — one event loop, one writer per shard:
 
 * every connection gets a **reader task** (decodes request lines and a
   **response queue**) and a **writer task** (sends responses back in
   request order).  The response queue is bounded: when a client pipelines
   faster than it drains responses, ``put`` blocks the reader, which stops
   reading the socket, which pushes back through TCP — per-connection
-  backpressure with no explicit window bookkeeping;
-* all requests from all connections funnel into a single **state actor**
-  task that owns :class:`~repro.service.state.ServiceState`.  The actor
-  drains its inbox in batches (up to ``batch_max`` per wakeup), so under
-  load the per-request scheduling overhead amortizes across the batch
-  while state mutations stay strictly serialized;
+  backpressure with no explicit window bookkeeping.  The writer coalesces
+  consecutive ready responses into one reused buffer and hands the kernel
+  a single write;
+* requests funnel into **state actor** tasks.  A plain
+  :class:`~repro.service.state.ServiceState` gets one actor (the single
+  writer); a :class:`~repro.service.shard.ShardedServiceState` gets one
+  actor per shard, and per-site requests route to the owning shard's
+  inbox (``state.route_request``).  Each actor drains its inbox in
+  batches (up to ``batch_max`` per wakeup), handles the request, and
+  **encodes the response to bytes immediately** — so response dicts never
+  outlive the handling step, and reused state buffers cannot be observed
+  mid-mutation by a later writer;
 * ``SIGINT``/``SIGTERM`` (and the ``shutdown`` op) trigger a graceful
-  stop: stop accepting, unblock connected readers, let the actor drain
+  stop: stop accepting, unblock connected readers, let the actors drain
   every in-flight request, write a final snapshot if configured.
+
+For multi-process deployments (:mod:`repro.service.cluster`), the server
+accepts ``reuse_port=True`` (each worker binds its own ``SO_REUSEPORT``
+acceptor on the shared port) or ``sock=`` (a pre-bound listening socket
+inherited from the parent — the fallback on platforms without
+``SO_REUSEPORT``).
 
 Observability (see ``docs/OBSERVABILITY.md``): every handled request is
 recorded as a span in a bounded ring buffer (exported as JSONL on
 shutdown when ``span_log_path`` is set), carrying the client-supplied
 ``rid``; requests slower than ``slow_op_seconds`` emit a structured
 ``slow-op`` log line with that rid; the ``metrics`` op — and, when
-``metrics_port`` is set, a tiny HTTP endpoint at ``/metrics`` — expose
-the registry in Prometheus text format.
+``metrics_port`` is set, a tiny HTTP admin endpoint — expose the
+registry.  The admin endpoint serves ``/metrics`` (Prometheus text),
+``/stats``, ``/partition`` and ``/registry`` (JSON — the latter is the
+full-fidelity :meth:`MetricsRegistry.state_dict` that cross-worker
+aggregation merges), ``/healthz`` and ``/snapshot``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
+import os
 import signal
+import socket as socket_module
 import time
 
 from repro.obs import trace as obstrace
 from repro.obs.log import get_logger
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.service.protocol import (
+    INGEST_OK_TEMPLATE,
+    RESULT_OK_TEMPLATE,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_request,
@@ -44,26 +64,33 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
-from repro.service.state import ServiceState, SnapshotError
+from repro.service.state import SnapshotError
 
 slog = get_logger("repro.service")
 
 _STOP = object()  # sentinel closing a connection's response queue
 
+#: Stop coalescing responses into one write beyond this many bytes.
+WRITE_COALESCE_BYTES = 256 * 1024
+
+#: True when the platform can load-balance accepts across processes.
+HAS_REUSEPORT = hasattr(socket_module, "SO_REUSEPORT")
+
 
 class FileculeServer:
-    """Serve a :class:`ServiceState` over newline-delimited JSON TCP.
+    """Serve a service state over newline-delimited JSON TCP.
 
     Parameters
     ----------
     state:
-        The service state (restored from a snapshot by the caller if
-        desired).
+        The service state — a :class:`~repro.service.state.ServiceState`
+        or a :class:`~repro.service.shard.ShardedServiceState` (restored
+        from a snapshot by the caller if desired).
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (exposed as
         :attr:`port` after :meth:`start`).
     batch_max:
-        Maximum requests the state actor handles per wakeup.
+        Maximum requests a state actor handles per wakeup.
     pending_per_connection:
         Bound on a connection's unsent responses before its reader stops
         accepting new requests (per-connection backpressure window).
@@ -73,9 +100,9 @@ class FileculeServer:
     log_interval:
         Seconds between periodic metrics log lines (None disables).
     metrics_port:
-        When set, also serve Prometheus text exposition over HTTP at
-        ``GET /metrics`` on this port (0 picks an ephemeral port,
-        exposed as :attr:`metrics_port` after :meth:`start`).
+        When set, also serve the HTTP admin endpoint on this port
+        (0 picks an ephemeral port, exposed as :attr:`metrics_port`
+        after :meth:`start`).
     span_log_path:
         When set, the span ring buffer is exported there as JSONL on
         shutdown.
@@ -84,11 +111,21 @@ class FileculeServer:
     slow_op_seconds:
         Requests handled slower than this emit a ``slow-op`` structured
         log line carrying the request's ``rid``.
+    reuse_port:
+        Bind the data port with ``SO_REUSEPORT`` so sibling worker
+        processes can share it (the kernel load-balances accepts).
+    sock:
+        Pre-bound listening socket to serve on instead of binding
+        ``host:port`` — the parent-socket-inheritance fallback for
+        platforms without ``SO_REUSEPORT``.
+    worker_index:
+        Cluster worker index (surfaces in logs and ``/healthz``); None
+        for a standalone daemon.
     """
 
     def __init__(
         self,
-        state: ServiceState,
+        state,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
@@ -101,6 +138,9 @@ class FileculeServer:
         span_log_path: str | None = None,
         span_capacity: int = obstrace.DEFAULT_CAPACITY,
         slow_op_seconds: float = 0.25,
+        reuse_port: bool = False,
+        sock: socket_module.socket | None = None,
+        worker_index: int | None = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
@@ -108,6 +148,8 @@ class FileculeServer:
             raise ValueError(
                 f"pending_per_connection must be >= 1, got {pending_per_connection}"
             )
+        if reuse_port and not HAS_REUSEPORT:
+            raise ValueError("this platform has no SO_REUSEPORT; pass sock=")
         self.state = state
         self.host = host
         self.port = port
@@ -119,61 +161,91 @@ class FileculeServer:
         self.metrics_port = metrics_port
         self.span_log_path = span_log_path
         self.slow_op_seconds = slow_op_seconds
+        self.reuse_port = reuse_port
+        self.worker_index = worker_index
         self.metrics = MetricsRegistry()
         self.spans = obstrace.SpanRecorder(span_capacity)
+        self._listen_sock = sock
         self._metrics_server: asyncio.AbstractServer | None = None
         self._server: asyncio.AbstractServer | None = None
-        self._inbox: asyncio.Queue | None = None
         self._stop_event: asyncio.Event | None = None
-        self._actor_task: asyncio.Task | None = None
         self._background: list[asyncio.Task] = []
         self._connections: set[asyncio.Task] = set()
+        # One inbox + actor per shard; a plain state gets exactly one.
+        # ``route_request`` (sharded states) maps a request to its
+        # owning shard's actor — requests for different shards never
+        # contend on one queue.
+        self._route = getattr(state, "route_request", None)
+        self._n_actors = (
+            getattr(state, "n_shards", 1) if self._route is not None else 1
+        )
+        self._inboxes: list[asyncio.Queue] = []
+        self._actor_tasks: list[asyncio.Task] = []
+        # Interned-op dispatch: one dict hit replaces the if/elif chain
+        # (ops are interned by decode_request, so lookup is by identity).
+        self._ops = {
+            "ping": self._op_ping,
+            "ingest": self._op_ingest,
+            "filecule_of": self._op_filecule_of,
+            "advise": self._op_advise,
+            "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "partition": self._op_partition,
+            "snapshot": self._op_snapshot,
+            "shutdown": self._op_shutdown,
+        }
 
     # ------------------------------------------------------------------
-    # request handling (runs on the actor — the single writer)
+    # request handling (runs on a state actor)
     # ------------------------------------------------------------------
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "jobs_observed": self.state.jobs_observed}
+
+    def _op_ingest(self, request: dict) -> dict:
+        return self.state.ingest(
+            request["files"], request["sizes"], request["site"]
+        )
+
+    def _op_filecule_of(self, request: dict) -> dict:
+        return self.state.filecule_of(request["file"])
+
+    def _op_advise(self, request: dict) -> dict:
+        return self.state.advise(request["files"], request["site"])
+
+    def _op_stats(self, request: dict) -> dict:
+        result = self.state.stats()
+        result["server"] = self.metrics.snapshot()
+        return result
+
+    def _op_metrics(self, request: dict) -> dict:
+        return {
+            "content_type": PROMETHEUS_CONTENT_TYPE,
+            "body": self.expose_metrics(),
+        }
+
+    def _op_partition(self, request: dict) -> dict:
+        return self.state.partition()
+
+    def _op_snapshot(self, request: dict) -> dict:
+        path = request["path"] or self.snapshot_path
+        if path is None:
+            raise ProtocolError(
+                "bad-request",
+                "no 'path' given and the server has no snapshot path",
+            )
+        return self.state.snapshot(path)
+
+    def _op_shutdown(self, request: dict) -> dict:
+        assert self._stop_event is not None
+        asyncio.get_running_loop().call_soon(self._stop_event.set)
+        return {"stopping": True}
+
     def _handle(self, request: dict) -> dict:
         op = request["op"]
         request_id = request["id"]
         rid = request.get("rid")
         try:
-            if op == "ping":
-                result = {
-                    "pong": True,
-                    "jobs_observed": self.state.stats()["jobs_observed"],
-                }
-            elif op == "ingest":
-                result = self.state.ingest(
-                    request["files"], request["sizes"], request["site"]
-                )
-            elif op == "filecule_of":
-                result = self.state.filecule_of(request["file"])
-            elif op == "advise":
-                result = self.state.advise(request["files"], request["site"])
-            elif op == "stats":
-                result = self.state.stats()
-                result["server"] = self.metrics.snapshot()
-            elif op == "metrics":
-                result = {
-                    "content_type": PROMETHEUS_CONTENT_TYPE,
-                    "body": self.expose_metrics(),
-                }
-            elif op == "partition":
-                result = self.state.partition()
-            elif op == "snapshot":
-                path = request["path"] or self.snapshot_path
-                if path is None:
-                    raise ProtocolError(
-                        "bad-request",
-                        "no 'path' given and the server has no snapshot path",
-                    )
-                result = self.state.snapshot(path)
-            elif op == "shutdown":
-                result = {"stopping": True}
-                assert self._stop_event is not None
-                asyncio.get_running_loop().call_soon(self._stop_event.set)
-            else:  # unreachable: decode_request validates op
-                raise ProtocolError("unknown-op", f"unknown op {op!r}")
+            result = self._ops[op](request)
         except ProtocolError as exc:
             self.metrics.inc("errors")
             return error_response(request_id, exc.code, exc.message, rid=rid)
@@ -200,6 +272,10 @@ class FileculeServer:
         self.metrics.set_gauge("files_observed", stats["files_observed"])
         self.metrics.set_gauge("filecule_classes", stats["n_classes"])
         self.metrics.set_gauge("span_buffer_spans", len(self.spans))
+        if self.worker_index is not None:
+            # Which cluster worker this scrape came from — lets a scraper
+            # of base+k ports attribute samples without port arithmetic.
+            self.metrics.set_gauge("worker_index", self.worker_index)
         for site, adv in stats["sites"].items():
             self.metrics.set_gauge("site_hit_rate", adv["hit_rate"], site=site)
             self.metrics.set_gauge(
@@ -213,31 +289,113 @@ class FileculeServer:
             )
         return self.metrics.expose()
 
-    async def _actor(self) -> None:
-        assert self._inbox is not None
+    async def _actor(self, inbox: asyncio.Queue) -> None:
+        metrics = self.metrics
+        state_ingest = self.state.ingest
+        # Plain states expose the memoized filecule_of payload; sharded
+        # states (cross-shard meet per lookup) take the generic path.
+        filecule_json = getattr(self.state, "filecule_of_json", None)
+        perf_counter = time.perf_counter
         while True:
-            batch = [await self._inbox.get()]
+            batch = [await inbox.get()]
             while len(batch) < self.batch_max:
                 try:
-                    batch.append(self._inbox.get_nowait())
+                    batch.append(inbox.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self.metrics.inc("batches")  # mean batch size = requests/batches
+            metrics.inc("batches")  # mean batch size = requests/batches
             for request, future, t_enqueued in batch:
                 op = request["op"]
                 rid = request.get("rid")
-                t0 = time.perf_counter()
+                t0 = perf_counter()
                 with obstrace.span(
                     f"op.{op}", recorder=self.spans, rid=rid
                 ) as span_fields:
-                    response = self._handle(request)
-                    span_fields["ok"] = response["ok"]
-                t1 = time.perf_counter()
-                self.metrics.inc("requests")
-                self.metrics.observe(f"op.{op}", t1 - t0)
-                self.metrics.observe("queue_wait", t0 - t_enqueued)
+                    # Hot path: a plain-int-id, untraced ingest renders
+                    # its receipt straight through the wire template —
+                    # no response dict, no json.dumps.  The state call
+                    # is NOT retried on failure (it may already have
+                    # mutated state); errors map exactly as in _handle.
+                    if (
+                        op == "ingest"
+                        and rid is None
+                        and type(request["id"]) is int
+                    ):
+                        try:
+                            r = state_ingest(
+                                request["files"],
+                                request["sizes"],
+                                request["site"],
+                            )
+                            data = INGEST_OK_TEMPLATE % (
+                                request["id"],
+                                r["job_seq"],
+                                r["n_files"],
+                                r["n_classes"],
+                                r["site_hits"],
+                            )
+                            span_fields["ok"] = True
+                        except Exception as exc:  # noqa: BLE001 — fault barrier
+                            slog.error(
+                                "internal-error",
+                                op=op,
+                                rid=rid,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            metrics.inc("errors")
+                            data = encode_response(
+                                error_response(
+                                    request["id"],
+                                    "internal",
+                                    f"{type(exc).__name__}: {exc}",
+                                )
+                            )
+                            span_fields["ok"] = False
+                    elif (
+                        op == "filecule_of"
+                        and filecule_json is not None
+                        and rid is None
+                        and type(request["id"]) is int
+                    ):
+                        # Read fast path: the state serves a memoized,
+                        # already-encoded payload; only the envelope is
+                        # rendered per request.
+                        try:
+                            data = RESULT_OK_TEMPLATE % (
+                                request["id"],
+                                filecule_json(request["file"]),
+                            )
+                            span_fields["ok"] = True
+                        except Exception as exc:  # noqa: BLE001 — fault barrier
+                            slog.error(
+                                "internal-error",
+                                op=op,
+                                rid=rid,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            metrics.inc("errors")
+                            data = encode_response(
+                                error_response(
+                                    request["id"],
+                                    "internal",
+                                    f"{type(exc).__name__}: {exc}",
+                                )
+                            )
+                            span_fields["ok"] = False
+                    else:
+                        response = self._handle(request)
+                        span_fields["ok"] = response["ok"]
+                        # Encode on the actor: the response (and anything
+                        # the state lent it) is serialized before the
+                        # next request can mutate state, and the writer
+                        # only ever sees bytes.
+                        data = encode_response(response)
+                t1 = perf_counter()
+                metrics.inc("requests")
+                metrics.observe(f"op.{op}", t1 - t0)
+                metrics.observe("queue_wait", t0 - t_enqueued)
                 if t1 - t0 >= self.slow_op_seconds:
-                    self.metrics.inc("slow_ops")
+                    metrics.inc("slow_ops")
                     slog.warning(
                         "slow-op",
                         op=op,
@@ -246,7 +404,7 @@ class FileculeServer:
                         queue_wait_ms=round((t0 - t_enqueued) * 1e3, 3),
                     )
                 if not future.done():
-                    future.set_result(response)
+                    future.set_result(data)
             # Yield so connection writers interleave with the next batch.
             await asyncio.sleep(0)
 
@@ -256,13 +414,36 @@ class FileculeServer:
     async def _write_responses(
         self, outbox: asyncio.Queue, writer: asyncio.StreamWriter
     ) -> None:
+        # Coalesce consecutive *ready* responses into one reused buffer →
+        # one transport write per wakeup instead of one per response.
+        buffer = bytearray()
+        pending = None
         while True:
-            item = await outbox.get()
+            item = pending if pending is not None else await outbox.get()
+            pending = None
             if item is _STOP:
                 return
-            response = await item
-            writer.write(encode_response(response))
+            del buffer[:]
+            buffer += await item
+            closing = False
+            while len(buffer) < WRITE_COALESCE_BYTES:
+                try:
+                    nxt = outbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _STOP:
+                    closing = True
+                    break
+                if not nxt.done():
+                    # Not ready: flush what we have, resume with it next.
+                    pending = nxt
+                    break
+                buffer += nxt.result()
+            self.metrics.inc("writes")
+            writer.write(bytes(buffer))
             await writer.drain()  # client-side backpressure
+            if closing:
+                return
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -271,6 +452,8 @@ class FileculeServer:
         loop = asyncio.get_running_loop()
         outbox: asyncio.Queue = asyncio.Queue(maxsize=self.pending_per_connection)
         writer_task = asyncio.create_task(self._write_responses(outbox, writer))
+        inboxes = self._inboxes
+        route = self._route
         try:
             while True:
                 try:
@@ -279,10 +462,12 @@ class FileculeServer:
                     # line exceeded the stream limit (MAX_LINE_BYTES)
                     future = loop.create_future()
                     future.set_result(
-                        error_response(
-                            None,
-                            "too-large",
-                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        encode_response(
+                            error_response(
+                                None,
+                                "too-large",
+                                f"request line exceeds {MAX_LINE_BYTES} bytes",
+                            )
                         )
                     )
                     await outbox.put(future)
@@ -296,16 +481,30 @@ class FileculeServer:
                     request = decode_request(line)
                 except ProtocolError as exc:
                     self.metrics.inc("errors")
-                    future.set_result(error_response(None, exc.code, exc.message))
+                    # Echo the request id when the line was at least valid
+                    # JSON, so a pipelining client can pair the error with
+                    # its request instead of declaring the stream broken.
+                    future.set_result(
+                        encode_response(
+                            error_response(
+                                _salvage_id(line), exc.code, exc.message
+                            )
+                        )
+                    )
                     await outbox.put(future)
                     continue
-                # Hand to the actor first so the future always resolves,
-                # then to the outbox.  The outbox is the backpressure
+                # Hand to the owning actor first so the future always
+                # resolves, then to the outbox.  Inboxes are unbounded,
+                # so put_nowait never fails and skips the coroutine
+                # overhead of an await.  The outbox is the backpressure
                 # point: blocks when the client has
                 # pending_per_connection unanswered requests.
-                assert self._inbox is not None
-                await self._inbox.put((request, future, time.perf_counter()))
-                await outbox.put(future)
+                idx = route(request) if route is not None else 0
+                inboxes[idx].put_nowait((request, future, time.perf_counter()))
+                if outbox.full():
+                    await outbox.put(future)
+                else:
+                    outbox.put_nowait(future)
         except ConnectionError:
             pass
         finally:
@@ -327,15 +526,65 @@ class FileculeServer:
         task.add_done_callback(self._connections.discard)
 
     # ------------------------------------------------------------------
-    # HTTP metrics exposition (optional, read-only)
+    # HTTP admin endpoint (optional)
     # ------------------------------------------------------------------
-    async def _handle_metrics_http(
+    def _admin_response(self, method: str, path: str) -> tuple[str, str, bytes]:
+        """Route one admin request → ``(status, content_type, body)``."""
+        route = path.split("?", 1)[0]
+        if method not in ("GET", "POST"):
+            return "405 Method Not Allowed", "text/plain", b"method not allowed\n"
+        if route in ("/metrics", "/"):
+            return "200 OK", PROMETHEUS_CONTENT_TYPE, self.expose_metrics().encode()
+        if route == "/stats":
+            stats = self.state.stats()
+            stats["server"] = self.metrics.snapshot()
+            return "200 OK", "application/json", _json_bytes(stats)
+        if route == "/partition":
+            return "200 OK", "application/json", _json_bytes(self.state.partition())
+        if route == "/registry":
+            # Full-fidelity registry (bucket-exact histograms): what a
+            # cross-worker aggregator merges via MetricsRegistry.merge.
+            return "200 OK", "application/json", _json_bytes(self.metrics.state_dict())
+        if route == "/healthz":
+            return "200 OK", "application/json", _json_bytes(
+                {
+                    "ok": True,
+                    "worker": self.worker_index,
+                    "pid": os.getpid(),
+                    "port": self.port,
+                    "jobs_observed": self.state.jobs_observed,
+                }
+            )
+        if route == "/snapshot":
+            if self.snapshot_path is None:
+                return (
+                    "409 Conflict",
+                    "application/json",
+                    _json_bytes({"ok": False, "error": "no snapshot path configured"}),
+                )
+            try:
+                receipt = self.state.snapshot(self.snapshot_path)
+            except SnapshotError as exc:
+                self.metrics.inc("snapshot_failures")
+                return (
+                    "500 Internal Server Error",
+                    "application/json",
+                    _json_bytes({"ok": False, "error": str(exc)}),
+                )
+            self.metrics.inc("snapshots")
+            return "200 OK", "application/json", _json_bytes({"ok": True, **receipt})
+        return "404 Not Found", "text/plain", (
+            b"try /metrics /stats /partition /registry /healthz /snapshot\n"
+        )
+
+    async def _handle_admin_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Minimal one-shot HTTP/1.0 responder for ``GET /metrics``.
+        """Minimal one-shot HTTP/1.0 responder for the admin endpoint.
 
         Deliberately tiny: no keep-alive, no chunking, 5 s header
-        timeout — just enough for a Prometheus scraper or ``curl``.
+        timeout — just enough for a Prometheus scraper, an aggregator or
+        ``curl``.
         """
         try:
             request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
@@ -346,16 +595,7 @@ class FileculeServer:
             parts = request_line.decode("latin-1").split()
             method = parts[0] if parts else ""
             path = parts[1] if len(parts) >= 2 else "/"
-            if method != "GET":
-                status, body = "405 Method Not Allowed", b"method not allowed\n"
-                content_type = "text/plain"
-            elif path.split("?", 1)[0] in ("/metrics", "/"):
-                status = "200 OK"
-                body = self.expose_metrics().encode()
-                content_type = PROMETHEUS_CONTENT_TYPE
-            else:
-                status, body = "404 Not Found", b"try /metrics\n"
-                content_type = "text/plain"
+            status, content_type, body = self._admin_response(method, path)
             writer.write(
                 (
                     f"HTTP/1.0 {status}\r\n"
@@ -401,29 +641,41 @@ class FileculeServer:
         """Bind and start serving; returns once the socket is listening."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._inbox = asyncio.Queue()
+        self._inboxes = [asyncio.Queue() for _ in range(self._n_actors)]
         self._stop_event = asyncio.Event()
-        self._actor_task = asyncio.create_task(self._actor())
+        self._actor_tasks = [
+            asyncio.create_task(self._actor(inbox)) for inbox in self._inboxes
+        ]
         if self.snapshot_path and self.snapshot_interval:
             self._background.append(asyncio.create_task(self._periodic_snapshot()))
         if self.log_interval:
             self._background.append(asyncio.create_task(self._periodic_log()))
-        self._server = await asyncio.start_server(
-            self._track_connection,
-            self.host,
-            self.port,
-            limit=MAX_LINE_BYTES,
-        )
+        if self._listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._track_connection,
+                sock=self._listen_sock,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._track_connection,
+                self.host,
+                self.port,
+                limit=MAX_LINE_BYTES,
+                **({"reuse_port": True} if self.reuse_port else {}),
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
-                self._handle_metrics_http, self.host, self.metrics_port
+                self._handle_admin_http, self.host, self.metrics_port
             )
             self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
         slog.info(
             "serving",
             host=self.host,
             port=self.port,
+            worker=self.worker_index,
+            actors=self._n_actors,
             policy=self.state.policy_name,
             capacity_bytes=self.state.capacity_bytes,
             metrics_port=self.metrics_port,
@@ -443,15 +695,15 @@ class FileculeServer:
         for task in list(self._connections):
             task.cancel()
         await asyncio.gather(*self._connections, return_exceptions=True)
-        # Let the actor answer everything already accepted.
-        assert self._inbox is not None and self._actor_task is not None
-        while not self._inbox.empty():
+        # Let the actors answer everything already accepted.
+        while any(not inbox.empty() for inbox in self._inboxes):
             await asyncio.sleep(0)
-        self._actor_task.cancel()
+        for task in self._actor_tasks:
+            task.cancel()
         for task in self._background:
             task.cancel()
         await asyncio.gather(
-            self._actor_task, *self._background, return_exceptions=True
+            *self._actor_tasks, *self._background, return_exceptions=True
         )
         if self.snapshot_path:
             try:
@@ -471,6 +723,7 @@ class FileculeServer:
             except OSError as exc:
                 slog.error("span-log-failed", error=str(exc))
         self._server = None
+        self._actor_tasks = []
         self._background.clear()
         slog.info("stopped", **self.metrics.snapshot())
 
@@ -479,9 +732,16 @@ class FileculeServer:
         if self._stop_event is not None:
             self._stop_event.set()
 
-    async def serve_forever(self) -> None:
-        """Start, serve until a stop signal/request, then stop."""
+    async def serve_forever(self, ready_callback=None) -> None:
+        """Start, serve until a stop signal/request, then stop.
+
+        ``ready_callback(server)``, when given, runs right after the
+        sockets are bound — cluster workers use it to report their
+        resolved ports to the parent process.
+        """
         await self.start()
+        if ready_callback is not None:
+            ready_callback(self)
         assert self._stop_event is not None
         loop = asyncio.get_running_loop()
         installed = []
@@ -501,3 +761,20 @@ class FileculeServer:
     def run(self) -> None:
         """Blocking entry point (used by ``repro-serve serve``)."""
         asyncio.run(self.serve_forever())
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def _salvage_id(line: bytes | str):
+    """Best-effort request id from a line that failed validation."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(obj, dict):
+        request_id = obj.get("id")
+        if isinstance(request_id, (int, str)):
+            return request_id
+    return None

@@ -1,0 +1,399 @@
+"""Site-sharded service state: N independent sub-states, one merged view.
+
+The paper's §6 partial-knowledge result is what makes this safe: a
+per-site (here: per-shard) observer of the job stream identifies a
+*coarsening* of the true filecule partition, and the meet (common
+refinement, :func:`repro.core.merge.merge_partitions`) of all observers'
+partitions equals the global partition — because every job lands, whole,
+at exactly one observer, and signature grouping factors through that
+split.  Sharding the daemon's state by site therefore changes *where*
+refinement happens without changing *what* the service knows: per-site
+ops (``ingest``, ``advise``) touch exactly one shard, and cross-shard
+ops (``stats``, ``partition``, ``filecule_of``, ``snapshot``/``restore``)
+fan out and merge.
+
+Two consequences worth noting:
+
+* merged request counts are **exact**, not the upper bound the generic
+  merge documents: the shards observe *disjoint* job sets, so the per-
+  shard counts of the classes containing a merged group sum to the true
+  global count;
+* a merged filecule has no single integer class id (its identity is the
+  tuple of per-shard class ids), so merged payloads carry a dense index
+  or ``class_key`` string instead.
+
+:class:`ShardedServiceState` is interface-compatible with
+:class:`~repro.service.state.ServiceState`, so
+:class:`~repro.service.server.FileculeServer` hosts either without
+special-casing; when the state exposes :meth:`route_request` the server
+runs one actor per shard and routes per-site requests to the owning
+shard's inbox.  The same merge machinery aggregates *across worker
+processes* of a pre-fork cluster (:mod:`repro.service.cluster`): each
+worker observes the jobs of the connections the kernel routed to it —
+again disjoint — so :func:`merge_partition_payloads` over per-worker
+partitions reproduces the offline result bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.filecule import Filecule, FileculePartition
+from repro.core.merge import merge_all
+from repro.obs.log import get_logger
+from repro.service.state import (
+    SNAPSHOT_FORMAT,
+    ServiceState,
+    SnapshotError,
+    partition_checksum,
+)
+from repro.util.units import TB
+
+slog = get_logger("repro.service.shard")
+
+SHARDED_SNAPSHOT_FORMAT = "repro-service-sharded-snapshot"
+SHARDED_SNAPSHOT_VERSION = 1
+
+#: Golden-ratio multiplier for Fibonacci hashing of site ids.
+_HASH_MULT = 0x9E3779B9
+
+
+def shard_of_site(site: int, n_shards: int) -> int:
+    """Map a site id onto a shard index by multiplicative hashing.
+
+    Fibonacci hashing spreads clustered site ids (0, 1, 2, …) uniformly
+    across shards, unlike a bare modulo which aliases arithmetic patterns
+    in the id space.
+    """
+    return ((site * _HASH_MULT) & 0xFFFFFFFF) * n_shards >> 32
+
+
+def _shard_paths(path: Path, n_shards: int) -> list[Path]:
+    return [
+        path.with_name(f"{path.name}.shard{k}") for k in range(n_shards)
+    ]
+
+
+def merge_partition_payloads(payloads: list[dict]) -> dict:
+    """Merge ``partition()`` payloads from disjoint observers.
+
+    ``payloads`` are the wire-shaped results of the ``partition`` op —
+    ``{"classes": [{"files": [...], "requests": n}, ...]}`` — one per
+    shard or per cluster worker.  Returns a payload of the same shape
+    whose grouping is the meet of the inputs; because each job was
+    observed by exactly one input, the meet equals the partition a single
+    observer of the whole stream would have produced (and the summed
+    request counts are exact).
+    """
+    payloads = [p for p in payloads if p is not None]
+    if not payloads:
+        return {"n_classes": 0, "checksum": partition_checksum([]), "classes": []}
+    n_files = 0
+    for payload in payloads:
+        for cls in payload["classes"]:
+            if cls["files"]:
+                n_files = max(n_files, max(cls["files"]) + 1)
+    partitions = []
+    for payload in payloads:
+        filecules = [
+            Filecule(
+                filecule_id=i,
+                file_ids=cls["files"],
+                n_requests=int(cls["requests"]),
+                size_bytes=0,
+            )
+            for i, cls in enumerate(payload["classes"])
+        ]
+        partitions.append(FileculePartition(filecules, n_files))
+    merged = merge_all(partitions)
+    classes = [
+        {"files": fc.file_ids.tolist(), "requests": fc.n_requests}
+        for fc in merged
+    ]
+    classes.sort(key=lambda c: c["files"])
+    return {
+        "n_classes": len(classes),
+        "checksum": partition_checksum(c["files"] for c in classes),
+        "classes": classes,
+    }
+
+
+class ShardedServiceState:
+    """``n_shards`` independent :class:`ServiceState` sub-states.
+
+    Interface-compatible with :class:`ServiceState` (same ops, same
+    payload shapes up to the documented merged-view differences), so the
+    server, snapshots and tooling treat both uniformly.
+
+    Parameters mirror :class:`ServiceState`; every shard gets the same
+    policy/capacity configuration.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        policy: str = "lru",
+        capacity_bytes: int = 1 * TB,
+        default_size: int = 1,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.shards = [
+            ServiceState(
+                policy=policy,
+                capacity_bytes=capacity_bytes,
+                default_size=default_size,
+            )
+            for _ in range(n_shards)
+        ]
+        self.n_shards = n_shards
+        self.policy_name = policy
+        self.capacity_bytes = int(capacity_bytes)
+        self.default_size = int(default_size)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of_site(self, site: int) -> int:
+        return shard_of_site(site, self.n_shards)
+
+    def route_request(self, request: dict) -> int:
+        """Shard index whose actor must handle ``request``.
+
+        Per-site mutations route to the owning shard; cross-shard ops go
+        to shard 0's actor (any actor may run them — all actors share one
+        event loop, and the state methods never yield mid-call, so reads
+        across shards are atomic with respect to every writer).
+        """
+        op = request["op"]
+        if op == "ingest" or op == "advise":
+            return self.shard_of_site(request.get("site", 0))
+        return 0
+
+    @property
+    def jobs_observed(self) -> int:
+        return sum(s.jobs_observed for s in self.shards)
+
+    # ------------------------------------------------------------------
+    # per-site ops (single shard)
+    # ------------------------------------------------------------------
+    def ingest(self, files, sizes=None, site: int = 0) -> dict:
+        shard = self.shard_of_site(site)
+        receipt = self.shards[shard].ingest(files, sizes, site)
+        receipt["shard"] = shard  # receipt counters are shard-local
+        return receipt
+
+    def advise(self, files, site: int = 0) -> dict:
+        return self.shards[self.shard_of_site(site)].advise(files, site)
+
+    # ------------------------------------------------------------------
+    # cross-shard queries (fan out + merge)
+    # ------------------------------------------------------------------
+    def _size_of(self, file_id: int) -> int:
+        for shard in self.shards:
+            size = shard._sizes.get(file_id)
+            if size is not None:
+                return size
+        return self.default_size
+
+    def filecule_of(self, file_id: int) -> dict:
+        """The merged filecule of one file: the meet group containing it.
+
+        The intersection of the member sets of the file's class in every
+        shard that observed it *is* its global filecule (each shard's
+        class is a superset of the true filecule; their meet is exact
+        once every co-access has been observed somewhere).
+        """
+        file_id = int(file_id)
+        members: set[int] | frozenset[int] | None = None
+        requests = 0
+        key_parts = []
+        for k, shard in enumerate(self.shards):
+            cid = shard._ident.class_of(file_id)
+            if cid is None:
+                continue
+            shard_members = shard._ident.members_of_class(cid)
+            members = (
+                set(shard_members) if members is None
+                else members & shard_members
+            )
+            requests += shard._ident.requests_of_class(cid)
+            key_parts.append(f"{k}.{cid}")
+        if members is None:
+            return {"file": file_id, "filecule": None}
+        files = sorted(members)
+        return {
+            "file": file_id,
+            "filecule": {
+                # A merged group spans shards, so it has no single class
+                # id; class_key is its stable cross-shard identity.
+                "class_id": None,
+                "class_key": "+".join(key_parts),
+                "files": files,
+                "n_files": len(files),
+                "requests": requests,
+                "bytes": sum(self._size_of(f) for f in files),
+            },
+        }
+
+    def _merged_partition(self) -> FileculePartition:
+        n_files = 0
+        for shard in self.shards:
+            if shard._ident.n_files_observed:
+                n_files = max(n_files, max(shard._ident._class_of) + 1)
+        return merge_all(
+            [shard._ident.partition(n_files=n_files) for shard in self.shards]
+        )
+
+    def partition(self) -> dict:
+        merged = self._merged_partition()
+        classes = [
+            {"files": fc.file_ids.tolist(), "requests": fc.n_requests}
+            for fc in merged
+        ]
+        classes.sort(key=lambda c: c["files"])
+        return {
+            "n_classes": len(classes),
+            "checksum": partition_checksum(c["files"] for c in classes),
+            "classes": classes,
+            "n_shards": self.n_shards,
+        }
+
+    def stats(self) -> dict:
+        merged = self._merged_partition()
+        top = sorted(merged, key=lambda fc: -fc.n_requests)[:10]
+        sites: dict[str, dict] = {}
+        for shard in self.shards:
+            # Each site routes to exactly one shard, so this is a union.
+            sites.update(shard.stats()["sites"])
+        files_observed = len({
+            f for shard in self.shards for f in shard._ident._class_of
+        })
+        return {
+            "policy": self.policy_name,
+            "capacity_bytes": self.capacity_bytes,
+            "jobs_observed": self.jobs_observed,
+            "files_observed": files_observed,
+            "n_classes": len(merged),
+            "partition_checksum": partition_checksum(
+                fc.file_ids.tolist() for fc in merged
+            ),
+            "top_filecules": [
+                {
+                    "class_id": fc.filecule_id,  # dense merged index
+                    "files": fc.file_ids.tolist(),
+                    "n_files": fc.n_files,
+                    "requests": fc.n_requests,
+                    "bytes": sum(self._size_of(int(f)) for f in fc.file_ids),
+                }
+                for fc in top
+            ],
+            "sites": dict(sorted(sites.items(), key=lambda kv: int(kv[0]))),
+            "n_shards": self.n_shards,
+            "shards": [
+                {
+                    "jobs_observed": s._ident.n_jobs_observed,
+                    "files_observed": s._ident.n_files_observed,
+                    "n_classes": s._ident.n_classes,
+                    "n_sites": len(s._advisors),
+                }
+                for s in self.shards
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # persistence: one manifest + one plain snapshot per shard
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str | Path) -> dict:
+        """Write a manifest at ``path`` plus ``<path>.shardK`` per shard."""
+        path = Path(path)
+        receipts = []
+        for shard_path, shard in zip(
+            _shard_paths(path, self.n_shards), self.shards
+        ):
+            receipts.append(shard.snapshot(shard_path))
+        manifest = {
+            "format": SHARDED_SNAPSHOT_FORMAT,
+            "version": SHARDED_SNAPSHOT_VERSION,
+            "n_shards": self.n_shards,
+            "policy": self.policy_name,
+            "capacity_bytes": self.capacity_bytes,
+            "default_size": self.default_size,
+            "shards": [r["path"] for r in receipts],
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(manifest) + "\n")
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise SnapshotError(f"cannot write manifest {path}: {exc}") from exc
+        receipt = {
+            "path": str(path),
+            "n_shards": self.n_shards,
+            "n_jobs": sum(r["n_jobs"] for r in receipts),
+            "n_classes": sum(r["n_classes"] for r in receipts),
+            "n_files": sum(r["n_files"] for r in receipts),
+        }
+        slog.debug("sharded-snapshot", **receipt)
+        return receipt
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "ShardedServiceState":
+        path = Path(path)
+        try:
+            manifest = json.loads(path.read_text())
+        except OSError as exc:
+            raise SnapshotError(f"cannot read manifest {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"{path}: invalid manifest JSON: {exc}") from exc
+        if manifest.get("format") != SHARDED_SNAPSHOT_FORMAT:
+            raise SnapshotError(f"{path}: not a {SHARDED_SNAPSHOT_FORMAT} file")
+        if manifest.get("version") != SHARDED_SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path}: manifest version {manifest.get('version')!r} "
+                "not supported"
+            )
+        state = cls(
+            n_shards=int(manifest["n_shards"]),
+            policy=manifest["policy"],
+            capacity_bytes=manifest["capacity_bytes"],
+            default_size=manifest["default_size"],
+        )
+        state.shards = [
+            ServiceState.restore(shard_path)
+            for shard_path in manifest["shards"]
+        ]
+        slog.info(
+            "sharded-state-restored",
+            path=str(path),
+            n_shards=state.n_shards,
+            n_jobs=state.jobs_observed,
+        )
+        return state
+
+
+def restore_state(path: str | Path) -> "ServiceState | ShardedServiceState":
+    """Restore whichever snapshot flavor lives at ``path``.
+
+    Sniffs the first line: a sharded manifest restores a
+    :class:`ShardedServiceState`, a plain JSONL snapshot a
+    :class:`ServiceState`.
+    """
+    path = Path(path)
+    try:
+        with open(path) as fh:
+            first = fh.readline()
+        head = json.loads(first) if first.strip() else {}
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path}: invalid JSON: {exc}") from exc
+    fmt = head.get("format")
+    if fmt == SHARDED_SNAPSHOT_FORMAT:
+        return ShardedServiceState.restore(path)
+    if fmt == SNAPSHOT_FORMAT:
+        return ServiceState.restore(path)
+    raise SnapshotError(f"{path}: unknown snapshot format {fmt!r}")

@@ -131,6 +131,19 @@ class ServiceState:
         self._sizes: dict[int, int] = {}
         self._advisors: dict[int, _SiteAdvisor] = {}
         self._clock = 0.0  # logical request time fed to the policies
+        # Reused per-call scratch set for advise's order-preserving
+        # de-duplication — cleared, never reallocated.
+        self._seen: set[int] = set()
+        # Memoized JSON payload of each class's _class_info, keyed by
+        # class id — the read fast path behind ``filecule_of_json``.
+        # Classes only ever split, so invalidation is exact: ingest
+        # drops the entries observe_job reports as affected.
+        self._filecule_json: dict[int, bytes] = {}
+
+    @property
+    def jobs_observed(self) -> int:
+        """Stream position — cheap accessor for the ``ping`` hot path."""
+        return self._ident.n_jobs_observed
 
     # ------------------------------------------------------------------
     # internals
@@ -173,17 +186,50 @@ class ServiceState:
         pipelining clients can cheaply spot-check progress.
         """
         if sizes is not None:
-            for f, s in zip(files, sizes):
-                self._sizes[f] = int(s)
-        self._ident.observe_job(files)
+            # int() keeps direct API callers' numpy sizes JSON-safe for
+            # snapshots; map+zip runs the walk at C speed.
+            self._sizes.update(zip(files, map(int, sizes)))
+        affected = self._ident.observe_job(files)
+        if self._filecule_json:
+            # Exact read-cache invalidation: only the classes this job
+            # created, split, or advanced change their lookup payload.
+            cache_pop = self._filecule_json.pop
+            for cid in affected:
+                cache_pop(cid, None)
         advisor = self._advisor(site)
         self._clock += 1.0
+        clock = self._clock
+        # De-duplicated, order-preserving walk: dict.fromkeys builds the
+        # unique-file sequence in one C pass (cheaper than per-file set
+        # membership bytecode).  Outcome accounting accumulates in locals
+        # and folds into the advisor's metrics with one record_totals
+        # call per job instead of one method call per file.
+        size_of = self._sizes.get
+        default_size = self.default_size
+        policy_request = advisor.policy.request
         hits = 0
-        for f in dict.fromkeys(files):  # de-duplicated, order-preserving
-            size = self._size_of(f)
-            outcome = advisor.policy.request(f, size, self._clock)
-            advisor.metrics.record(size, outcome)
-            hits += outcome.hit
+        bytes_requested = 0
+        bytes_hit = 0
+        bytes_fetched = 0
+        bypasses = 0
+        unique = dict.fromkeys(files)
+        requests = len(unique)
+        for f in unique:
+            size = size_of(f, default_size)
+            outcome = policy_request(f, size, clock)
+            bytes_requested += size
+            if outcome.hit:
+                hits += 1
+                bytes_hit += size
+            else:
+                fetched = outcome.bytes_fetched
+                if fetched:
+                    bytes_fetched += fetched
+                if outcome.bypassed:
+                    bypasses += 1
+        advisor.metrics.record_totals(
+            requests, hits, bytes_requested, bytes_hit, bytes_fetched, bypasses
+        )
         return {
             "job_seq": self._ident.n_jobs_observed,
             "n_files": self._ident.n_files_observed,
@@ -200,6 +246,28 @@ class ServiceState:
             return {"file": file_id, "filecule": None}
         return {"file": file_id, "filecule": self._class_info(class_id)}
 
+    def filecule_of_json(self, file_id: int) -> bytes:
+        """Encoded ``filecule_of`` result — the memoized read fast path.
+
+        ``_class_info`` re-sorts members and re-sums sizes on every call,
+        which dominates lookup latency for large filecules.  The encoded
+        payload is a pure function of the class's membership, request
+        count and member sizes — all of which only change when ingest
+        touches the class — so it is rendered once per class version and
+        served from :attr:`_filecule_json` until invalidated.  Returns
+        the JSON bytes of exactly what :meth:`filecule_of` would return.
+        """
+        class_id = self._ident.class_of(file_id)
+        if class_id is None:
+            return b'{"file":%d,"filecule":null}' % file_id
+        cached = self._filecule_json.get(class_id)
+        if cached is None:
+            cached = json.dumps(
+                self._class_info(class_id), separators=(",", ":")
+            ).encode()
+            self._filecule_json[class_id] = cached
+        return b'{"file":%d,"filecule":%s}' % (file_id, cached)
+
     def advise(self, files: list[int], site: int = 0) -> dict:
         """Filecule-granularity prefetch/admission plan for one job.
 
@@ -212,11 +280,16 @@ class ServiceState:
         provisional group of their own (they share the signature "this
         job only" until a later job splits them).
         """
-        requested = list(dict.fromkeys(files))
+        seen = self._seen
+        seen.clear()
         advisor = self._advisors.get(site)
+        class_of = self._ident.class_of
         by_class: dict[int | None, list[int]] = {}
-        for f in requested:
-            by_class.setdefault(self._ident.class_of(f), []).append(f)
+        for f in files:
+            if f in seen:
+                continue
+            seen.add(f)
+            by_class.setdefault(class_of(f), []).append(f)
 
         entries = []
         fetch_bytes = 0
@@ -234,23 +307,24 @@ class ServiceState:
                     "action": "fetch" if size <= self.capacity_bytes else "bypass",
                 }
             else:
-                info = self._class_info(class_id)
+                # Resolve members once; avoid the _class_info round trip
+                # (it re-sorts and re-sums on every call).
+                members = self._ident.members_of_class(class_id)
+                class_bytes = sum(self._size_of(f) for f in members)
                 cached = advisor is not None and all(
                     f in advisor.policy for f in members_requested
                 )
                 if cached:
                     action = "hit"
-                elif info["bytes"] > self.capacity_bytes:
+                elif class_bytes > self.capacity_bytes:
                     action = "bypass"
                 else:
                     action = "fetch"
                 entry = {
                     "class_id": class_id,
                     "files": sorted(members_requested),
-                    "prefetch": sorted(
-                        set(info["files"]) - set(members_requested)
-                    ),
-                    "bytes": info["bytes"],
+                    "prefetch": sorted(members.difference(members_requested)),
+                    "bytes": class_bytes,
                     "action": action,
                 }
             if entry["action"] == "fetch":

@@ -153,3 +153,36 @@ class TestPartitionSnapshot:
         assert sorted(map(tuple, map(sorted, full.classes()))) == sorted(
             map(tuple, map(sorted, resumed.classes()))
         )
+
+
+class TestAffectedClassIds:
+    """observe_job reports exactly the classes a job created or changed."""
+
+    def test_fresh_class_reported(self):
+        ident = IncrementalFileculeIdentifier()
+        assert ident.observe_job([1, 2, 3]) == {0}
+
+    def test_split_reports_both_halves(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2, 3])
+        affected = ident.observe_job([2, 3])
+        # parent class 0 shrank to {1}; fresh class 1 holds {2, 3}
+        assert affected == {0, 1}
+        assert sorted(map(sorted, ident.classes())) == [[1], [2, 3]]
+
+    def test_whole_class_touch_reported(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2])
+        assert ident.observe_job([1, 2]) == {0}
+        assert ident.requests_of_class(0) == 2
+
+    def test_untouched_classes_not_reported(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2])
+        ident.observe_job([3, 4])
+        affected = ident.observe_job([3, 4])
+        assert affected == {1}
+
+    def test_empty_job_reports_nothing(self):
+        ident = IncrementalFileculeIdentifier()
+        assert ident.observe_job([]) == set()

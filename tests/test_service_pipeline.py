@@ -1,0 +1,259 @@
+"""Protocol fast path: client pipelining and multi-process loadgen.
+
+Covers the PR's throughput levers end to end against a real in-process
+server: batched sync/async pipelines (responses paired by id, errors
+surfaced in order), the pipelined load generator, multi-process
+generation with bucket-exact histogram merging, and the equivalence
+guarantee that none of it changes the partition the server identifies.
+"""
+
+import asyncio
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.identify import find_filecules
+from repro.obs.metrics import LatencyHistogram
+from repro.service import (
+    AsyncServiceClient,
+    FileculeServer,
+    ServiceClient,
+    ServiceError,
+    ServiceState,
+    jobs_from_trace,
+    run_load,
+)
+from repro.service.loadgen import (
+    LoadReport,
+    merge_reports,
+    run_load_procs,
+)
+from repro.service.state import partition_checksum
+from repro.workload.calibration import tiny_config
+from repro.workload.generator import generate_trace
+
+HAS_FORK = (
+    os.name == "posix"
+    and "fork" in multiprocessing.get_all_start_methods()
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_trace(tiny_config(), seed=31)
+
+
+def offline_checksum(trace):
+    return partition_checksum(
+        fc.file_ids.tolist() for fc in find_filecules(trace)
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(fn, **server_kwargs):
+    server = FileculeServer(ServiceState(), **server_kwargs)
+    await server.start()
+    try:
+        return await fn(server)
+    finally:
+        await server.stop()
+
+
+class TestAsyncPipeline:
+    def test_batch_matches_sequential_results(self):
+        async def scenario(server):
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                results = await client.pipeline(
+                    [
+                        ("ingest", {"files": [1, 2, 3]}),
+                        ("ingest", {"files": [2, 3]}),
+                        ("filecule_of", {"file": 2}),
+                        ("stats", {}),
+                    ]
+                )
+            assert results[0]["job_seq"] == 1
+            assert results[1]["job_seq"] == 2
+            assert results[2]["filecule"]["files"] == [2, 3]
+            assert results[3]["n_classes"] == 2
+            return None
+
+        run(_with_server(scenario))
+
+    def test_manual_send_flush_read(self):
+        async def scenario(server):
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                ids = [
+                    client.send_nowait("ingest", files=[k, k + 1])
+                    for k in range(0, 20, 2)
+                ]
+                await client.flush()
+                for k, request_id in enumerate(ids):
+                    receipt = await client.read_response(request_id)
+                    assert receipt["job_seq"] == k + 1
+            return None
+
+        run(_with_server(scenario))
+
+    def test_error_in_batch_raises_in_order(self):
+        async def scenario(server):
+            async with await AsyncServiceClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                good = client.send_nowait("ingest", files=[1])
+                bad = client.send_nowait("ingest", files=["not-an-int"])
+                after = client.send_nowait("ingest", files=[2])
+                await client.flush()
+                assert (await client.read_response(good))["job_seq"] == 1
+                with pytest.raises(ServiceError):
+                    await client.read_response(bad)
+                # The stream stays usable after a failed request.
+                assert (await client.read_response(after))["job_seq"] == 2
+            return None
+
+        run(_with_server(scenario))
+
+
+class TestSyncPipeline:
+    def test_pipeline_round_trip(self):
+        async def scenario(server):
+            def blocking():
+                with ServiceClient("127.0.0.1", server.port) as client:
+                    results = client.pipeline(
+                        [
+                            ("ingest", {"files": [4, 5]}),
+                            ("ingest", {"files": [4, 5]}),
+                            ("stats", {}),
+                        ]
+                    )
+                assert results[0]["job_seq"] == 1
+                assert results[2]["jobs_observed"] == 2
+
+            await asyncio.to_thread(blocking)
+            return None
+
+        run(_with_server(scenario))
+
+
+class TestPipelinedLoadgen:
+    def test_pipelined_run_preserves_partition(self, tiny_trace):
+        jobs = jobs_from_trace(tiny_trace)
+
+        async def scenario(server):
+            return await run_load(
+                "127.0.0.1",
+                server.port,
+                jobs,
+                connections=3,
+                pipeline_depth=16,
+                advise_every=10,
+            )
+
+        report = run(_with_server(scenario))
+        assert report.errors == 0
+        assert report.jobs == len(jobs)
+        assert report.final_stats["partition_checksum"] == offline_checksum(
+            tiny_trace
+        )
+        assert "ingest" in report.latencies_ms
+        assert "ingest" in report.histograms
+
+    def test_rejects_bad_depth(self, tiny_trace):
+        with pytest.raises(ValueError):
+            run(
+                run_load(
+                    "127.0.0.1", 1, jobs_from_trace(tiny_trace), pipeline_depth=0
+                )
+            )
+
+
+class TestMergeReports:
+    def _report(self, samples_ms, jobs=5):
+        hist = LatencyHistogram()
+        for ms in samples_ms:
+            hist.record(ms / 1e3)
+        return LoadReport(
+            jobs=jobs,
+            requests=len(samples_ms),
+            errors=0,
+            duration_seconds=1.0,
+            histograms={"ingest": hist.state_dict()},
+        )
+
+    def test_counts_sum_and_histograms_merge(self):
+        a = self._report([1.0, 2.0, 3.0])
+        b = self._report([10.0, 20.0], jobs=2)
+        merged = merge_reports([a, b])
+        assert merged.jobs == 7
+        assert merged.requests == 5
+        assert merged.latencies_ms["ingest"]["count"] == 5
+        # max survives the merge exactly (not bucket-rounded)
+        assert merged.latencies_ms["ingest"]["max"] == pytest.approx(20.0)
+
+    def test_percentiles_come_from_merged_buckets(self):
+        # 90 fast samples in one report, 10 slow in the other: the merged
+        # p99 must land in the slow tail that the fast report never saw.
+        fast = self._report([1.0] * 90, jobs=90)
+        slow = self._report([500.0] * 10, jobs=10)
+        merged = merge_reports([fast, slow])
+        assert merged.latencies_ms["ingest"]["p99"] > 100.0
+        assert merged.latencies_ms["ingest"]["p50"] < 10.0
+
+    def test_empty_is_an_error(self):
+        with pytest.raises(ValueError):
+            merge_reports([])
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs POSIX fork")
+class TestMultiProcessLoadgen:
+    def test_procs_preserve_partition_and_merge_latency(self, tiny_trace):
+        jobs = jobs_from_trace(tiny_trace)
+
+        async def scenario(server):
+            # run_load_procs blocks; keep the server loop responsive.
+            return await asyncio.to_thread(
+                run_load_procs,
+                "127.0.0.1",
+                server.port,
+                jobs,
+                procs=2,
+                connections=2,
+                pipeline_depth=8,
+            )
+
+        report = run(_with_server(scenario))
+        assert report.errors == 0
+        assert report.jobs == len(jobs)
+        assert report.requests == len(jobs)
+        assert report.final_stats["partition_checksum"] == offline_checksum(
+            tiny_trace
+        )
+        assert report.latencies_ms["ingest"]["count"] == len(jobs)
+
+    def test_procs_one_is_plain_run(self, tiny_trace):
+        jobs = jobs_from_trace(tiny_trace)[:30]
+
+        async def scenario(server):
+            return await asyncio.to_thread(
+                run_load_procs,
+                "127.0.0.1",
+                server.port,
+                jobs,
+                procs=1,
+                connections=2,
+            )
+
+        report = run(_with_server(scenario))
+        assert report.jobs == 30
+        assert report.errors == 0
+
+    def test_rejects_bad_procs(self):
+        with pytest.raises(ValueError):
+            run_load_procs("127.0.0.1", 1, [{"files": [1]}], procs=0)

@@ -262,3 +262,53 @@ class TestIncrementalStateDict:
         state["classes"][0]["id"] = 99  # beyond next_class
         with pytest.raises(ValueError, match="next_class"):
             IncrementalFileculeIdentifier.from_state_dict(state)
+
+
+class TestFileculeOfJson:
+    """The memoized read path serves exactly what filecule_of returns."""
+
+    def _dumps(self, obj):
+        return json.dumps(obj, separators=(",", ":")).encode()
+
+    def test_matches_dict_api(self):
+        state = ServiceState()
+        state.ingest([1, 2, 3], sizes=[10, 20, 30])
+        state.ingest([2, 3])
+        for f in (1, 2, 3):
+            assert state.filecule_of_json(f) == self._dumps(
+                state.filecule_of(f)
+            )
+
+    def test_unknown_file(self):
+        state = ServiceState()
+        assert state.filecule_of_json(99) == self._dumps(
+            {"file": 99, "filecule": None}
+        )
+
+    def test_cache_invalidated_by_split(self):
+        state = ServiceState()
+        state.ingest([1, 2, 3])
+        before = state.filecule_of_json(2)
+        state.ingest([2, 3])  # splits {1,2,3} -> {1} and {2,3}
+        after = state.filecule_of_json(2)
+        assert before != after
+        assert after == self._dumps(state.filecule_of(2))
+        # the shrunken parent class also re-renders
+        assert state.filecule_of_json(1) == self._dumps(state.filecule_of(1))
+
+    def test_cache_invalidated_by_request_count(self):
+        state = ServiceState()
+        state.ingest([1, 2])
+        first = state.filecule_of_json(1)
+        state.ingest([1, 2])  # same class touched again: requests += 1
+        second = state.filecule_of_json(1)
+        assert first != second
+        assert b'"requests":2' in second
+
+    def test_cache_reused_between_ingests_of_other_classes(self):
+        state = ServiceState()
+        state.ingest([1, 2])
+        state.filecule_of_json(1)
+        cached = state._filecule_json.copy()
+        state.ingest([10, 11])  # disjoint class: no invalidation
+        assert all(state._filecule_json[k] == v for k, v in cached.items())
