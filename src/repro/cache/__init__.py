@@ -38,7 +38,6 @@ from repro.cache.bundle import FileBundleCache
 from repro.cache.working_set import WorkingSetPrefetchLRU
 from repro.cache.prefetch import GroupPrefetchLRU
 from repro.cache.belady import BeladyMIN, FileculeBeladyMIN, next_use_positions
-from repro.cache.simulator import simulate, sweep, SweepResult
 
 __all__ = [
     "CacheMetrics",
@@ -64,3 +63,18 @@ __all__ = [
     "sweep",
     "SweepResult",
 ]
+
+#: Replay entry points re-exported lazily (PEP 562) from
+#: :mod:`repro.cache.simulator`, which fronts :mod:`repro.engine`.  The
+#: engine imports :mod:`repro.cache.base` at load time, so an eager
+#: import here would be circular whenever ``repro.engine`` (or the
+#: registry above it) is imported before this package finishes loading.
+_ENGINE_EXPORTS = frozenset(("simulate", "sweep", "SweepResult"))
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.cache import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

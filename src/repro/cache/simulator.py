@@ -1,217 +1,37 @@
-"""Trace replay and capacity sweeps.
+"""Trace replay and capacity sweeps — façade over :mod:`repro.engine`.
 
-:func:`simulate` replays a trace's file requests — each traced job issues
-its input files at its start time, in job order — against one policy
-instance and returns :class:`CacheMetrics`.  :func:`sweep` runs a grid of
-policies × capacities (Figure 10 is a two-policy, seven-capacity sweep);
-with ``jobs=N`` the grid fans out over a process pool
-(:mod:`repro.parallel`) with the trace shipped zero-copy through shared
-memory, and the result is guaranteed identical to the serial path.
+Historically this module *was* the replay engine; the implementation now
+lives in :mod:`repro.engine` (:mod:`repro.engine.replay` for the
+single-run loop, :mod:`repro.engine.sweep` for the grid runner and
+:class:`SweepResult`) so the serial path, the process-parallel runner
+and the online service share one core.  This module remains the stable
+import path (``from repro.cache.simulator import simulate, sweep``) and
+re-exports the engine API unchanged.
 
-Both accept an optional :class:`~repro.obs.instrument.Instrumentation`:
-observation-only callbacks per access/hit/miss/eviction plus periodic
-progress checkpoints, so multi-million-access runs report live hit
-rates, evicted bytes and ETA instead of executing as black boxes.  With
-``instrumentation=None`` a tight fast path runs: the trace's columns are
-read as plain Python lists (:attr:`~repro.traces.trace.Trace.replay_columns`,
-converted once per trace, not per run), per-job values are hoisted out
-of the per-access loop, and metrics counters accumulate in locals that
-are folded into :class:`CacheMetrics` once at the end.  The instrumented
-path updates metrics per access (hooks observe live state) and is
-guaranteed (and tested) to produce identical miss rates.
+Policies are selected either by factory callables (legacy) or by
+:mod:`repro.registry` spec strings — e.g.::
+
+    from repro.cache import sweep
+
+    result = sweep(
+        trace,
+        ("file-lru", "filecule-lru"),
+        capacities,
+        partition=partition,
+        jobs=4,
+    )
+
+See :mod:`repro.engine` for the replay-loop and parallel-dispatch
+contracts, and ``docs/ARCHITECTURE.md`` for the layer map.
 """
 
-from __future__ import annotations
+from repro.engine.replay import PolicyFactory, simulate
+from repro.engine.sweep import SweepResult, resolve_policies, sweep
 
-from dataclasses import dataclass
-from collections.abc import Callable, Sequence
-
-from repro.cache.base import CacheMetrics, ReplacementPolicy
-from repro.obs.instrument import Instrumentation
-from repro.traces.trace import Trace
-
-#: A factory building a fresh policy instance for a given capacity.
-PolicyFactory = Callable[[int], ReplacementPolicy]
-
-
-def simulate(
-    trace: Trace,
-    policy_factory: PolicyFactory,
-    capacity: int,
-    name: str | None = None,
-    instrumentation: Instrumentation | None = None,
-) -> CacheMetrics:
-    """Replay ``trace`` against a fresh policy of the given capacity.
-
-    The request stream is the canonical access order: jobs in
-    chronological (id) order, each job's files in ascending file-id order
-    at the job's start time.  Every policy sees the identical stream, so
-    miss rates are directly comparable.
-
-    ``instrumentation`` hooks observe the replay without affecting it;
-    see :mod:`repro.obs.instrument`.
-    """
-    policy = policy_factory(capacity)
-    metrics = CacheMetrics(
-        name=name or policy.name, capacity_bytes=int(capacity)
-    )
-    access_files = trace.access_files
-    ptr_list, files, sizes, starts = trace.replay_columns
-    request = policy.request
-    begin_job = policy.begin_job
-    if instrumentation is None:
-        # Fast path: per-job outer loop (job id and timestamp hoisted out
-        # of the access loop), list columns (no numpy scalar boxing) and
-        # local counters folded into the metrics once at the end.  Job
-        # order and per-job file order are the canonical access order,
-        # so the request stream is identical to the instrumented path.
-        requests = hits = 0
-        bytes_requested = bytes_hit = bytes_fetched = bypasses = 0
-        for job in range(trace.n_jobs):
-            lo = ptr_list[job]
-            hi = ptr_list[job + 1]
-            if lo == hi:
-                continue
-            now = starts[job]
-            begin_job(access_files[lo:hi], now)
-            for f in files[lo:hi]:
-                size = sizes[f]
-                outcome = request(f, size, now)
-                requests += 1
-                bytes_requested += size
-                if outcome.hit:
-                    hits += 1
-                    bytes_hit += size
-                else:
-                    fetched = outcome.bytes_fetched
-                    if fetched:
-                        bytes_fetched += fetched
-                    if outcome.bypassed:
-                        bypasses += 1
-        metrics.requests = requests
-        metrics.hits = hits
-        metrics.bytes_requested = bytes_requested
-        metrics.bytes_hit = bytes_hit
-        metrics.bytes_fetched = bytes_fetched
-        metrics.bypasses = bypasses
-        return metrics
-
-    inst = instrumentation
-    total = len(files)
-    progress_every = inst.progress_every
-    inst.on_run_start(metrics.name, int(capacity), total)
-    policy.evict_listener = inst.on_evict
-    record = metrics.record
-    access_jobs = trace.access_jobs
-    current_job = -1
-    now = 0.0
-    try:
-        for i in range(total):
-            j = int(access_jobs[i])
-            if j != current_job:
-                now = starts[j]
-                begin_job(access_files[ptr_list[j] : ptr_list[j + 1]], now)
-                current_job = j
-            f = files[i]
-            size = sizes[f]
-            inst.on_access(f, size, now)
-            outcome = request(f, size, now)
-            record(size, outcome)
-            if outcome.hit:
-                inst.on_hit(f, size)
-            else:
-                inst.on_miss(f, size, outcome.bytes_fetched, outcome.bypassed)
-            done = i + 1
-            if progress_every and done < total and done % progress_every == 0:
-                inst.on_progress(done, total, metrics)
-        inst.on_progress(total, total, metrics)  # exactly one done == total call
-    finally:
-        policy.evict_listener = None
-    return metrics
-
-
-@dataclass(frozen=True, slots=True)
-class SweepResult:
-    """Outcome grid of a policies × capacities sweep."""
-
-    capacities: tuple[int, ...]
-    metrics: dict[str, tuple[CacheMetrics, ...]]  # policy name -> per capacity
-
-    def miss_rates(self, policy: str) -> list[float]:
-        return [m.miss_rate for m in self.metrics[policy]]
-
-    def byte_miss_rates(self, policy: str) -> list[float]:
-        return [m.byte_miss_rate for m in self.metrics[policy]]
-
-    def improvement_factor(
-        self, baseline: str, contender: str
-    ) -> list[float]:
-        """Per-capacity ratio baseline miss rate / contender miss rate.
-
-        The paper's headline is a 4–5× factor of file-LRU over
-        filecule-LRU at large caches.  Capacities where only the
-        contender has a zero miss rate report ``inf``; where *both*
-        policies have zero miss rate (e.g. an empty or fully-cached
-        cell) the factor is undefined and reports ``nan`` so downstream
-        tables don't render a spurious ``inf×``.
-        """
-        out = []
-        for b, c in zip(self.metrics[baseline], self.metrics[contender]):
-            if c.miss_rate > 0:
-                out.append(b.miss_rate / c.miss_rate)
-            elif b.miss_rate > 0:
-                out.append(float("inf"))
-            else:
-                out.append(float("nan"))
-        return out
-
-
-def sweep(
-    trace: Trace,
-    factories: dict[str, PolicyFactory],
-    capacities: Sequence[int],
-    instrumentation: Instrumentation | None = None,
-    jobs: int = 1,
-) -> SweepResult:
-    """Run every (policy, capacity) combination over the same trace.
-
-    A single ``instrumentation`` instance observes every run in turn —
-    :meth:`~repro.obs.instrument.Instrumentation.on_run_start` announces
-    each (policy, capacity) cell, so a progress reporter labels its
-    output per run while a stats collector aggregates the whole grid.
-
-    ``jobs > 1`` dispatches the grid to
-    :class:`repro.parallel.ParallelSweepRunner`: each cell replays the
-    identical immutable trace in a worker process (columns shared via
-    :mod:`multiprocessing.shared_memory`, reconstructed once per worker)
-    and the per-cell metrics are merged into a :class:`SweepResult`
-    identical to the serial one.  ``jobs`` is a ceiling — the pool is
-    clamped to the cell count and the machine's CPU count (the replay is
-    CPU-bound; oversubscribing cores only slows it down).  Per-access hooks cannot cross process
-    boundaries, so only ``None``, :class:`~repro.obs.instrument.SimStats`,
-    :class:`~repro.obs.instrument.ProgressReporter` (progress checkpoints
-    forwarded over a queue) and combinations of those are supported in
-    parallel mode.
-    """
-    if not factories:
-        raise ValueError("need at least one policy factory")
-    caps = tuple(int(c) for c in capacities)
-    if not caps:
-        raise ValueError("need at least one capacity")
-    if jobs is None:
-        jobs = 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs > 1:
-        from repro.parallel.runner import parallel_sweep
-
-        return parallel_sweep(
-            trace, factories, caps, jobs=jobs, instrumentation=instrumentation
-        )
-    metrics: dict[str, tuple[CacheMetrics, ...]] = {}
-    for name, factory in factories.items():
-        metrics[name] = tuple(
-            simulate(trace, factory, cap, name=name, instrumentation=instrumentation)
-            for cap in caps
-        )
-    return SweepResult(capacities=caps, metrics=metrics)
+__all__ = [
+    "PolicyFactory",
+    "SweepResult",
+    "resolve_policies",
+    "simulate",
+    "sweep",
+]

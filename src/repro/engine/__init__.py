@@ -1,0 +1,26 @@
+"""The shared trace-replay engine.
+
+One replay loop (:func:`simulate`) and one grid runner (:func:`sweep`)
+serve every consumer in the repository — the serial simulator façade
+(:mod:`repro.cache.simulator`), the process-parallel runner
+(:mod:`repro.parallel`), the online service's benchmarks, and all
+sweep-backed experiment drivers.  Policies are selected declaratively
+through :mod:`repro.registry` spec strings wherever possible, so the
+grid definition is plain picklable data.
+
+Layering (see ``docs/ARCHITECTURE.md``): the engine sits directly above
+the policy *interface* (:mod:`repro.cache.base`) and below the policy
+catalog (:mod:`repro.registry`); it reaches the registry and the
+parallel runner only through lazy, call-time imports.
+"""
+
+from repro.engine.replay import PolicyFactory, simulate
+from repro.engine.sweep import SweepResult, resolve_policies, sweep
+
+__all__ = [
+    "PolicyFactory",
+    "SweepResult",
+    "resolve_policies",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,143 @@
+"""The shared trace-replay core: one policy, one capacity, one trace.
+
+:func:`simulate` is the single replay loop every consumer shares — the
+serial simulator façade (:mod:`repro.cache.simulator`), the parallel
+sweep workers (:mod:`repro.parallel.runner`) and the benchmark drivers
+all execute this exact code, which is what makes their results
+bit-identical by construction.
+
+Each traced job issues its input files at its start time, in job order;
+every policy sees the identical request stream, so miss rates are
+directly comparable.  With ``instrumentation=None`` a tight fast path
+runs: the trace's columns are read as plain Python lists
+(:attr:`~repro.traces.trace.Trace.replay_columns`, converted once per
+trace, not per run), per-job values are hoisted out of the per-access
+loop, and metrics counters accumulate in locals that are folded into
+:class:`~repro.cache.base.CacheMetrics` once at the end.  The
+instrumented path updates metrics per access (hooks observe live state)
+and is guaranteed (and tested) to produce identical miss rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cache.base import CacheMetrics, ReplacementPolicy
+from repro.obs.instrument import Instrumentation
+from repro.traces.trace import Trace
+
+#: A factory building a fresh policy instance for a given capacity.
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+
+def simulate(
+    trace: Trace,
+    policy_factory: PolicyFactory | str,
+    capacity: int,
+    name: str | None = None,
+    instrumentation: Instrumentation | None = None,
+    *,
+    partition=None,
+) -> CacheMetrics:
+    """Replay ``trace`` against a fresh policy of the given capacity.
+
+    ``policy_factory`` is either a callable ``capacity -> policy`` or a
+    policy *spec* (a registry name/spec string such as
+    ``"filecule-lru?intra_job_hits=false"`` or a
+    :class:`~repro.registry.BoundSpec`), resolved through
+    :mod:`repro.registry` with this trace and the optional ``partition``
+    as resources.
+
+    ``instrumentation`` hooks observe the replay without affecting it;
+    see :mod:`repro.obs.instrument`.
+    """
+    if not callable(policy_factory):
+        # Spec-based selection.  The registry sits above the engine in
+        # the layer map (it must see every policy class), so this upcall
+        # is deliberately lazy — see docs/ARCHITECTURE.md.
+        from repro import registry
+
+        bound = registry.parse(policy_factory)
+        policy = registry.build(
+            bound, capacity, trace=trace, partition=partition
+        )
+        if name is None:
+            name = str(bound)
+    else:
+        policy = policy_factory(capacity)
+    metrics = CacheMetrics(
+        name=name or policy.name, capacity_bytes=int(capacity)
+    )
+    access_files = trace.access_files
+    ptr_list, files, sizes, starts = trace.replay_columns
+    request = policy.request
+    begin_job = policy.begin_job
+    if instrumentation is None:
+        # Fast path: per-job outer loop (job id and timestamp hoisted out
+        # of the access loop), list columns (no numpy scalar boxing) and
+        # local counters folded into the metrics once at the end.  Job
+        # order and per-job file order are the canonical access order,
+        # so the request stream is identical to the instrumented path.
+        requests = hits = 0
+        bytes_requested = bytes_hit = bytes_fetched = bypasses = 0
+        for job in range(trace.n_jobs):
+            lo = ptr_list[job]
+            hi = ptr_list[job + 1]
+            if lo == hi:
+                continue
+            now = starts[job]
+            begin_job(access_files[lo:hi], now)
+            for f in files[lo:hi]:
+                size = sizes[f]
+                outcome = request(f, size, now)
+                requests += 1
+                bytes_requested += size
+                if outcome.hit:
+                    hits += 1
+                    bytes_hit += size
+                else:
+                    fetched = outcome.bytes_fetched
+                    if fetched:
+                        bytes_fetched += fetched
+                    if outcome.bypassed:
+                        bypasses += 1
+        metrics.requests = requests
+        metrics.hits = hits
+        metrics.bytes_requested = bytes_requested
+        metrics.bytes_hit = bytes_hit
+        metrics.bytes_fetched = bytes_fetched
+        metrics.bypasses = bypasses
+        return metrics
+
+    inst = instrumentation
+    total = len(files)
+    progress_every = inst.progress_every
+    inst.on_run_start(metrics.name, int(capacity), total)
+    policy.evict_listener = inst.on_evict
+    record = metrics.record
+    access_jobs = trace.access_jobs
+    current_job = -1
+    now = 0.0
+    try:
+        for i in range(total):
+            j = int(access_jobs[i])
+            if j != current_job:
+                now = starts[j]
+                begin_job(access_files[ptr_list[j] : ptr_list[j + 1]], now)
+                current_job = j
+            f = files[i]
+            size = sizes[f]
+            inst.on_access(f, size, now)
+            outcome = request(f, size, now)
+            record(size, outcome)
+            if outcome.hit:
+                inst.on_hit(f, size)
+            else:
+                inst.on_miss(f, size, outcome.bytes_fetched, outcome.bypassed)
+            done = i + 1
+            if progress_every and done < total and done % progress_every == 0:
+                inst.on_progress(done, total, metrics)
+        inst.on_progress(total, total, metrics)  # exactly one done == total call
+    finally:
+        policy.evict_listener = None
+    return metrics

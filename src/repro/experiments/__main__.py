@@ -1,4 +1,10 @@
-"""Command-line entry point: ``python -m repro.experiments <id|all>``."""
+"""Command-line entry point: ``python -m repro.experiments <id|all>``.
+
+Besides running experiments, ``repro-experiments list-policies`` (or
+``--list-policies``) prints the :mod:`repro.registry` policy catalog —
+every spec's canonical name, capability flags, parameter defaults,
+aliases and summary — without building a workload.
+"""
 
 from __future__ import annotations
 
@@ -14,6 +20,40 @@ from repro.experiments.base import (
 )
 
 
+def render_policy_catalog() -> str:
+    """The registry's policy catalog as an aligned monospace table."""
+    from repro import registry
+    from repro.util.tables import render_table
+
+    def fmt(value: object) -> str:
+        # Spec wire format: booleans render as parse() accepts them.
+        return str(value).lower() if isinstance(value, bool) else str(value)
+
+    rows = []
+    for spec in registry.list_specs():
+        rows.append(
+            (
+                spec.name,
+                ",".join(spec.flags) or "-",
+                (
+                    "&".join(
+                        f"{k}={fmt(v)}" for k, v in sorted(spec.defaults.items())
+                    )
+                    or "-"
+                ),
+                ",".join(spec.aliases) or "-",
+                spec.summary,
+            )
+        )
+    table = render_table(
+        ("policy", "flags", "defaults", "aliases", "summary"),
+        rows,
+        title="registered policy specs (select with name?param=value&...)",
+        align_right=False,
+    )
+    return table
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -24,8 +64,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        help=f"experiment ids (or 'all'); known: {', '.join(all_experiment_ids())}",
+        nargs="*",
+        help=(
+            "experiment ids (or 'all'); known: "
+            f"{', '.join(all_experiment_ids())}; 'list-policies' prints "
+            "the policy catalog"
+        ),
+    )
+    parser.add_argument(
+        "--list-policies",
+        action="store_true",
+        help="print the registered cache-policy specs and exit",
     )
     parser.add_argument(
         "--scale",
@@ -61,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also write a self-contained markdown report to PATH",
     )
     args = parser.parse_args(argv)
+
+    if args.list_policies or "list-policies" in args.experiments:
+        print(render_policy_catalog())
+        return 0
+    if not args.experiments:
+        parser.error("no experiment ids given (or use --list-policies)")
 
     ids = (
         all_experiment_ids()

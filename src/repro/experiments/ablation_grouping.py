@@ -22,16 +22,21 @@ not the policy, is what matters (the paper's thesis, sharpened).
 from __future__ import annotations
 
 from repro.analysis.temporal import file_vs_filecule_reuse
-from repro.cache.bundle import FileBundleCache
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.filecule_variants import FileculeGDS, FileculeLFU
-from repro.cache.lru import FileLRU
-from repro.cache.simulator import sweep
-from repro.cache.working_set import WorkingSetPrefetchLRU
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.util.units import format_bytes
 
 CAPACITY_FRACTION = 0.05
+
+#: The grouping-aware field, as registry specs.
+POLICIES: tuple[str, ...] = (
+    "file-lru",
+    "file-bundle",
+    "working-set-prefetch",
+    "filecule-lru",
+    "filecule-lfu",
+    "filecule-gds",
+)
 
 
 @register("ablation_grouping")
@@ -39,17 +44,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     trace = ctx.trace
     partition = ctx.partition
     capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
-    factories = {
-        "file-lru": lambda c: FileLRU(c),
-        "file-bundle": lambda c: FileBundleCache(c),
-        "working-set-prefetch": lambda c: WorkingSetPrefetchLRU(
-            c, trace.file_sizes
-        ),
-        "filecule-lru": lambda c: FileculeLRU(c, partition),
-        "filecule-lfu": lambda c: FileculeLFU(c, partition),
-        "filecule-gds": lambda c: FileculeGDS(c, partition),
-    }
-    result = sweep(trace, factories, [capacity], jobs=ctx.jobs)
+    result = sweep(
+        trace, POLICIES, [capacity], partition=partition, jobs=ctx.jobs
+    )
     rows = tuple(
         (
             name,

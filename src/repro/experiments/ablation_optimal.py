@@ -15,15 +15,20 @@ to its own clairvoyant bound.
 from __future__ import annotations
 
 from repro.analysis.mrc import granularity_mrcs
-from repro.cache.belady import BeladyMIN, FileculeBeladyMIN
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.lru import FileLRU
-from repro.cache.simulator import sweep
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.obs.instrument import progress_from_env
 from repro.util.units import format_bytes
 
 CAPACITY_FRACTIONS = (0.02, 0.1)
+
+#: Online policies and their clairvoyant bounds, as registry specs.
+POLICIES: tuple[str, ...] = (
+    "file-lru",
+    "file-belady-min",
+    "filecule-lru",
+    "filecule-belady-min",
+)
 
 
 @register("ablation_optimal")
@@ -34,15 +39,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     caps = [max(int(f * total), 1) for f in CAPACITY_FRACTIONS]
     result = sweep(
         trace,
-        {
-            "file-lru": lambda c: FileLRU(c),
-            "file-belady-min": lambda c: BeladyMIN(c, trace),
-            "filecule-lru": lambda c: FileculeLRU(c, partition),
-            "filecule-belady-min": lambda c: FileculeBeladyMIN(
-                c, trace, partition
-            ),
-        },
+        POLICIES,
         caps,
+        partition=partition,
         instrumentation=progress_from_env("ablation_optimal"),
         jobs=ctx.jobs,
     )

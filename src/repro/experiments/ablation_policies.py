@@ -11,20 +11,36 @@ and filecule-LRU.
 
 from __future__ import annotations
 
-from repro.cache.arc import AdaptiveReplacementCache
-from repro.cache.fifo import FileFIFO
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.frequency import FileLFU
-from repro.cache.gds import GreedyDualSize, Landlord
-from repro.cache.lru import FileLRU
-from repro.cache.prefetch import GroupPrefetchLRU
-from repro.cache.simulator import sweep
-from repro.cache.size import LargestFirst
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.util.units import format_bytes
 
 #: Mid-sweep point of Figure 10 (5% of total data ≈ the paper's 25 TB).
 CAPACITY_FRACTION = 0.05
+
+#: The ablation field, as registry specs (canonical spec == display name).
+POLICIES: tuple[str, ...] = (
+    "file-fifo",
+    "file-lru",
+    "file-lfu",
+    "largest-first",
+    "greedy-dual-size",
+    "landlord",
+    "arc",
+    "group-prefetch-lru",
+    "filecule-lru",
+)
+
+#: The single-file members of the field (for best-of comparisons below).
+SINGLE_FILE_POLICIES: tuple[str, ...] = (
+    "file-fifo",
+    "file-lru",
+    "file-lfu",
+    "largest-first",
+    "greedy-dual-size",
+    "landlord",
+    "arc",
+)
 
 
 @register("ablation_policies")
@@ -32,20 +48,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     trace = ctx.trace
     partition = ctx.partition
     capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
-    factories = {
-        "file-fifo": lambda c: FileFIFO(c),
-        "file-lru": lambda c: FileLRU(c),
-        "file-lfu": lambda c: FileLFU(c),
-        "largest-first": lambda c: LargestFirst(c),
-        "greedy-dual-size": lambda c: GreedyDualSize(c),
-        "landlord": lambda c: Landlord(c),
-        "arc": lambda c: AdaptiveReplacementCache(c),
-        "group-prefetch-lru": lambda c: GroupPrefetchLRU(
-            c, trace.file_datasets.astype("int64"), trace.file_sizes
-        ),
-        "filecule-lru": lambda c: FileculeLRU(c, partition),
-    }
-    result = sweep(trace, factories, [capacity], jobs=ctx.jobs)
+    result = sweep(
+        trace, POLICIES, [capacity], partition=partition, jobs=ctx.jobs
+    )
     rows = tuple(
         (
             name,
@@ -58,10 +63,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     miss = {name: m[0].miss_rate for name, m in result.metrics.items()}
     overhead = {name: m[0].fetch_overhead for name, m in result.metrics.items()}
     best_file_gran = min(
-        v
-        for k, v in miss.items()
-        if k in ("file-fifo", "file-lru", "file-lfu", "largest-first",
-                 "greedy-dual-size", "landlord", "arc")
+        v for k, v in miss.items() if k in SINGLE_FILE_POLICIES
     )
     checks = {
         "filecule-LRU beats every file-granularity policy": (
@@ -76,9 +78,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             overhead["filecule-lru"] <= 0.25 * overhead["group-prefetch-lru"]
         ),
         "single-file policies pay ~1 byte fetched per missed byte": all(
-            overhead[k] <= 1.05
-            for k in ("file-fifo", "file-lru", "file-lfu", "largest-first",
-                      "greedy-dual-size", "landlord", "arc")
+            overhead[k] <= 1.05 for k in SINGLE_FILE_POLICIES
         ),
     }
     notes = (

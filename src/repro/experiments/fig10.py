@@ -12,13 +12,14 @@ data volume, 100 TB ≈ 20%), so the experiment is scale-invariant.
 
 from __future__ import annotations
 
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.lru import FileLRU
-from repro.cache.simulator import sweep
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.obs.instrument import progress_from_env
 from repro.util.ascii_plot import ascii_series
 from repro.util.units import TB, format_bytes
+
+#: The two Figure 10 contenders, as registry specs.
+POLICIES: tuple[str, ...] = ("file-lru", "filecule-lru")
 
 #: Cache sizes as fractions of total accessed bytes; the paper's seven
 #: points 1/2/5/10/25/50/100 TB against ≈ 500 TB of accessed data.
@@ -46,11 +47,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     caps = capacities_for(total)
     result = sweep(
         trace,
-        {
-            "file-lru": lambda c: FileLRU(c),
-            "filecule-lru": lambda c: FileculeLRU(c, partition),
-        },
+        POLICIES,
         caps,
+        partition=partition,
         # Observation-only live progress (hit rate, evicted bytes, ETA)
         # when REPRO_PROGRESS=1; silent otherwise.  Identical miss rates
         # either way — asserted by tests/test_obs_instrument.py.  With

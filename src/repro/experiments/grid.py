@@ -16,8 +16,7 @@ stall, tape and WAN traffic.
 
 from __future__ import annotations
 
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.lru import FileLRU
+from repro import registry
 from repro.core.identify import find_filecules
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.replication.placement import site_budgets
@@ -35,15 +34,22 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     partition = ctx.partition
     capacity = max(int(CACHE_FRACTION * trace.total_bytes()), 1)
 
+    # Station caches are built per site through the registry; the sam
+    # scheduler's factory signature adds the site id, which the specs
+    # here don't need.
+    file_cache = lambda cap, site: registry.build("file-lru", cap)
+    cule_cache = lambda cap, site: registry.build(
+        "filecule-lru", cap, partition=partition
+    )
     reports = {}
     reports["file-lru stations"] = replay_trace(
         trace,
-        cache_factory=lambda cap, site: FileLRU(cap),
+        cache_factory=file_cache,
         cache_capacity=capacity,
     )
     reports["filecule-lru stations"] = replay_trace(
         trace,
-        cache_factory=lambda cap, site: FileculeLRU(cap, partition),
+        cache_factory=cule_cache,
         cache_capacity=capacity,
     )
     t_lo, t_hi = trace.time_span()
@@ -56,7 +62,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         catalog.bulk_register(plan.site_files[site], site)
     reports["+ filecule replication"] = replay_trace(
         trace,
-        cache_factory=lambda cap, site: FileculeLRU(cap, partition),
+        cache_factory=cule_cache,
         cache_capacity=capacity,
         catalog=catalog,
     )

@@ -17,15 +17,16 @@ assuming it.
 
 from __future__ import annotations
 
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.lru import FileLRU
-from repro.cache.simulator import sweep
 from repro.core.identify import find_filecules
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.traces.combine import shuffled_null
 
 NULL_SEED = 314
 CAPACITY_FRACTION = 0.05
+
+#: Short display names for the two contenders, as registry specs.
+POLICIES: dict[str, str] = {"file": "file-lru", "cule": "filecule-lru"}
 
 
 @register("null_model")
@@ -44,11 +45,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         capacity = max(int(CAPACITY_FRACTION * trace.total_bytes()), 1)
         result = sweep(
             trace,
-            {
-                "file": lambda c: FileLRU(c),
-                "cule": lambda c, p=partition: FileculeLRU(c, p),
-            },
+            POLICIES,
             [capacity],
+            partition=partition,
             jobs=ctx.jobs,
         )
         factor = result.improvement_factor("file", "cule")[0]

@@ -13,14 +13,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.filecule_lru import FileculeLRU
-from repro.cache.lru import FileLRU
-from repro.cache.simulator import sweep
 from repro.core.identify import find_filecules
+from repro.engine import sweep
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.experiments.fig10 import CAPACITY_FRACTIONS
 from repro.workload.calibration import paper_config
 from repro.workload.generator import generate_trace
+
+#: Short display names for the two contenders, as registry specs.
+POLICIES: dict[str, str] = {"file": "file-lru", "cule": "filecule-lru"}
 
 SEEDS: tuple[int, ...] = (7, 11, 23, 42, 101)
 #: Reduced scale: 5 seeds x 7 capacities x 2 policies stays ~1 minute.
@@ -39,11 +40,9 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
         caps = [max(int(f * total), 1) for f in CAPACITY_FRACTIONS]
         result = sweep(
             trace,
-            {
-                "file": lambda c: FileLRU(c),
-                "cule": lambda c: FileculeLRU(c, partition),
-            },
+            POLICIES,
             caps,
+            partition=partition,
             jobs=ctx.jobs,
         )
         factors = result.improvement_factor("file", "cule")

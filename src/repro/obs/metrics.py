@@ -1,8 +1,8 @@
 """Metrics: labeled counters/gauges and log-bucketed latency histograms.
 
-Promoted from ``repro.service.metrics`` (which re-exports everything here
-for compatibility) so that the daemon, the cache simulators and the
-experiment drivers all share one metrics vocabulary.
+This is the single metrics vocabulary shared by the daemon, the cache
+simulators and the experiment drivers (it originated in the service
+package; the old ``repro.service.metrics`` import path is gone).
 
 The daemon is the hot path, so recording must be O(1) and allocation-free:
 counters are plain ints and latencies land in a fixed geometric bucket

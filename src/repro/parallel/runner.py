@@ -1,16 +1,22 @@
 """Process-parallel (policy, capacity) sweep engine.
 
 The Figure 10 grid — and every experiment built on
-:func:`repro.cache.simulator.sweep` — is embarrassingly parallel: each
-cell replays the identical immutable trace against a fresh policy
-instance.  :class:`ParallelSweepRunner` fans the grid out over a
-``fork``-context :class:`multiprocessing.Pool`:
+:func:`repro.engine.sweep` — is embarrassingly parallel: each cell
+replays the identical immutable trace against a fresh policy instance.
+:class:`ParallelSweepRunner` fans the grid out over a
+:class:`multiprocessing.Pool`:
 
 * the trace's columns travel **zero-copy** through one shared-memory
   segment (:mod:`repro.parallel.shm`), reconstructed once per worker in
   the pool initializer — never per cell;
-* policy factories (arbitrary closures over partitions/traces) are
-  inherited by the forked workers, so no factory pickling is required;
+* policies given as :mod:`repro.registry` spec strings are dispatched
+  **by name**: workers receive the plain ``{display name: spec string}``
+  table (plus the pickled filecule partition, if any) and build each
+  policy locally against the shared-memory trace.  Spec dispatch is
+  start-method agnostic — it works under ``spawn`` as well as ``fork``;
+* legacy factory callables (arbitrary closures over partitions/traces)
+  are still supported, but only under the ``fork`` start method, where
+  the workers inherit them — closures are deliberately never pickled;
 * each cell returns its :class:`~repro.cache.base.CacheMetrics` plus a
   per-cell :class:`~repro.obs.metrics.MetricsRegistry`, which the parent
   folds together with the existing
@@ -20,12 +26,14 @@ instance.  :class:`ParallelSweepRunner` fans the grid out over a
   workers forward periodic checkpoints over a queue and the parent
   prints throttled live hit-rate/ETA lines exactly like the serial path;
 * a failing cell raises :class:`SweepCellError` naming the (policy,
-  capacity) cell, and the shared-memory segment is unlinked in a
-  ``finally`` — no leaks even on failure.
+  capacity) cell — including the case of an unknown spec name reaching
+  a worker, which surfaces the registry's "unknown policy" message —
+  and the shared-memory segment is unlinked in a ``finally`` — no leaks
+  even on failure.
 
 Results are **identical** to the serial path by construction: the same
-:func:`~repro.cache.simulator.simulate` code runs over byte-identical
-columns, and the property tests assert equality cell by cell.
+:func:`~repro.engine.simulate` code runs over byte-identical columns,
+and the property tests assert equality cell by cell.
 """
 
 from __future__ import annotations
@@ -38,7 +46,8 @@ import time
 from typing import IO
 
 from repro.cache.base import CacheMetrics
-from repro.cache.simulator import PolicyFactory, SweepResult, simulate
+from repro.engine.replay import PolicyFactory, simulate
+from repro.engine.sweep import SweepResult, resolve_policies
 from repro.obs.instrument import (
     Instrumentation,
     MultiInstrumentation,
@@ -71,24 +80,60 @@ class SweepCellError(RuntimeError):
 # worker side
 # ----------------------------------------------------------------------
 
-#: Per-worker state installed by the pool initializer (fork context: the
-#: factories dict — closures included — arrives by inheritance, and the
-#: trace is attached from shared memory exactly once per worker).
+#: Per-worker state installed by the pool initializer.  Spec-mode grids
+#: ship a plain ``{name: spec string}`` table (picklable, so it survives
+#: any start method); legacy factory grids rely on fork inheritance.
 _WORKER: dict = {}
 
 
 def _init_worker(
     spec: SharedTraceSpec,
-    factories: dict[str, PolicyFactory],
+    policy_defs: tuple,
     progress: tuple | None,
     collect_stats: bool,
 ) -> None:
     trace, shm = attach_trace(spec)
     _WORKER["trace"] = trace
     _WORKER["shm"] = shm  # keep the mapping alive for the process lifetime
-    _WORKER["factories"] = factories
+    mode = policy_defs[0]
+    _WORKER["mode"] = mode
+    if mode == "specs":
+        _WORKER["specs"] = policy_defs[1]
+        _WORKER["partition"] = policy_defs[2]
+    else:
+        _WORKER["factories"] = policy_defs[1]
     _WORKER["progress"] = progress
     _WORKER["collect_stats"] = collect_stats
+
+
+def _policy_factory(name: str) -> PolicyFactory:
+    """Resolve one cell's policy factory inside a worker.
+
+    Spec mode builds through :func:`repro.registry.build` against the
+    worker's shared-memory trace; an unknown display name (or a spec
+    string naming a policy this registry doesn't know) raises the
+    registry's clear ``unknown policy`` error, which the parent wraps in
+    :class:`SweepCellError` naming the cell.
+    """
+    if _WORKER.get("mode") == "specs":
+        specs: dict[str, str] = _WORKER["specs"]
+        try:
+            spec_str = specs[name]
+        except KeyError:
+            from repro.registry import UnknownPolicyError
+
+            raise UnknownPolicyError(
+                f"unknown policy {name!r} reached a sweep worker; specs "
+                f"shipped to this worker: {sorted(specs)}"
+            ) from None
+        from repro import registry
+
+        trace = _WORKER["trace"]
+        partition = _WORKER["partition"]
+        return lambda cap: registry.build(
+            spec_str, cap, trace=trace, partition=partition
+        )
+    return _WORKER["factories"][name]
 
 
 class _QueueProgress(Instrumentation):
@@ -126,7 +171,7 @@ class _QueueProgress(Instrumentation):
 
 def _run_cell(name: str, index: int, capacity: int):
     trace: Trace = _WORKER["trace"]
-    factory = _WORKER["factories"][name]
+    factory = _policy_factory(name)
     hooks: list[Instrumentation] = []
     stats = SimStats() if _WORKER["collect_stats"] else None
     if stats is not None:
@@ -220,6 +265,13 @@ class ParallelSweepRunner:
         ~2.4× slower at 4 workers on 1 core; see ``BENCH_sweep.json``).
         The worker count actually used is exposed as
         :attr:`effective_jobs` after :meth:`run`.
+    start_method:
+        Multiprocessing start method.  ``None`` (default) picks ``fork``
+        where available, falling back to ``spawn`` for spec-based grids.
+        Grids containing factory *callables* require ``fork`` (closures
+        cross the process boundary by inheritance, never by pickling);
+        spec-string grids work under any method because workers rebuild
+        policies by name through :mod:`repro.registry`.
     progress, progress_stream, progress_every, label:
         Enable live progress forwarding from workers (off by default;
         ``sweep`` turns it on when handed a ``ProgressReporter``).
@@ -238,16 +290,13 @@ class ParallelSweepRunner:
     combined with :meth:`~repro.obs.metrics.MetricsRegistry.merge`) and
     :attr:`stats` the merged :class:`~repro.obs.instrument.SimStats`
     (``None`` unless ``collect_stats``).
-
-    Requires a platform with the ``fork`` start method (POSIX): forked
-    workers inherit the policy factories, which are arbitrary closures
-    and deliberately never pickled.
     """
 
     def __init__(
         self,
         jobs: int,
         *,
+        start_method: str | None = None,
         progress: bool = False,
         progress_stream: IO[str] | None = None,
         progress_every: int = DEFAULT_PROGRESS_EVERY,
@@ -258,6 +307,7 @@ class ParallelSweepRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.start_method = start_method
         self.progress = progress
         self.progress_stream = progress_stream
         self.progress_every = progress_every
@@ -269,25 +319,55 @@ class ParallelSweepRunner:
         #: Worker count the last :meth:`run` actually used.
         self.effective_jobs = 0
 
+    def _pick_context(self, spec_mode: bool):
+        available = multiprocessing.get_all_start_methods()
+        method = self.start_method
+        if method is None:
+            if "fork" in available:
+                method = "fork"
+            elif spec_mode:  # pragma: no cover - non-POSIX platforms
+                method = "spawn"
+            else:  # pragma: no cover - non-POSIX platforms
+                raise RuntimeError(
+                    "parallel sweeps over factory callables need the 'fork' "
+                    "start method; pass registry spec strings (spawn-safe) "
+                    "or run sweep(jobs=1) on this platform"
+                )
+        elif method not in available:
+            raise RuntimeError(
+                f"start method {method!r} is not available on this "
+                f"platform (have: {available})"
+            )
+        if method != "fork" and not spec_mode:
+            raise ValueError(
+                "policy factory callables cannot cross a "
+                f"{method!r}-context process boundary; pass registry spec "
+                "strings (see repro.registry) for spawn-safe dispatch"
+            )
+        return multiprocessing.get_context(method)
+
     def run(
         self,
         trace: Trace,
-        factories: dict[str, PolicyFactory],
+        policies,
         capacities,
+        *,
+        partition=None,
     ) -> SweepResult:
-        """Run the grid; identical results to serial ``sweep``."""
-        if not factories:
-            raise ValueError("need at least one policy factory")
+        """Run the grid; identical results to serial ``sweep``.
+
+        ``policies`` takes the same forms as serial
+        :func:`~repro.engine.sweep` — registry spec strings (preferred:
+        dispatched to workers as plain picklable names) or ``name ->
+        factory`` mappings (fork-only).  Spec grids that include
+        filecule-granularity policies need ``partition=...``; it is
+        pickled once into each worker.
+        """
+        factories, specs = resolve_policies(policies, trace, partition)
         caps = tuple(int(c) for c in capacities)
         if not caps:
             raise ValueError("need at least one capacity")
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            raise RuntimeError(
-                "parallel sweeps need the 'fork' start method; "
-                "run sweep(jobs=1) on this platform"
-            ) from None
+        ctx = self._pick_context(spec_mode=specs is not None)
         cells = [
             (name, index, cap)
             for name in factories
@@ -315,6 +395,14 @@ class ParallelSweepRunner:
             )
             printer_thread.start()
 
+        if specs is not None:
+            policy_defs = (
+                "specs",
+                {name: str(bound) for name, bound in specs.items()},
+                partition,
+            )
+        else:
+            policy_defs = ("factories", dict(factories))
         grid: dict[str, list[CacheMetrics | None]] = {
             name: [None] * len(caps) for name in factories
         }
@@ -329,7 +417,7 @@ class ParallelSweepRunner:
                 initializer=_init_worker,
                 initargs=(
                     buffers.spec,
-                    dict(factories),
+                    policy_defs,
                     progress_cfg,
                     self.collect_stats,
                 ),
@@ -363,11 +451,13 @@ class ParallelSweepRunner:
 
 def parallel_sweep(
     trace: Trace,
-    factories: dict[str, PolicyFactory],
+    policies,
     capacities,
     *,
     jobs: int,
     instrumentation: Instrumentation | None = None,
+    partition=None,
+    start_method: str | None = None,
 ) -> SweepResult:
     """``sweep(jobs=N)`` backend: map the instrumentation contract onto a
     :class:`ParallelSweepRunner`.
@@ -403,6 +493,7 @@ def parallel_sweep(
             )
     runner = ParallelSweepRunner(
         jobs=jobs,
+        start_method=start_method,
         progress=reporter is not None,
         progress_stream=reporter.stream if reporter is not None else None,
         progress_every=(
@@ -413,7 +504,7 @@ def parallel_sweep(
         label=reporter.label if reporter is not None else "psweep",
         collect_stats=bool(sinks),
     )
-    result = runner.run(trace, factories, capacities)
+    result = runner.run(trace, policies, capacities, partition=partition)
     if sinks and runner.stats is not None:
         for sink in sinks:
             sink.merge(runner.stats)

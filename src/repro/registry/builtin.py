@@ -1,0 +1,197 @@
+"""The repository's built-in policy specs — every replacement policy
+shipped under :mod:`repro.cache`, registered once, by name.
+
+This module is the *only* place that pairs policy classes with their
+construction recipe; everything else (experiment drivers, the parallel
+sweep workers, the online service's advisors, benchmarks) selects
+policies through :func:`repro.registry.build` and friends.  Policy
+classes are imported from their defining modules (never the
+:mod:`repro.cache` package attributes) so the registry can load while
+the cache package is still initializing.
+"""
+
+from __future__ import annotations
+
+from repro.cache.arc import AdaptiveReplacementCache
+from repro.cache.belady import BeladyMIN, FileculeBeladyMIN
+from repro.cache.bundle import FileBundleCache
+from repro.cache.fifo import FileFIFO
+from repro.cache.filecule_lru import FileculeLRU
+from repro.cache.filecule_variants import FileculeGDS, FileculeLFU
+from repro.cache.frequency import FileLFU
+from repro.cache.gds import GreedyDualSize, Landlord
+from repro.cache.lru import FileLRU
+from repro.cache.prefetch import GroupPrefetchLRU
+from repro.cache.size import LargestFirst
+from repro.cache.working_set import WorkingSetPrefetchLRU
+from repro.registry.spec import register_policy
+
+# ----------------------------------------------------------------------
+# single-file policies (no shared resources)
+# ----------------------------------------------------------------------
+
+
+@register_policy(
+    "file-lru",
+    summary="LRU at file granularity (the paper's baseline)",
+    aliases=("lru",),
+)
+def _file_lru(capacity, *, trace, partition):
+    return FileLRU(capacity)
+
+
+@register_policy(
+    "file-fifo",
+    summary="FIFO at file granularity",
+    aliases=("fifo",),
+)
+def _file_fifo(capacity, *, trace, partition):
+    return FileFIFO(capacity)
+
+
+@register_policy(
+    "file-lfu",
+    summary="perfect LFU at file granularity",
+    aliases=("lfu",),
+)
+def _file_lfu(capacity, *, trace, partition):
+    return FileLFU(capacity)
+
+
+@register_policy(
+    "largest-first",
+    summary="SIZE: evict the largest resident file first",
+    aliases=("size",),
+)
+def _largest_first(capacity, *, trace, partition):
+    return LargestFirst(capacity)
+
+
+@register_policy(
+    "greedy-dual-size",
+    summary="Greedy-Dual-Size with uniform miss cost",
+    aliases=("gds",),
+)
+def _greedy_dual_size(capacity, *, trace, partition):
+    return GreedyDualSize(capacity)
+
+
+@register_policy(
+    "landlord",
+    summary="Landlord: Greedy-Dual-Size with byte-proportional cost",
+)
+def _landlord(capacity, *, trace, partition):
+    return Landlord(capacity)
+
+
+@register_policy(
+    "arc",
+    summary="Adaptive Replacement Cache (recency/frequency balancing)",
+)
+def _arc(capacity, *, trace, partition):
+    return AdaptiveReplacementCache(capacity)
+
+
+@register_policy(
+    "file-bundle",
+    summary="Otoo-style bundle-utility eviction, no prefetching",
+)
+def _file_bundle(capacity, *, trace, partition):
+    return FileBundleCache(capacity)
+
+
+# ----------------------------------------------------------------------
+# grouping policies needing trace columns
+# ----------------------------------------------------------------------
+
+
+@register_policy(
+    "working-set-prefetch",
+    summary="learned co-access groups with bounded prefetching",
+    defaults={"max_prefetch_fraction": 0.5, "max_group_size": 4096},
+    needs_trace=True,
+)
+def _working_set_prefetch(
+    capacity, *, trace, partition, max_prefetch_fraction, max_group_size
+):
+    return WorkingSetPrefetchLRU(
+        capacity,
+        trace.file_sizes,
+        max_prefetch_fraction=max_prefetch_fraction,
+        max_group_size=max_group_size,
+    )
+
+
+@register_policy(
+    "group-prefetch-lru",
+    summary="LRU prefetching whole datasets-of-birth groups",
+    defaults={"max_prefetch_fraction": 0.5},
+    needs_trace=True,
+)
+def _group_prefetch_lru(capacity, *, trace, partition, max_prefetch_fraction):
+    return GroupPrefetchLRU(
+        capacity,
+        trace.file_datasets.astype("int64"),
+        trace.file_sizes,
+        max_prefetch_fraction=max_prefetch_fraction,
+    )
+
+
+# ----------------------------------------------------------------------
+# filecule-granularity policies
+# ----------------------------------------------------------------------
+
+
+@register_policy(
+    "filecule-lru",
+    summary="LRU over whole filecules (the paper's contribution)",
+    defaults={"intra_job_hits": True},
+    needs_filecules=True,
+)
+def _filecule_lru(capacity, *, trace, partition, intra_job_hits):
+    return FileculeLRU(capacity, partition, intra_job_hits=intra_job_hits)
+
+
+@register_policy(
+    "filecule-lfu",
+    summary="LFU over whole filecules",
+    needs_filecules=True,
+)
+def _filecule_lfu(capacity, *, trace, partition):
+    return FileculeLFU(capacity, partition)
+
+
+@register_policy(
+    "filecule-gds",
+    summary="Greedy-Dual-Size over whole filecules",
+    defaults={"cost_mode": "files"},
+    needs_filecules=True,
+)
+def _filecule_gds(capacity, *, trace, partition, cost_mode):
+    return FileculeGDS(capacity, partition, cost_mode=cost_mode)
+
+
+# ----------------------------------------------------------------------
+# clairvoyant offline bounds
+# ----------------------------------------------------------------------
+
+
+@register_policy(
+    "file-belady-min",
+    summary="Belady MIN at file granularity (clairvoyant bound)",
+    needs_trace=True,
+    is_offline_optimal=True,
+)
+def _file_belady_min(capacity, *, trace, partition):
+    return BeladyMIN(capacity, trace)
+
+
+@register_policy(
+    "filecule-belady-min",
+    summary="Belady MIN at filecule granularity (clairvoyant bound)",
+    needs_trace=True,
+    needs_filecules=True,
+    is_offline_optimal=True,
+)
+def _filecule_belady_min(capacity, *, trace, partition):
+    return FileculeBeladyMIN(capacity, trace, partition)

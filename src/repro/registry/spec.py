@@ -1,0 +1,282 @@
+"""Policy-spec data model and the registry's lookup/parse/build core.
+
+A :class:`PolicySpec` describes one replacement policy *declaratively*:
+its canonical name, a factory, the tunable parameters with their
+defaults, and capability flags saying which shared resources the factory
+needs (``needs_filecules`` → a :class:`~repro.core.filecule.FileculePartition`,
+``needs_trace`` → the replayed :class:`~repro.traces.trace.Trace`) or
+whether it is a clairvoyant offline bound (``is_offline_optimal``).
+
+A :class:`BoundSpec` is the *picklable selection* of a spec: canonical
+name plus explicit parameter overrides.  Its string form is the
+URL-query-ish ``"name?param=value&other=value"`` syntax accepted
+everywhere a policy can be chosen (``repro-serve --advisor-policy``,
+``sweep`` policy tables, parallel worker dispatch), and
+``parse(str(bound)) == bound`` is guaranteed (and property-tested): the
+string is the canonical wire format that crosses process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+from repro.cache.base import ReplacementPolicy
+
+#: Ordered capability-flag names, as exposed by :attr:`PolicySpec.flags`.
+FLAG_NAMES = ("needs_filecules", "needs_trace", "is_offline_optimal")
+
+
+class UnknownPolicyError(ValueError):
+    """No registered spec matches the requested policy name."""
+
+
+class PolicySpecError(ValueError):
+    """A spec string or parameter set is malformed for its policy."""
+
+
+class PolicyResourceError(ValueError):
+    """A policy needs a resource (trace/partition) the caller didn't pass."""
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative description of one registered replacement policy.
+
+    ``factory`` is called as ``factory(capacity, trace=..., partition=...,
+    **params)`` and must return a fresh
+    :class:`~repro.cache.base.ReplacementPolicy`.  ``defaults`` is the
+    complete parameter schema: a parameter unknown to ``defaults`` is
+    rejected at parse/build time, and each default's Python type drives
+    the string-value coercion in :func:`parse`.
+    """
+
+    name: str
+    factory: Callable[..., ReplacementPolicy] = field(repr=False)
+    summary: str = ""
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    needs_filecules: bool = False
+    needs_trace: bool = False
+    is_offline_optimal: bool = False
+    aliases: tuple[str, ...] = ()
+
+    @property
+    def flags(self) -> tuple[str, ...]:
+        """The active capability-flag names, in :data:`FLAG_NAMES` order."""
+        return tuple(f for f in FLAG_NAMES if getattr(self, f))
+
+
+@dataclass(frozen=True)
+class BoundSpec:
+    """A picklable (name, explicit-params) policy selection.
+
+    ``params`` holds only the caller's overrides (sorted by key);
+    defaults stay implicit so two ways of spelling the same choice
+    compare equal and render the same string.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        query = "&".join(f"{k}={_format_value(v)}" for k, v in self.params)
+        return f"{self.name}?{query}"
+
+
+# ----------------------------------------------------------------------
+# registry storage
+# ----------------------------------------------------------------------
+
+_SPECS: dict[str, PolicySpec] = {}
+_ALIASES: dict[str, str] = {}  # alias -> canonical name
+
+
+def register_policy(
+    name: str,
+    *,
+    summary: str = "",
+    defaults: Mapping[str, object] | None = None,
+    needs_filecules: bool = False,
+    needs_trace: bool = False,
+    is_offline_optimal: bool = False,
+    aliases: tuple[str, ...] = (),
+) -> Callable[[Callable[..., ReplacementPolicy]], Callable[..., ReplacementPolicy]]:
+    """Decorator registering ``factory`` under ``name`` (plus aliases)."""
+
+    def deco(factory: Callable[..., ReplacementPolicy]):
+        if name in _SPECS or name in _ALIASES:
+            raise ValueError(f"duplicate policy spec name {name!r}")
+        spec = PolicySpec(
+            name=name,
+            factory=factory,
+            summary=summary,
+            defaults=dict(defaults or {}),
+            needs_filecules=needs_filecules,
+            needs_trace=needs_trace,
+            is_offline_optimal=is_offline_optimal,
+            aliases=tuple(aliases),
+        )
+        _SPECS[name] = spec
+        for alias in spec.aliases:
+            if alias in _SPECS or alias in _ALIASES:
+                raise ValueError(f"duplicate policy alias {alias!r}")
+            _ALIASES[alias] = name
+        return factory
+
+    return deco
+
+
+def list_specs() -> list[PolicySpec]:
+    """Every registered spec, sorted by canonical name."""
+    return [_SPECS[name] for name in sorted(_SPECS)]
+
+
+def policy_names(*, include_aliases: bool = False) -> list[str]:
+    names = list(_SPECS)
+    if include_aliases:
+        names.extend(_ALIASES)
+    return sorted(names)
+
+
+def get_spec(name: str) -> PolicySpec:
+    """Look a spec up by canonical name or alias."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _SPECS[canonical]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown policy {name!r}; known specs: "
+            f"{', '.join(policy_names(include_aliases=True))}"
+        ) from None
+
+
+def service_policy_names(*, include_aliases: bool = True) -> list[str]:
+    """Names usable as online service advisors (no offline resources)."""
+    names = []
+    for spec in list_specs():
+        if spec.needs_filecules or spec.needs_trace:
+            continue
+        names.append(spec.name)
+        if include_aliases:
+            names.extend(spec.aliases)
+    return sorted(names)
+
+
+# ----------------------------------------------------------------------
+# parse / format
+# ----------------------------------------------------------------------
+
+_TRUE = frozenset(("1", "true", "yes", "on"))
+_FALSE = frozenset(("0", "false", "no", "off"))
+
+
+def _format_value(value: object) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)
+
+
+def _coerce_value(spec: PolicySpec, key: str, raw: str) -> object:
+    try:
+        default = spec.defaults[key]
+    except KeyError:
+        valid = ", ".join(sorted(spec.defaults)) or "<none>"
+        raise PolicySpecError(
+            f"policy {spec.name!r} has no parameter {key!r}; "
+            f"valid parameters: {valid}"
+        ) from None
+    try:
+        if isinstance(default, bool):
+            lowered = raw.lower()
+            if lowered in _TRUE:
+                return True
+            if lowered in _FALSE:
+                return False
+            raise ValueError(f"not a boolean: {raw!r}")
+        if isinstance(default, int):
+            return int(raw)
+        if isinstance(default, float):
+            return float(raw)
+        return raw
+    except ValueError as exc:
+        raise PolicySpecError(
+            f"bad value for {spec.name}?{key}: {exc}"
+        ) from None
+
+
+def parse(text: str | BoundSpec) -> BoundSpec:
+    """Parse ``"name?param=value&..."`` into a canonical :class:`BoundSpec`.
+
+    Aliases resolve to the canonical name, parameter values are coerced
+    to the type of the spec's default, and parameters are sorted — so
+    ``parse`` is a canonicalizer and ``parse(str(spec)) == spec`` holds
+    for every parseable spec.
+    """
+    if isinstance(text, BoundSpec):
+        get_spec(text.name)  # validate
+        return text
+    name, _, query = text.strip().partition("?")
+    spec = get_spec(name)
+    params: dict[str, object] = {}
+    if query:
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise PolicySpecError(
+                    f"malformed spec {text!r}: expected param=value, "
+                    f"got {part!r}"
+                )
+            params[key] = _coerce_value(spec, key, raw)
+    return BoundSpec(name=spec.name, params=tuple(sorted(params.items())))
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+
+
+def build(
+    spec: str | BoundSpec,
+    capacity: int,
+    *,
+    trace=None,
+    partition=None,
+    **params,
+) -> ReplacementPolicy:
+    """Construct a fresh policy instance from a spec, by name.
+
+    ``trace``/``partition`` are the shared resources a capability-tagged
+    spec may require; explicit ``**params`` override both the spec
+    string's parameters and the registered defaults.
+    """
+    bound = parse(spec)
+    policy_spec = get_spec(bound.name)
+    merged = dict(policy_spec.defaults)
+    merged.update(bound.params)
+    for key, value in params.items():
+        if key not in policy_spec.defaults:
+            valid = ", ".join(sorted(policy_spec.defaults)) or "<none>"
+            raise PolicySpecError(
+                f"policy {policy_spec.name!r} has no parameter {key!r}; "
+                f"valid parameters: {valid}"
+            )
+        merged[key] = value
+    if policy_spec.needs_filecules and partition is None:
+        raise PolicyResourceError(
+            f"policy {policy_spec.name!r} needs a filecule partition; "
+            f"pass partition=find_filecules(trace)"
+        )
+    if policy_spec.needs_trace and trace is None:
+        raise PolicyResourceError(
+            f"policy {policy_spec.name!r} needs the replayed trace; "
+            f"pass trace=..."
+        )
+    return policy_spec.factory(
+        int(capacity), trace=trace, partition=partition, **merged
+    )

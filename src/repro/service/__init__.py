@@ -28,10 +28,11 @@ succeeded SAM (XCache-style services fed by a live job stream):
   :class:`~repro.traces.Trace` or synthetic stream at a target rate —
   optionally pipelined and multi-process — reporting throughput and
   latency percentiles;
-* :mod:`repro.service.metrics` — compatibility re-export of
-  :mod:`repro.obs.metrics`: counters, gauges and log-bucketed latency
-  histograms behind the ``stats`` and ``metrics`` queries (the latter in
-  Prometheus text format — see ``docs/OBSERVABILITY.md``).
+Metrics (counters, gauges and the log-bucketed latency histograms behind
+the ``stats`` and ``metrics`` queries, the latter in Prometheus text
+format) live in :mod:`repro.obs.metrics` — see
+``docs/OBSERVABILITY.md``.  The old ``repro.service.metrics`` shim is
+gone; this package re-exports the common names for convenience.
 
 Typical use (in one process, e.g. for tests and benchmarks)::
 
@@ -54,7 +55,7 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
-from repro.service.metrics import (
+from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     LatencyHistogram,
     MetricsRegistry,

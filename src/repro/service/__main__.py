@@ -2,7 +2,8 @@
 
 Four subcommands::
 
-    repro-serve serve --port 7401 --workers 4 --shards 2 --policy lru \
+    repro-serve serve --port 7401 --workers 4 --shards 2 \
+        --advisor-policy lru \
         --capacity 10TB --snapshot /var/lib/repro/state.jsonl \
         --snapshot-interval 60 --metrics-port 9401 --span-log spans.jsonl
     repro-serve loadgen --port 7401 --scale tiny --seed 42 --jobs 2000 \
@@ -33,6 +34,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import registry
 from repro.obs import log as obslog
 
 from repro.service.aggregate import aggregate_registry, fetch_text, worker_ports
@@ -41,7 +43,7 @@ from repro.service.cluster import ClusterConfig, run_cluster
 from repro.service.loadgen import jobs_from_trace, run_load_procs, run_load_sync
 from repro.service.server import FileculeServer
 from repro.service.shard import ShardedServiceState, restore_state
-from repro.service.state import POLICY_REGISTRY, ServiceState
+from repro.service.state import ServiceState
 from repro.util.units import parse_size
 from repro.workload.calibration import (
     default_config,
@@ -220,7 +222,15 @@ def main(argv: list[str] | None = None) -> int:
         help="site-shard each worker's state into K single-writer actors",
     )
     p_serve.add_argument(
-        "--policy", default="lru", choices=sorted(POLICY_REGISTRY)
+        "--advisor-policy",
+        "--policy",
+        dest="policy",
+        default="lru",
+        metavar="SPEC",
+        help=(
+            "registry policy spec backing the per-site cache advisors "
+            f"(e.g. {', '.join(registry.service_policy_names(include_aliases=False))})"
+        ),
     )
     p_serve.add_argument(
         "--capacity",

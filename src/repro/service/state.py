@@ -32,33 +32,40 @@ import os
 from pathlib import Path
 from typing import Callable
 
-from repro.cache import (
-    AdaptiveReplacementCache,
-    CacheMetrics,
-    FileFIFO,
-    FileLFU,
-    FileLRU,
-    GreedyDualSize,
-    Landlord,
-    LargestFirst,
-    ReplacementPolicy,
-)
+from repro import registry
+from repro.cache.base import CacheMetrics, ReplacementPolicy
 from repro.core.incremental import IncrementalFileculeIdentifier
 from repro.obs.log import get_logger
 from repro.util.units import TB
 
 slog = get_logger("repro.service.state")
 
-#: Cache-policy factories selectable via configuration (name → factory).
+#: Backwards-compatible name → factory view of the advisor-eligible
+#: policies.  The authoritative catalog is :mod:`repro.registry`; this
+#: dict exists because earlier releases exposed it from this module.
+#: Prefer ``registry.service_policy_names()`` / ``registry.build``.
 POLICY_REGISTRY: dict[str, Callable[[int], ReplacementPolicy]] = {
-    "lru": FileLRU,
-    "fifo": FileFIFO,
-    "lfu": FileLFU,
-    "size": LargestFirst,
-    "gds": GreedyDualSize,
-    "landlord": Landlord,
-    "arc": AdaptiveReplacementCache,
+    name: (lambda capacity, _name=name: registry.build(_name, capacity))
+    for name in registry.service_policy_names()
 }
+
+
+def _parse_advisor_policy(policy: str) -> "registry.BoundSpec":
+    """Validate an advisor policy spec: known, and buildable online.
+
+    Raises ``ValueError`` (the registry's ``unknown policy`` error, or a
+    capability complaint listing the eligible names) on anything the
+    online service cannot instantiate from configuration alone.
+    """
+    bound = registry.parse(policy)
+    spec = registry.get_spec(bound.name)
+    if spec.needs_filecules or spec.needs_trace:
+        raise ValueError(
+            f"policy {bound.name!r} needs offline resources "
+            f"({', '.join(spec.flags)}) and cannot back an online advisor; "
+            f"choose from {registry.service_policy_names()}"
+        )
+    return bound
 
 SNAPSHOT_FORMAT = "repro-service-snapshot"
 SNAPSHOT_VERSION = 1
@@ -99,8 +106,12 @@ class ServiceState:
     Parameters
     ----------
     policy:
-        Name of the :data:`POLICY_REGISTRY` cache policy backing the
-        per-site advisors.
+        :mod:`repro.registry` spec string for the cache policy backing
+        the per-site advisors — a canonical name, a legacy short alias
+        (``"lru"``, ``"gds"``, ...) or a parameterized spec such as
+        ``"greedy-dual-size"``.  Policies needing offline resources (a
+        trace or a filecule partition) are rejected; see
+        :func:`repro.registry.service_policy_names`.
     capacity_bytes:
         Modelled cache capacity of every site.
     default_size:
@@ -115,11 +126,7 @@ class ServiceState:
         capacity_bytes: int = 1 * TB,
         default_size: int = 1,
     ) -> None:
-        if policy not in POLICY_REGISTRY:
-            raise ValueError(
-                f"unknown policy {policy!r}; choose from "
-                f"{sorted(POLICY_REGISTRY)}"
-            )
+        self._policy_spec = _parse_advisor_policy(policy)
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         if default_size <= 0:
@@ -153,7 +160,7 @@ class ServiceState:
         if advisor is None:
             advisor = _SiteAdvisor(
                 f"{self.policy_name}@site{site}",
-                POLICY_REGISTRY[self.policy_name](self.capacity_bytes),
+                registry.build(self._policy_spec, self.capacity_bytes),
             )
             self._advisors[site] = advisor
         return advisor

@@ -226,14 +226,17 @@ class TestPrometheusExposition:
         assert bounds[-1] == (math.inf, 1)
 
 
-class TestServiceImportPathCompatibility:
-    def test_old_import_path_is_the_same_objects(self):
-        from repro.service import metrics as svc_metrics
+class TestServiceImportPathRemoved:
+    def test_old_shim_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.service.metrics  # noqa: F401
+
+    def test_service_package_reexports_obs_metrics(self):
+        import repro.service as svc
         from repro.obs import metrics as obs_metrics
 
-        assert svc_metrics.MetricsRegistry is obs_metrics.MetricsRegistry
-        assert svc_metrics.LatencyHistogram is obs_metrics.LatencyHistogram
-        assert svc_metrics.FIRST_BOUND == obs_metrics.FIRST_BOUND
+        assert svc.MetricsRegistry is obs_metrics.MetricsRegistry
+        assert svc.LatencyHistogram is obs_metrics.LatencyHistogram
 
     def test_snapshot_json_serializable(self):
         r = MetricsRegistry()

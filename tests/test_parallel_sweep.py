@@ -116,6 +116,90 @@ class TestEquivalence:
         assert_results_identical(serial, parallel)
 
 
+class TestSpecDispatch:
+    """Registry spec strings as the worker wire format (no closures)."""
+
+    def test_spec_grid_matches_factory_grid_in_parallel(
+        self, tiny_trace, tiny_partition
+    ):
+        total = tiny_trace.total_bytes()
+        caps = [max(int(f * total), 1) for f in (0.01, 0.05)]
+        factories = all_policy_factories(tiny_trace, tiny_partition)
+        by_factory = sweep(tiny_trace, factories, caps, jobs=2)
+        by_spec = sweep(
+            tiny_trace,
+            {name: name for name in factories},
+            caps,
+            jobs=2,
+            partition=tiny_partition,
+        )
+        assert_results_identical(by_factory, by_spec)
+
+    def test_spec_grid_ships_names_not_closures(
+        self, tiny_trace, tiny_partition, monkeypatch
+    ):
+        """Spec-mode initargs are plain picklable data: the worker table
+        is ``{display name: spec string}``, never factory callables."""
+        import multiprocessing
+        import pickle
+
+        from repro.parallel import runner as runner_mod
+
+        captured = {}
+
+        class SpyingContext:
+            """Parent-side wrapper recording the Pool initargs."""
+
+            def __init__(self, real):
+                self._real = real
+
+            def Pool(self, processes, initializer=None, initargs=()):
+                captured["initargs"] = initargs
+                return self._real.Pool(
+                    processes, initializer=initializer, initargs=initargs
+                )
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        runner = runner_mod.ParallelSweepRunner(1)
+        monkeypatch.setattr(
+            runner,
+            "_pick_context",
+            lambda spec_mode: SpyingContext(
+                multiprocessing.get_context("fork")
+            ),
+        )
+        runner.run(
+            tiny_trace,
+            ("file-lru", "filecule-lru?intra_job_hits=false"),
+            [tiny_trace.total_bytes() // 100],
+            partition=tiny_partition,
+        )
+        _spec, policy_defs, _progress, _stats = captured["initargs"]
+        pickle.dumps(policy_defs)  # plain data: survives any start method
+        mode, table, _partition = policy_defs
+        assert mode == "specs"
+        assert table == {
+            "file-lru": "file-lru",
+            "filecule-lru?intra_job_hits=false": (
+                "filecule-lru?intra_job_hits=false"
+            ),
+        }
+        for value in table.values():
+            assert isinstance(value, str)
+
+    def test_unknown_spec_rejected_in_parent_before_any_worker(
+        self, tiny_trace
+    ):
+        from repro.registry import UnknownPolicyError
+
+        before = _leaked_segments()
+        with pytest.raises(UnknownPolicyError, match="unknown policy"):
+            sweep(tiny_trace, ("definitely-not-a-policy",), [100], jobs=2)
+        assert _leaked_segments() == before
+
+
 class TestFailureAndLeaks:
     def test_worker_exception_names_the_cell(self, tiny_trace):
         def exploding(capacity):

@@ -1,5 +1,7 @@
 """Repository-level consistency: registry <-> benchmarks <-> documentation."""
 
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -68,6 +70,67 @@ class TestExampleHygiene:
             assert text.startswith("#!/usr/bin/env python"), example.name
             assert '"""' in text, f"{example.name} lacks a docstring"
             assert 'if __name__ == "__main__":' in text, example.name
+
+
+class TestRemovedCompatShims:
+    #: Files allowed to *mention* the old path: this scanner, and the
+    #: test asserting the import now raises ModuleNotFoundError.
+    ALLOWED = {"tests/test_repo_consistency.py", "tests/test_obs_metrics.py"}
+
+    def test_no_module_imports_the_old_service_metrics_path(self):
+        """The repro.service.metrics shim is gone — nothing may import it."""
+        offenders = []
+        for root in ("src", "tests", "benchmarks", "examples", "tools"):
+            base = REPO / root
+            if not base.is_dir():
+                continue
+            for path in base.rglob("*.py"):
+                if str(path.relative_to(REPO)) in self.ALLOWED:
+                    continue
+                text = path.read_text()
+                if (
+                    "from repro.service.metrics" in text
+                    or "import repro.service.metrics" in text
+                    or "from repro.service import metrics" in text
+                ):
+                    offenders.append(str(path.relative_to(REPO)))
+        assert not offenders, (
+            f"modules still importing the removed repro.service.metrics "
+            f"shim: {offenders}"
+        )
+
+    def test_shim_file_is_gone(self):
+        assert not (REPO / "src" / "repro" / "service" / "metrics.py").exists()
+
+
+class TestImportLayering:
+    def test_no_upward_module_top_level_imports(self):
+        """tools/check_layering.py passes over src/ (also a CI job)."""
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_layering.py"),
+             str(REPO / "src")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_checker_flags_a_synthetic_violation(self, tmp_path):
+        """The guard guards: a planted upward import must fail the check."""
+        pkg = tmp_path / "src" / "repro"
+        for sub in ("", "cache", "service"):
+            d = pkg / sub if sub else pkg
+            d.mkdir(parents=True, exist_ok=True)
+            (d / "__init__.py").write_text("")
+        (pkg / "cache" / "bad.py").write_text("import repro.service\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_layering.py"),
+             str(tmp_path / "src")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "repro.cache.bad" in proc.stdout
+        assert "repro.service" in proc.stdout
 
 
 class TestTraceability:

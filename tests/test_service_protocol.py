@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Import-layering check: no package may import a package above it.
+
+The repository is layered (see ``docs/ARCHITECTURE.md``)::
+
+    util < traces < core < obs < cache.base < engine < cache < registry
+         < {parallel, analysis, sam, transfer, workload} < replication
+         < service < experiments
+
+Only **module-top-level** imports are checked: lazy function-level
+imports are the sanctioned mechanism for the engine's upcalls into the
+registry and the parallel runner (documented where they occur), and for
+CLI glue.  Anything importing *upward* at module load time would make
+the layer map a lie — ``repro.cache`` or ``repro.core`` pulling in
+``repro.service`` or ``repro.experiments`` is exactly the class of
+regression this guard exists to stop.
+
+Exceptions are explicit and few: ``repro.obs.top`` is the operational
+dashboard CLI (a leaf executable that happens to live in ``repro.obs``)
+and may import the service client.
+
+Usage: ``python tools/check_layering.py [src-root]`` — exits non-zero
+listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Package (or module) prefix -> rank.  Longest-prefix match wins, so
+#: ``repro.cache.base`` (the policy interface, below the engine) is
+#: ranked separately from the rest of ``repro.cache`` (the policy
+#: implementations and the simulator façade, above the engine).
+RANKS: dict[str, int] = {
+    "repro.util": 0,
+    "repro.traces": 1,
+    "repro.core": 2,
+    "repro.obs": 3,
+    "repro.cache.base": 4,
+    "repro.engine": 5,
+    "repro.cache": 6,
+    "repro.registry": 7,
+    "repro.parallel": 8,
+    "repro.analysis": 8,
+    "repro.sam": 8,
+    "repro.transfer": 8,
+    "repro.workload": 8,
+    "repro.replication": 9,
+    "repro.service": 10,
+    "repro.experiments": 11,
+}
+
+#: (importer module prefix, imported module prefix) pairs allowed to
+#: cross layers upward at module top level.
+EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        # The repro-top dashboard: an operational CLI leaf that lives in
+        # obs but drives the service's admin endpoints.
+        ("repro.obs.top", "repro.service"),
+    }
+)
+
+#: Modules whose own top-level imports are not ranked.  The root
+#: package is the public façade and deliberately imports from several
+#: layers to assemble its namespace.
+UNRANKED: frozenset[str] = frozenset({"repro", "repro.py"})
+
+
+def rank_of(module: str) -> tuple[str, int] | None:
+    """Longest-prefix rank lookup; None for unranked modules."""
+    best: tuple[str, int] | None = None
+    for prefix, rank in RANKS.items():
+        if module == prefix or module.startswith(prefix + "."):
+            if best is None or len(prefix) > len(best[0]):
+                best = (prefix, rank)
+    return best
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def top_level_imports(tree: ast.Module, module: str) -> list[str]:
+    """Absolute names imported at module top level (``repro.*`` only)."""
+    found: list[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Resolve relative imports against this module's package.
+                package = module.split(".")
+                if node.level > len(package):
+                    continue
+                base = package[: len(package) - node.level + 1]
+                # ``from . import x`` in a module (not __init__) backs up
+                # one more component.
+                stem = ".".join(base)
+                target = f"{stem}.{node.module}" if node.module else stem
+            else:
+                target = node.module or ""
+            if not target:
+                continue
+            # ``from repro import registry`` names the subpackage, not
+            # the root — resolve each alias to its full module path when
+            # the "module" is itself an unranked package.
+            if target in UNRANKED or rank_of(target) is None:
+                found.extend(f"{target}.{alias.name}" for alias in node.names)
+            else:
+                found.append(target)
+    return [name for name in found if name == "repro" or name.startswith("repro.")]
+
+
+def check(src_root: Path) -> list[str]:
+    violations: list[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = module_name(path, src_root)
+        ranked = rank_of(module)
+        if ranked is None:
+            continue  # the root package façade, py.typed companions, ...
+        own_prefix, own_rank = ranked
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in top_level_imports(tree, module):
+            target = rank_of(imported)
+            if target is None:
+                continue
+            target_prefix, target_rank = target
+            if target_prefix == own_prefix:
+                continue  # intra-layer imports are free
+            if target_rank < own_rank:
+                continue
+            if any(
+                (module == imp or module.startswith(imp + "."))
+                and (imported == tgt or imported.startswith(tgt + "."))
+                for imp, tgt in EXCEPTIONS
+            ):
+                continue
+            direction = "sideways" if target_rank == own_rank else "upward"
+            violations.append(
+                f"{module} (layer {own_rank}: {own_prefix}) imports "
+                f"{direction} {imported} (layer {target_rank}: "
+                f"{target_prefix}) at module top level"
+            )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not (src_root / "repro").is_dir():
+        print(f"error: {src_root}/repro not found", file=sys.stderr)
+        return 2
+    violations = check(src_root)
+    if violations:
+        print(f"{len(violations)} layering violation(s):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("layering ok: no upward module-top-level imports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
