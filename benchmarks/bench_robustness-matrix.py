@@ -1,0 +1,12 @@
+"""Benchmark: policy robustness across workload scenarios — every
+registered policy swept over the :mod:`repro.scenario` catalog with the
+stationary world as the degradation baseline.
+
+Run with ``pytest "benchmarks/bench_robustness-matrix.py" --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_robustness_matrix(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "robustness-matrix")

@@ -18,10 +18,27 @@ test suite.
 
 Classes only ever split, never merge — the monotonicity that underlies the
 paper's observation that partial knowledge yields *coarser* filecules.
+
+**Decayed co-access** (``half_life``): the stationary algorithm treats a
+co-access observed two years ago exactly like one observed two minutes
+ago, which makes filecules *stale* under the drifting/bursting workloads
+of :mod:`repro.scenario` — a flash crowd welds files into one class that
+then never comes apart.  With a finite ``half_life`` each class carries a
+half-life-weighted co-access weight (+1 per touching job, halved every
+``half_life`` time units); when a multi-member class's weight decays
+below ``stale_threshold`` it is *dissolved* into singleton classes, so
+files must re-earn their grouping from fresh traffic.  Dissolution is
+still a split (each singleton is a refinement of the old class), so the
+split-only monotonicity — and the service layer's exact cache
+invalidation built on it — is preserved.  At the default
+``half_life=inf`` nothing decays and the identifier's behavior *and*
+serialized state are bit-identical to the undecayed algorithm.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from collections.abc import Iterable
 
 import numpy as np
@@ -32,6 +49,19 @@ from repro.traces.trace import Trace
 
 class IncrementalFileculeIdentifier:
     """Maintains the filecule partition of a growing job stream.
+
+    Parameters
+    ----------
+    half_life:
+        Time units after which a class's co-access weight halves.  The
+        unit is whatever ``observe_job``'s ``now`` is measured in — job
+        ticks when ``now`` is omitted, trace seconds under
+        :meth:`observe_trace`.  ``inf`` (default) disables decay.
+    stale_threshold:
+        A multi-member class whose decayed weight falls below this is
+        dissolved into singletons.  Must be positive; every touch sets
+        the weight to at least 1, so thresholds below 1 give each class
+        at least one half-life of grace after its last request.
 
     Example
     -------
@@ -44,7 +74,19 @@ class IncrementalFileculeIdentifier:
     [(1,), (2, 3)]
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        half_life: float = math.inf,
+        stale_threshold: float = 0.5,
+    ) -> None:
+        if not half_life > 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        if not stale_threshold > 0:
+            raise ValueError(
+                f"stale_threshold must be positive, got {stale_threshold}"
+            )
+        self.half_life = float(half_life)
+        self.stale_threshold = float(stale_threshold)
         # class id -> set of member file ids (only current classes present)
         self._members: dict[int, set[int]] = {}
         # file id -> class id
@@ -53,6 +95,16 @@ class IncrementalFileculeIdentifier:
         self._requests: dict[int, int] = {}
         self._next_class = 0
         self._n_jobs = 0
+        # Decay bookkeeping (inert at half_life=inf): per-class decayed
+        # co-access weight as of the class's last touch time, the clock's
+        # high-water mark, and a lazy min-heap of (deadline, class id)
+        # dissolution candidates.  Heap entries may be stale (class gone,
+        # reduced to a singleton, or re-touched since the push); they are
+        # re-validated against the live weight when popped.
+        self._weight: dict[int, float] = {}
+        self._last: dict[int, float] = {}
+        self._time = 0.0
+        self._expiry: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -88,28 +140,121 @@ class IncrementalFileculeIdentifier:
         return self._requests[class_id]
 
     # ------------------------------------------------------------------
-    def _fresh_class(self, members: set[int], requests: int) -> int:
+    def _fresh_class(
+        self,
+        members: set[int],
+        requests: int,
+        weight: float = 1.0,
+        last: float = 0.0,
+    ) -> int:
         cid = self._next_class
         self._next_class += 1
         self._members[cid] = members
         self._requests[cid] = requests
         # dict.fromkeys + update walk the members at C speed.
         self._class_of.update(dict.fromkeys(members, cid))
+        self._weight[cid] = weight
+        self._last[cid] = last
         return cid
 
-    def observe_job(self, file_ids: Iterable[int]) -> set[int]:
+    def _decayed_weight(self, cid: int, now: float) -> float:
+        """The class's co-access weight decayed forward to ``now``."""
+        if self.half_life == math.inf:
+            return self._weight[cid]
+        dt = now - self._last[cid]
+        if dt <= 0.0:
+            return self._weight[cid]
+        return self._weight[cid] * 2.0 ** (-dt / self.half_life)
+
+    def _push_expiry(self, cid: int) -> None:
+        """Schedule the (multi-member) class's dissolution deadline."""
+        if self.half_life == math.inf or len(self._members[cid]) <= 1:
+            return
+        weight = self._weight[cid]
+        if weight <= self.stale_threshold:
+            deadline = self._last[cid]
+        else:
+            deadline = self._last[cid] + self.half_life * math.log2(
+                weight / self.stale_threshold
+            )
+        heapq.heappush(self._expiry, (deadline, cid))
+
+    def _expire(self, now: float) -> set[int]:
+        """Dissolve every multi-member class gone stale by ``now``.
+
+        Each stale class splits into singleton classes (fresh ids in
+        ascending member order), which inherit its request count and its
+        decayed weight.  Returns the affected ids — the dissolved class
+        and its singletons — so callers can fold them into the
+        ``observe_job`` invalidation set.  Stale classes are collected
+        first and processed in ascending class-id order, so the fresh ids
+        assigned do not depend on heap history — a restored identifier
+        dissolves identically to an uninterrupted one.
+        """
+        expiry = self._expiry
+        due: set[int] = set()
+        while expiry and expiry[0][0] <= now:
+            deadline, cid = heapq.heappop(expiry)
+            if cid in due:
+                continue  # duplicate entry for an already-collected class
+            members = self._members.get(cid)
+            if members is None or len(members) <= 1:
+                continue  # stale entry: class dissolved, split away, ...
+            if self._decayed_weight(cid, now) > self.stale_threshold:
+                # Re-touched since the push: reschedule at the true
+                # deadline — but only if that makes strict progress.  A
+                # weight sitting exactly on the threshold (e.g. exactly
+                # one touch popped exactly one half-life later) would
+                # otherwise reschedule to this same instant forever.
+                new_deadline = self._last[cid] + self.half_life * math.log2(
+                    self._weight[cid] / self.stale_threshold
+                )
+                if new_deadline > now:
+                    heapq.heappush(expiry, (new_deadline, cid))
+                    continue
+            due.add(cid)
+        affected: set[int] = set()
+        for cid in sorted(due):
+            members = self._members.pop(cid)
+            requests = self._requests.pop(cid)
+            weight = self._decayed_weight(cid, now)
+            del self._weight[cid], self._last[cid]
+            affected.add(cid)
+            for f in sorted(members):
+                affected.add(
+                    self._fresh_class(
+                        {f}, requests=requests, weight=weight, last=now
+                    )
+                )
+        return affected
+
+    def observe_job(
+        self, file_ids: Iterable[int], now: float | None = None
+    ) -> set[int]:
         """Refine the partition with one job's input set.
 
+        ``now`` is the job's timestamp on the decay clock (defaults to a
+        logical per-call tick; ignored at ``half_life=inf``).  The clock
+        is clamped monotonic, so replaying out-of-order timestamps never
+        *un*-decays a class.
+
         Returns the ids of every class the job affected — freshly created
-        classes, both halves of a split, and whole classes whose request
-        count advanced.  Callers that memoize per-class derived data (the
-        service's lookup fast path) invalidate exactly these entries.
+        classes, both halves of a split, whole classes whose request
+        count advanced, and (under decay) stale classes dissolved before
+        this job was applied plus their singleton successors.  Callers
+        that memoize per-class derived data (the service's lookup fast
+        path) invalidate exactly these entries.
         """
         # map(int, ...) normalizes numpy integers from direct callers (so
         # keys hash/serialize as plain ints) without per-element bytecode.
         request = set(map(int, file_ids))
         self._n_jobs += 1
-        affected: set[int] = set()
+        now = float(self._n_jobs) if now is None else float(now)
+        if now > self._time:
+            self._time = now
+        else:
+            now = self._time
+        affected = self._expire(now) if self._expiry else set()
         if not request:
             return affected
 
@@ -118,7 +263,9 @@ class IncrementalFileculeIdentifier:
         new_files = request - class_of.keys()
         if new_files:
             # Unseen files share the signature {this job} so far.
-            affected.add(self._fresh_class(new_files, requests=1))
+            cid = self._fresh_class(new_files, requests=1, weight=1.0, last=now)
+            affected.add(cid)
+            self._push_expiry(cid)
             request -= new_files
 
         # Group the remaining (known) files by their current class.
@@ -132,14 +279,21 @@ class IncrementalFileculeIdentifier:
             if len(touched_files) == len(current):
                 # whole class requested: signature extends uniformly
                 self._requests[cid] += 1
+                self._weight[cid] = self._decayed_weight(cid, now) + 1.0
+                self._last[cid] = now
+                self._push_expiry(cid)
             else:
                 # split: touched part gains this job in its signature
+                weight = self._decayed_weight(cid, now) + 1.0
                 current -= touched_files
-                affected.add(
-                    self._fresh_class(
-                        touched_files, requests=self._requests[cid] + 1
-                    )
+                new_cid = self._fresh_class(
+                    touched_files,
+                    requests=self._requests[cid] + 1,
+                    weight=weight,
+                    last=now,
                 )
+                affected.add(new_cid)
+                self._push_expiry(new_cid)
         return affected
 
     def state_dict(self) -> dict:
@@ -150,8 +304,15 @@ class IncrementalFileculeIdentifier:
         restore yields exactly the partition (including class ids) an
         uninterrupted identifier would have produced.  This is the
         persistence hook behind the service layer's snapshot/restore.
+
+        At ``half_life=inf`` the output is byte-for-byte the undecayed
+        format (no decay fields), so pre-decay snapshots and undecayed
+        identifiers stay interchangeable.  A finite half-life adds the
+        decay configuration and clock at the top level plus per-class
+        ``weight``/``last`` fields.
         """
-        return {
+        decayed = self.half_life != math.inf
+        state = {
             "next_class": self._next_class,
             "n_jobs": self._n_jobs,
             "classes": [
@@ -159,17 +320,41 @@ class IncrementalFileculeIdentifier:
                     "id": cid,
                     "members": sorted(members),
                     "requests": self._requests[cid],
+                    **(
+                        {
+                            "weight": self._weight[cid],
+                            "last": self._last[cid],
+                        }
+                        if decayed
+                        else {}
+                    ),
                 }
                 for cid, members in sorted(self._members.items())
             ],
         }
+        if decayed:
+            state["half_life"] = self.half_life
+            state["stale_threshold"] = self.stale_threshold
+            state["time"] = self._time
+        return state
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "IncrementalFileculeIdentifier":
-        """Rebuild an identifier from :meth:`state_dict` output."""
-        ident = cls()
+        """Rebuild an identifier from :meth:`state_dict` output.
+
+        Accepts both formats: snapshots without decay fields restore an
+        undecayed identifier (weights default to the request counts), and
+        decayed snapshots restore the decay clock and per-class weights —
+        continuing the stream after a restore dissolves stale classes at
+        exactly the times an uninterrupted identifier would.
+        """
+        ident = cls(
+            half_life=float(state.get("half_life", math.inf)),
+            stale_threshold=float(state.get("stale_threshold", 0.5)),
+        )
         ident._n_jobs = int(state["n_jobs"])
         ident._next_class = int(state["next_class"])
+        ident._time = float(state.get("time", 0.0))
         for entry in state["classes"]:
             cid = int(entry["id"])
             if cid >= ident._next_class:
@@ -181,17 +366,26 @@ class IncrementalFileculeIdentifier:
                 raise ValueError(f"class {cid} has no members")
             ident._members[cid] = members
             ident._requests[cid] = int(entry["requests"])
+            ident._weight[cid] = float(entry.get("weight", entry["requests"]))
+            ident._last[cid] = float(entry.get("last", 0.0))
             for f in members:
                 if f in ident._class_of:
                     raise ValueError(f"file {f} appears in two classes")
                 ident._class_of[f] = cid
+            ident._push_expiry(cid)
         return ident
 
     def observe_trace(self, trace: Trace) -> None:
-        """Feed every traced job of ``trace`` in job-id order."""
-        for _, files in trace.iter_jobs():
+        """Feed every traced job of ``trace`` in job-id order.
+
+        Job start times drive the decay clock, so a finite ``half_life``
+        is measured in trace seconds here (and the clock clamp makes the
+        ≈-chronological job order safe).
+        """
+        starts = trace.job_starts
+        for j, files in trace.iter_jobs():
             if len(files):
-                self.observe_job(files.tolist())
+                self.observe_job(files.tolist(), now=float(starts[j]))
 
     # ------------------------------------------------------------------
     def partition(self, n_files: int | None = None, sizes=None) -> FileculePartition:

@@ -54,6 +54,7 @@ from repro.experiments import (  # noqa: F401  (registration imports)
     ablation_optimal,
     transfer_scheduling,
     robustness,
+    robustness_matrix,
     partial_sampling,
     characterization,
     null_model,

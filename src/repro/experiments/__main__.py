@@ -109,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write a self-contained markdown report to PATH",
     )
+    parser.add_argument(
+        "--matrix-json",
+        metavar="PATH",
+        help=(
+            "write the robustness-matrix scores as JSON to PATH (only "
+            "meaningful when running the robustness-matrix experiment)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_policies or "list-policies" in args.experiments:
@@ -151,6 +159,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"({elapsed:.2f}s)")
         if not result.all_checks_pass:
             failures += 1
+
+    if args.matrix_json:
+        if "robustness-matrix" not in ids:
+            parser.error("--matrix-json requires running robustness-matrix")
+        from repro.experiments.robustness_matrix import (
+            build_matrix,
+            write_matrix_json,
+        )
+
+        # build_matrix is memoized per context: this reuses the run above.
+        path = write_matrix_json(args.matrix_json, build_matrix(ctx))
+        print(f"wrote robustness matrix to {path}")
     if failures:
         print(f"\n{failures} experiment(s) with failing checks", file=sys.stderr)
         if args.strict:

@@ -1,0 +1,233 @@
+"""Cross-scenario robustness of every registered policy.
+
+The paper's Figure 10 ranks policies in one stationary world; this
+driver re-ranks **all** registered replacement policies across the
+:mod:`repro.scenario` catalog.  For every scenario the workload is
+transformed (seed-deterministically), filecules are re-identified on the
+transformed trace — identification *reacts* to the world, it is not
+frozen at the stationary partition — and the full policy roster replays
+it at a fixed cache capacity through the shared sweep engine (serial or
+``--jobs`` parallel, identical results by construction).
+
+The matrix cell is the policy's **byte miss rate** in that world; the
+headline derived quantity is *degradation*: cell minus the same policy's
+stationary-baseline cell.  A policy that only wins in the stationary
+world shows up immediately as a column of large positive degradations.
+
+``repro-experiments robustness-matrix --matrix-json out.json`` exports
+the full matrix for the CI smoke job and downstream analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.identify import find_filecules
+from repro.engine import sweep
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.obs.metrics import MetricsRegistry
+from repro.scenario import parse_composition
+
+#: Display name -> composition wire string.  The stationary entry is the
+#: degradation baseline; the final entry exercises transform stacking.
+DEFAULT_SCENARIOS: dict[str, str] = {
+    "stationary": "stationary",
+    "drift": "popularity-drift?strength=0.8",
+    "phase-shift": "phase-shift?at=0.5",
+    "flash-crowd": "flash-crowd?boost=0.5",
+    "site-outage": "site-outage?duration=0.3",
+    "scan-flood": "scan-flood?rate=0.15",
+    "drift+flash": "popularity-drift?strength=0.8+flash-crowd?boost=0.5",
+}
+
+BASELINE = "stationary"
+
+#: Fixed cache capacity as a fraction of the *stationary* trace's total
+#: accessed bytes — the same absolute capacity in every scenario, so
+#: cells differ only through the workload.
+CAPACITY_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class RobustnessMatrix:
+    """Per-policy × per-scenario byte-miss-rate matrix."""
+
+    scenarios: tuple[str, ...]
+    compositions: dict[str, str]  # display name -> canonical composition
+    policies: tuple[str, ...]
+    capacity_bytes: int
+    seed: int
+    scores: dict[str, dict[str, float]]  # scenario -> policy -> byte miss rate
+    registry: MetricsRegistry
+    baseline: str = BASELINE
+
+    def score(self, scenario: str, policy: str) -> float:
+        return self.scores[scenario][policy]
+
+    def degradation(self, scenario: str, policy: str) -> float:
+        """Byte-miss-rate increase over the policy's stationary baseline."""
+        return self.scores[scenario][policy] - self.scores[self.baseline][policy]
+
+    @property
+    def complete(self) -> bool:
+        """Every cell present and finite (no NaN/None holes)."""
+        for scenario in self.scenarios:
+            row = self.scores.get(scenario)
+            if row is None:
+                return False
+            for policy in self.policies:
+                value = row.get(policy)
+                if value is None or value != value:
+                    return False
+        return True
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``--matrix-json`` artifact)."""
+        return {
+            "baseline": self.baseline,
+            "capacity_bytes": self.capacity_bytes,
+            "seed": self.seed,
+            "policies": list(self.policies),
+            "scenarios": [
+                {"name": name, "composition": self.compositions[name]}
+                for name in self.scenarios
+            ],
+            "scores": {
+                scenario: {
+                    policy: self.scores[scenario][policy]
+                    for policy in self.policies
+                }
+                for scenario in self.scenarios
+            },
+            "degradation": {
+                scenario: {
+                    policy: self.degradation(scenario, policy)
+                    for policy in self.policies
+                }
+                for scenario in self.scenarios
+            },
+        }
+
+
+def write_matrix_json(path: str | Path, matrix: RobustnessMatrix) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(matrix.as_dict(), indent=2) + "\n")
+    return path
+
+
+@lru_cache(maxsize=4)
+def build_matrix(ctx: ExperimentContext) -> RobustnessMatrix:
+    """Sweep every registered policy across every default scenario.
+
+    Memoized per context, so the experiment runner and the
+    ``--matrix-json`` exporter share one computation.  ``ctx.jobs > 1``
+    fans each scenario's policy grid out through the parallel runner;
+    results are identical to serial (asserted in the tests).
+    """
+    # Lazy upcall: the registry sits above the engine but below the
+    # experiments, and we want the full roster including offline bounds.
+    from repro import registry
+
+    policies = tuple(registry.policy_names())
+    capacity = max(1, int(CAPACITY_FRACTION * ctx.trace.total_bytes()))
+    registry_metrics = MetricsRegistry()
+
+    scenarios = tuple(DEFAULT_SCENARIOS)
+    compositions: dict[str, str] = {}
+    scores: dict[str, dict[str, float]] = {}
+    for name in scenarios:
+        composition = parse_composition(DEFAULT_SCENARIOS[name])
+        compositions[name] = str(composition)
+        t0 = time.perf_counter()
+        world = composition.apply(ctx.trace, seed=ctx.seed)
+        partition = find_filecules(world)
+        result = sweep(
+            world,
+            {p: p for p in policies},
+            [capacity],
+            partition=partition,
+            jobs=ctx.jobs,
+        )
+        scores[name] = {
+            p: result.metrics[p][0].byte_miss_rate for p in policies
+        }
+        elapsed = time.perf_counter() - t0
+        registry_metrics.inc("scenario_cells", len(policies), scenario=name)
+        registry_metrics.observe("scenario_sweep_seconds", elapsed, scenario=name)
+    return RobustnessMatrix(
+        scenarios=scenarios,
+        compositions=compositions,
+        policies=policies,
+        capacity_bytes=capacity,
+        seed=ctx.seed,
+        scores=scores,
+        registry=registry_metrics,
+    )
+
+
+@register("robustness-matrix")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    matrix = build_matrix(ctx)
+    non_baseline = [s for s in matrix.scenarios if s != matrix.baseline]
+    rows = []
+    for policy in matrix.policies:
+        degradations = [matrix.degradation(s, policy) for s in non_baseline]
+        worst = max(
+            non_baseline, key=lambda s: matrix.degradation(s, policy)
+        )
+        rows.append(
+            (
+                policy,
+                round(matrix.score(matrix.baseline, policy), 4),
+                *(round(d, 4) for d in degradations),
+                worst,
+            )
+        )
+    # Rank by stationary score so the table reads like Figure 10's order.
+    rows.sort(key=lambda r: r[1])
+
+    degradation_cells = [
+        matrix.degradation(s, p)
+        for s in non_baseline
+        for p in matrix.policies
+    ]
+    from repro import registry
+
+    checks = {
+        "matrix is complete (no NaN cells)": matrix.complete,
+        "covers every registered policy": set(matrix.policies)
+        == set(registry.policy_names()),
+        "covers at least 5 scenarios beyond the baseline": len(non_baseline)
+        >= 5,
+        "baseline column is zero degradation by construction": all(
+            matrix.degradation(matrix.baseline, p) == 0.0
+            for p in matrix.policies
+        ),
+        "some scenario degrades some policy": any(
+            d > 0 for d in degradation_cells
+        ),
+    }
+    notes = (
+        f"{len(matrix.policies)} policies x {len(matrix.scenarios)} scenarios "
+        f"at capacity {matrix.capacity_bytes} bytes "
+        f"({CAPACITY_FRACTION:.0%} of the stationary footprint)",
+        "cells are byte miss rates; degradation = cell - stationary cell",
+        f"worst single degradation: {max(degradation_cells):+.4f}",
+    )
+    return ExperimentResult(
+        experiment_id="robustness-matrix",
+        title="Policy robustness across workload scenarios",
+        headers=(
+            "policy",
+            f"{matrix.baseline} miss",
+            *(f"Δ {s}" for s in non_baseline),
+            "worst scenario",
+        ),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

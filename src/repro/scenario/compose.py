@@ -1,0 +1,106 @@
+"""Composition: stack scenario transforms into one deterministic pipeline.
+
+``compose("popularity-drift?strength=0.8", "flash-crowd")`` (or the
+equivalent wire string ``"popularity-drift?strength=0.8+flash-crowd"``)
+builds a :class:`Composition` applying the transforms **left to right**:
+the second transform sees the trace the first one produced.  Transforms
+are valid in any order, but composition is generally *not* commutative —
+e.g. a flash crowd injected before a phase shift is itself remapped by
+the shift, while one injected after is not (see ``docs/SCENARIOS.md``).
+
+Determinism: each transform application draws from its own generator,
+seeded with :func:`~repro.util.rng.stable_seed` of the composition seed,
+the transform's position and its canonical spec string.  The same
+composition string plus the same seed therefore yields a bit-identical
+trace on every platform and interpreter run, and editing one transform's
+parameters never perturbs another's random stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.log import get_logger
+from repro.scenario.spec import (
+    ScenarioSpec,
+    ScenarioSpecError,
+    bound_params,
+    get_transform,
+    parse_scenario,
+)
+from repro.util.rng import as_generator, stable_seed
+
+slog = get_logger("repro.scenario")
+
+
+@dataclass(frozen=True)
+class Composition:
+    """An ordered stack of scenario transforms (possibly just one).
+
+    The string form joins the member specs with ``+`` and is accepted
+    back by :func:`parse_composition` (round-trip canonical, like the
+    single-spec wire format).
+    """
+
+    specs: tuple[ScenarioSpec, ...]
+
+    def __str__(self) -> str:
+        return "+".join(str(spec) for spec in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def apply(self, trace, seed: int = 0):
+        """Transform ``trace`` through every member spec, left to right.
+
+        ``seed`` selects the composition's random world; the trace
+        itself is never mutated (transforms build new traces).
+        """
+        for i, spec in enumerate(self.specs):
+            transform = get_transform(spec.name)
+            rng = as_generator(stable_seed("scenario", i, str(spec), seed))
+            t0 = time.perf_counter()
+            trace = transform.fn(trace, rng, **bound_params(spec))
+            slog.debug(
+                "scenario-applied",
+                spec=str(spec),
+                position=i,
+                seed=seed,
+                jobs=trace.n_jobs,
+                accesses=trace.n_accesses,
+                seconds=round(time.perf_counter() - t0, 4),
+            )
+        return trace
+
+
+def parse_composition(text: str | ScenarioSpec | Composition) -> Composition:
+    """Parse a ``"spec+spec+..."`` wire string into a :class:`Composition`.
+
+    A single spec (string or :class:`ScenarioSpec`) becomes a one-element
+    composition; an existing :class:`Composition` passes through after
+    re-validation.  ``parse_composition(str(c)) == c`` holds, extending
+    the single-spec canonicalizer guarantee to stacks.
+    """
+    if isinstance(text, Composition):
+        for spec in text.specs:
+            get_transform(spec.name)  # validate
+        return text
+    if isinstance(text, ScenarioSpec):
+        return Composition(specs=(parse_scenario(text),))
+    parts = [part.strip() for part in text.split("+")]
+    if not parts or any(not part for part in parts):
+        raise ScenarioSpecError(
+            f"malformed composition {text!r}: empty member spec"
+        )
+    return Composition(specs=tuple(parse_scenario(part) for part in parts))
+
+
+def compose(*items: "str | ScenarioSpec | Composition") -> Composition:
+    """Stack any mix of spec strings, specs and compositions in order."""
+    if not items:
+        raise ValueError("compose() needs at least one scenario")
+    specs: list[ScenarioSpec] = []
+    for item in items:
+        specs.extend(parse_composition(item).specs)
+    return Composition(specs=tuple(specs))

@@ -1,0 +1,223 @@
+"""Scenario-spec data model: declarative, picklable workload transforms.
+
+A :class:`TransformSpec` describes one registered scenario transform —
+its canonical name, the transform function, and the tunable parameters
+with their defaults.  A :class:`ScenarioSpec` is the *picklable
+selection* of one: canonical name plus explicit parameter overrides,
+with the same URL-query-ish ``"name?param=value&other=value"`` wire
+format as :mod:`repro.registry` policy specs, and the same canonicalizer
+guarantee: ``parse_scenario(str(spec)) == spec`` for every representable
+spec (property-tested).  Transforms stack with ``+``:
+``"popularity-drift?strength=0.8+flash-crowd?boost=0.5"`` parses into a
+:class:`~repro.scenario.compose.Composition` applied left to right.
+
+The coercion rules mirror the registry's: each default's Python type
+drives string-value coercion, booleans accept ``1/true/yes/on`` and
+``0/false/no/off``, and unknown parameters are rejected at parse time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+
+class UnknownScenarioError(ValueError):
+    """No registered transform matches the requested scenario name."""
+
+
+class ScenarioSpecError(ValueError):
+    """A scenario spec string or parameter set is malformed."""
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    """Declarative description of one registered scenario transform.
+
+    ``fn`` is called as ``fn(trace, rng, **params)`` and must return a
+    new :class:`~repro.traces.trace.Trace`; ``rng`` is a seeded
+    :class:`numpy.random.Generator` owned exclusively by this transform
+    application.  ``defaults`` is the complete parameter schema.
+    """
+
+    name: str
+    fn: Callable = field(repr=False)
+    summary: str = ""
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable (name, explicit-params) scenario selection.
+
+    ``params`` holds only the caller's overrides (sorted by key);
+    defaults stay implicit so two ways of spelling the same choice
+    compare equal and render the same string.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        query = "&".join(f"{k}={_format_value(v)}" for k, v in self.params)
+        return f"{self.name}?{query}"
+
+
+# ----------------------------------------------------------------------
+# registry storage
+# ----------------------------------------------------------------------
+
+_TRANSFORMS: dict[str, TransformSpec] = {}
+_ALIASES: dict[str, str] = {}  # alias -> canonical name
+
+
+def register_scenario(
+    name: str,
+    *,
+    summary: str = "",
+    defaults: Mapping[str, object] | None = None,
+    aliases: tuple[str, ...] = (),
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a transform function under ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in _TRANSFORMS or name in _ALIASES:
+            raise ValueError(f"duplicate scenario name {name!r}")
+        spec = TransformSpec(
+            name=name,
+            fn=fn,
+            summary=summary,
+            defaults=dict(defaults or {}),
+            aliases=tuple(aliases),
+        )
+        _TRANSFORMS[name] = spec
+        for alias in spec.aliases:
+            if alias in _TRANSFORMS or alias in _ALIASES:
+                raise ValueError(f"duplicate scenario alias {alias!r}")
+            _ALIASES[alias] = name
+        return fn
+
+    return deco
+
+
+def list_transforms() -> list[TransformSpec]:
+    """Every registered transform spec, sorted by canonical name."""
+    return [_TRANSFORMS[name] for name in sorted(_TRANSFORMS)]
+
+
+def scenario_names(*, include_aliases: bool = False) -> list[str]:
+    names = list(_TRANSFORMS)
+    if include_aliases:
+        names.extend(_ALIASES)
+    return sorted(names)
+
+
+def get_transform(name: str) -> TransformSpec:
+    """Look a transform up by canonical name or alias."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _TRANSFORMS[canonical]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; known scenarios: "
+            f"{', '.join(scenario_names(include_aliases=True))}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# parse / format
+# ----------------------------------------------------------------------
+
+_TRUE = frozenset(("1", "true", "yes", "on"))
+_FALSE = frozenset(("0", "false", "no", "off"))
+
+
+def _format_value(value: object) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        # "+" is the composition separator, so canonical rendering must
+        # never produce one: 1e+16 round-trips as 1e16.
+        return repr(value).replace("e+", "e")
+    return str(value)
+
+
+def _coerce_value(spec: TransformSpec, key: str, raw: str) -> object:
+    try:
+        default = spec.defaults[key]
+    except KeyError:
+        valid = ", ".join(sorted(spec.defaults)) or "<none>"
+        raise ScenarioSpecError(
+            f"scenario {spec.name!r} has no parameter {key!r}; "
+            f"valid parameters: {valid}"
+        ) from None
+    try:
+        if isinstance(default, bool):
+            lowered = raw.lower()
+            if lowered in _TRUE:
+                return True
+            if lowered in _FALSE:
+                return False
+            raise ValueError(f"not a boolean: {raw!r}")
+        if isinstance(default, int):
+            return int(raw)
+        if isinstance(default, float):
+            return float(raw)
+        return raw
+    except ValueError as exc:
+        raise ScenarioSpecError(
+            f"bad value for {spec.name}?{key}: {exc}"
+        ) from None
+
+
+def parse_scenario(text: str | ScenarioSpec) -> ScenarioSpec:
+    """Parse ``"name?param=value&..."`` into a canonical :class:`ScenarioSpec`.
+
+    Aliases resolve to the canonical name, parameter values are coerced
+    to the type of the transform's default, and parameters are sorted —
+    so ``parse_scenario`` is a canonicalizer and
+    ``parse_scenario(str(spec)) == spec`` holds for every parseable
+    spec, matching the :mod:`repro.registry` convention.
+    """
+    if isinstance(text, ScenarioSpec):
+        get_transform(text.name)  # validate
+        return text
+    name, _, query = text.strip().partition("?")
+    if "+" in text:
+        raise ScenarioSpecError(
+            f"{text!r} is a composition; parse it with parse_composition"
+        )
+    spec = get_transform(name)
+    params: dict[str, object] = {}
+    if query:
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise ScenarioSpecError(
+                    f"malformed scenario spec {text!r}: expected "
+                    f"param=value, got {part!r}"
+                )
+            params[key] = _coerce_value(spec, key, raw)
+    return ScenarioSpec(name=spec.name, params=tuple(sorted(params.items())))
+
+
+def bound_params(spec: ScenarioSpec) -> dict[str, object]:
+    """The spec's full parameter dict: registered defaults + overrides."""
+    transform = get_transform(spec.name)
+    merged = dict(transform.defaults)
+    for key, value in spec.params:
+        if key not in transform.defaults:
+            valid = ", ".join(sorted(transform.defaults)) or "<none>"
+            raise ScenarioSpecError(
+                f"scenario {spec.name!r} has no parameter {key!r}; "
+                f"valid parameters: {valid}"
+            )
+        merged[key] = value
+    return merged

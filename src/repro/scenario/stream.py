@@ -1,0 +1,45 @@
+"""Streaming face of the scenario engine: transformed job-event streams.
+
+The offline path (:meth:`Composition.apply <repro.scenario.compose.Composition.apply>`)
+produces a trace; this module turns the same composition into the
+*job-event stream* the service load generator replays — lazily, one
+event at a time, in chronological order.  Events are the plain dicts
+``repro-serve loadgen`` ships over the wire (``files``/``sizes``/
+``site``), so the module stays below the service layer while feeding it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.scenario.compose import Composition, parse_composition
+from repro.scenario.spec import ScenarioSpec
+from repro.traces.trace import Trace
+
+
+def scenario_job_stream(
+    trace: Trace,
+    composition: "str | ScenarioSpec | Composition",
+    seed: int = 0,
+) -> Iterator[dict]:
+    """Yield loadgen job events from the transformed trace, lazily.
+
+    The composition is applied once up front (transforms are whole-trace
+    rewrites — injection and remapping need the global time axis), then
+    events stream in job order without materializing the full list:
+    ``{"files": [...], "sizes": [...], "site": int, "start": float}``.
+    ``start`` carries the trace timestamp so decay-aware consumers can
+    drive their clock from trace time instead of arrival ticks.
+    """
+    transformed = parse_composition(composition).apply(trace, seed=seed)
+    sites = transformed.job_sites
+    sizes = transformed.file_sizes
+    starts = transformed.job_starts
+    for job_id, files in transformed.iter_jobs():
+        file_list = files.tolist()
+        yield {
+            "files": file_list,
+            "sizes": [int(sizes[f]) for f in file_list],
+            "site": int(sites[job_id]),
+            "start": float(starts[job_id]),
+        }

@@ -81,6 +81,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 policy=args.policy,
                 capacity_bytes=args.capacity,
                 default_size=args.default_size,
+                decay_half_life=args.decay_half_life,
                 snapshot_path=args.snapshot,
                 snapshot_interval=args.snapshot_interval,
                 log_interval=args.log_interval,
@@ -98,11 +99,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 policy=args.policy,
                 capacity_bytes=args.capacity,
                 default_size=args.default_size,
+                decay_half_life=args.decay_half_life,
             )
         return ServiceState(
             policy=args.policy,
             capacity_bytes=args.capacity,
             default_size=args.default_size,
+            decay_half_life=args.decay_half_life,
         )
 
     if args.restore:
@@ -134,11 +137,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     trace = generate_trace(_SCALES[args.scale](), seed=args.seed)
-    jobs = jobs_from_trace(trace)
+    if args.scenario:
+        from repro.scenario import scenario_job_stream
+
+        jobs = list(scenario_job_stream(trace, args.scenario, seed=args.seed))
+    else:
+        jobs = jobs_from_trace(trace)
     if args.jobs is not None:
         jobs = jobs[: args.jobs]
     print(
         f"replaying {len(jobs)} jobs from '{args.scale}' (seed {args.seed})"
+        + (f" under scenario '{args.scenario}'" if args.scenario else "")
         + (f" across {args.procs} processes" if args.procs > 1 else "")
     )
     report = run_load_procs(
@@ -244,6 +253,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="assumed size for files ingested without one",
     )
+    p_serve.add_argument(
+        "--decay-half-life",
+        type=float,
+        default=float("inf"),
+        metavar="TICKS",
+        help=(
+            "co-access evidence half-life in ingest ticks; finite values "
+            "let stale filecules dissolve into singletons (default: inf, "
+            "the classic append-only refinement)"
+        ),
+    )
     p_serve.add_argument("--snapshot", default=None, help="snapshot JSONL path")
     p_serve.add_argument(
         "--snapshot-interval", type=float, default=None, metavar="SECONDS"
@@ -290,6 +310,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_endpoint_args(p_load)
     p_load.add_argument("--scale", default="tiny", choices=sorted(_SCALES))
     p_load.add_argument("--seed", type=int, default=42)
+    p_load.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "mutate the replayed stream through a scenario composition "
+            "(e.g. 'popularity-drift?strength=0.8+flash-crowd'); see "
+            "docs/SCENARIOS.md"
+        ),
+    )
     p_load.add_argument(
         "--jobs", type=int, default=None, help="truncate the stream"
     )

@@ -36,6 +36,7 @@ Supervision policy:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import signal
@@ -69,6 +70,7 @@ class ClusterConfig:
     policy: str = "lru"
     capacity_bytes: int = 1 * TB
     default_size: int = 1
+    decay_half_life: float = math.inf  # co-access half-life in ingest ticks
     snapshot_path: str | None = None  # base; worker k writes <base>.w<k>
     snapshot_interval: float | None = None
     log_interval: float | None = None
@@ -132,11 +134,13 @@ def _build_state(config: ClusterConfig, index: int, restore: bool):
             policy=config.policy,
             capacity_bytes=config.capacity_bytes,
             default_size=config.default_size,
+            decay_half_life=config.decay_half_life,
         )
     return ServiceState(
         policy=config.policy,
         capacity_bytes=config.capacity_bytes,
         default_size=config.default_size,
+        decay_half_life=config.decay_half_life,
     )
 
 

@@ -37,6 +37,7 @@ partitions reproduces the offline result bit for bit.
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 
@@ -137,6 +138,7 @@ class ShardedServiceState:
         policy: str = "lru",
         capacity_bytes: int = 1 * TB,
         default_size: int = 1,
+        decay_half_life: float = math.inf,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -145,6 +147,7 @@ class ShardedServiceState:
                 policy=policy,
                 capacity_bytes=capacity_bytes,
                 default_size=default_size,
+                decay_half_life=decay_half_life,
             )
             for _ in range(n_shards)
         ]
@@ -152,6 +155,7 @@ class ShardedServiceState:
         self.policy_name = policy
         self.capacity_bytes = int(capacity_bytes)
         self.default_size = int(default_size)
+        self.decay_half_life = float(decay_half_life)
 
     # ------------------------------------------------------------------
     # routing
@@ -323,6 +327,8 @@ class ShardedServiceState:
             "default_size": self.default_size,
             "shards": [r["path"] for r in receipts],
         }
+        if math.isfinite(self.decay_half_life):
+            manifest["decay_half_life"] = self.decay_half_life
         tmp = path.with_name(path.name + ".tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -361,6 +367,9 @@ class ShardedServiceState:
             policy=manifest["policy"],
             capacity_bytes=manifest["capacity_bytes"],
             default_size=manifest["default_size"],
+            decay_half_life=float(
+                manifest.get("decay_half_life", math.inf)
+            ),
         )
         state.shards = [
             ServiceState.restore(shard_path)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 from pathlib import Path
 from typing import Callable
@@ -118,6 +119,13 @@ class ServiceState:
         Size assumed for files ingested without an explicit size (sizes
         refine retroactively: a later ingest carrying the real size
         updates the catalog).
+    decay_half_life:
+        Co-access evidence half-life in ingest ticks (one tick per job).
+        Finite values make the partition forget: filecules whose decayed
+        request weight falls below the identifier's staleness threshold
+        dissolve into singletons, so a flash crowd's co-access pattern
+        stops binding files long after the crowd is gone.  The default
+        (``inf``) preserves the exact append-only refinement semantics.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class ServiceState:
         policy: str = "lru",
         capacity_bytes: int = 1 * TB,
         default_size: int = 1,
+        decay_half_life: float = math.inf,
     ) -> None:
         self._policy_spec = _parse_advisor_policy(policy)
         if capacity_bytes <= 0:
@@ -134,7 +143,10 @@ class ServiceState:
         self.policy_name = policy
         self.capacity_bytes = int(capacity_bytes)
         self.default_size = int(default_size)
-        self._ident = IncrementalFileculeIdentifier()
+        self.decay_half_life = float(decay_half_life)
+        self._ident = IncrementalFileculeIdentifier(
+            half_life=self.decay_half_life
+        )
         self._sizes: dict[int, int] = {}
         self._advisors: dict[int, _SiteAdvisor] = {}
         self._clock = 0.0  # logical request time fed to the policies
@@ -196,7 +208,10 @@ class ServiceState:
             # int() keeps direct API callers' numpy sizes JSON-safe for
             # snapshots; map+zip runs the walk at C speed.
             self._sizes.update(zip(files, map(int, sizes)))
-        affected = self._ident.observe_job(files)
+        # The ingest clock ticks once per job (incremented below); feeding
+        # the *post*-tick value keeps decay time aligned with the clock
+        # the advisors see.  At half_life=inf the value is irrelevant.
+        affected = self._ident.observe_job(files, now=self._clock + 1.0)
         if self._filecule_json:
             # Exact read-cache invalidation: only the classes this job
             # created, split, or advanced change their lookup payload.
@@ -401,26 +416,29 @@ class ServiceState:
         """Atomically write the hard state as JSONL; returns a receipt."""
         path = Path(path)
         ident_state = self._ident.state_dict()
+        meta: dict = {
+            "type": "meta",
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "policy": self.policy_name,
+            "capacity_bytes": self.capacity_bytes,
+            "default_size": self.default_size,
+            "clock": self._clock,
+            "n_jobs": ident_state["n_jobs"],
+            "next_class": ident_state["next_class"],
+        }
+        if "half_life" in ident_state:
+            # Decay configuration travels with the snapshot (JSON cannot
+            # carry inf, so the keys only appear for finite half-lives;
+            # their absence means the classic append-only identifier).
+            meta["decay_half_life"] = ident_state["half_life"]
+            meta["decay_threshold"] = ident_state["stale_threshold"]
+            meta["decay_time"] = ident_state["time"]
         tmp = path.with_name(path.name + ".tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "w") as fh:
-                fh.write(
-                    json.dumps(
-                        {
-                            "type": "meta",
-                            "format": SNAPSHOT_FORMAT,
-                            "version": SNAPSHOT_VERSION,
-                            "policy": self.policy_name,
-                            "capacity_bytes": self.capacity_bytes,
-                            "default_size": self.default_size,
-                            "clock": self._clock,
-                            "n_jobs": ident_state["n_jobs"],
-                            "next_class": ident_state["next_class"],
-                        }
-                    )
-                    + "\n"
-                )
+                fh.write(json.dumps(meta) + "\n")
                 for entry in ident_state["classes"]:
                     fh.write(json.dumps({"type": "class", **entry}) + "\n")
                 for f, s in sorted(self._sizes.items()):
@@ -488,14 +506,22 @@ class ServiceState:
             policy=meta["policy"],
             capacity_bytes=meta["capacity_bytes"],
             default_size=meta["default_size"],
+            decay_half_life=float(meta.get("decay_half_life", math.inf)),
         )
+        ident_state = {
+            "n_jobs": meta["n_jobs"],
+            "next_class": meta["next_class"],
+            "classes": classes,
+        }
+        if "decay_half_life" in meta:
+            ident_state["half_life"] = float(meta["decay_half_life"])
+            ident_state["stale_threshold"] = float(
+                meta.get("decay_threshold", 0.5)
+            )
+            ident_state["time"] = float(meta.get("decay_time", 0.0))
         try:
             state._ident = IncrementalFileculeIdentifier.from_state_dict(
-                {
-                    "n_jobs": meta["n_jobs"],
-                    "next_class": meta["next_class"],
-                    "classes": classes,
-                }
+                ident_state
             )
         except (KeyError, ValueError) as exc:
             raise SnapshotError(f"{path}: corrupt partition state: {exc}") from exc

@@ -1,0 +1,144 @@
+"""Decayed co-access in the incremental identifier: inf-half-life
+bit-compatibility, stale-class dissolution, and state round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.incremental import IncrementalFileculeIdentifier
+from tests.conftest import make_trace
+
+
+def flash_then_quiet(ident):
+    """A crowd welds {0..4}; then a long-running unrelated stream."""
+    for t in range(5):
+        ident.observe_job([0, 1, 2, 3, 4], now=float(t))
+    for t in range(200, 260):
+        ident.observe_job([10, 11], now=float(t))
+    return sorted(tuple(sorted(c)) for c in ident.classes())
+
+
+class TestInfCompatibility:
+    def test_inf_is_bit_identical_to_default(self):
+        jobs = [[0, 1, 2], [0, 1], [3, 4], [2, 3], [0, 4, 5], [5]]
+        plain = IncrementalFileculeIdentifier()
+        inf = IncrementalFileculeIdentifier(half_life=math.inf)
+        for job in jobs:
+            assert plain.observe_job(job) == inf.observe_job(job)
+        assert plain.state_dict() == inf.state_dict()
+        assert json.dumps(plain.state_dict()) == json.dumps(inf.state_dict())
+
+    def test_inf_ignores_now_values(self):
+        a = IncrementalFileculeIdentifier()
+        b = IncrementalFileculeIdentifier()
+        jobs = [[0, 1, 2], [0, 1], [3], [1, 3]]
+        for i, job in enumerate(jobs):
+            a.observe_job(job)
+            b.observe_job(job, now=1e9 * i)
+        assert a.classes() == b.classes()
+        assert a.state_dict() == b.state_dict()
+
+    def test_inf_state_dict_has_no_decay_keys(self):
+        ident = IncrementalFileculeIdentifier()
+        ident.observe_job([1, 2])
+        state = ident.state_dict()
+        assert "half_life" not in state
+        assert all("weight" not in entry for entry in state["classes"])
+
+    def test_huge_half_life_same_partition(self):
+        jobs = [[0, 1, 2], [0, 1], [3, 4], [2, 3]]
+        plain = IncrementalFileculeIdentifier()
+        huge = IncrementalFileculeIdentifier(half_life=1e18)
+        for job in jobs:
+            plain.observe_job(job)
+            huge.observe_job(job)
+        assert plain.classes() == huge.classes()
+
+
+class TestDissolution:
+    def test_flash_crowd_splits_under_decay_only(self):
+        decayed = IncrementalFileculeIdentifier(half_life=10.0)
+        plain = IncrementalFileculeIdentifier()
+        assert flash_then_quiet(decayed) == [
+            (0,), (1,), (2,), (3,), (4,), (10, 11),
+        ]
+        assert flash_then_quiet(plain) == [(0, 1, 2, 3, 4), (10, 11)]
+
+    def test_dissolution_reports_affected_classes(self):
+        ident = IncrementalFileculeIdentifier(half_life=5.0)
+        ident.observe_job([0, 1], now=0.0)
+        cid = ident.class_of(0)
+        affected = ident.observe_job([7], now=1000.0)
+        # The stale class and its singleton remnants are all reported,
+        # which is what the service's read-cache invalidation keys on.
+        assert cid in affected
+        assert ident.class_of(0) in affected
+        assert ident.class_of(1) in affected
+        assert ident.classes().count(frozenset({0, 1})) == 0
+
+    def test_active_class_survives(self):
+        ident = IncrementalFileculeIdentifier(half_life=10.0)
+        for t in range(0, 100, 5):
+            ident.observe_job([0, 1], now=float(t))
+        assert frozenset({0, 1}) in ident.classes()
+
+    def test_dissolution_is_a_refinement(self):
+        ident = IncrementalFileculeIdentifier(half_life=5.0)
+        ident.observe_job([0, 1, 2], now=0.0)
+        before = ident.classes()
+        ident.observe_job([9], now=500.0)
+        after = ident.classes()
+        for cls in after:
+            assert any(cls <= old for old in before) or cls == frozenset({9})
+
+    def test_clock_is_monotonic(self):
+        ident = IncrementalFileculeIdentifier(half_life=10.0)
+        ident.observe_job([0, 1], now=100.0)
+        # A job arriving with an earlier timestamp clamps forward rather
+        # than rewinding decay time.
+        ident.observe_job([0, 1], now=0.0)
+        assert frozenset({0, 1}) in ident.classes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalFileculeIdentifier(half_life=0.0)
+        with pytest.raises(ValueError):
+            IncrementalFileculeIdentifier(half_life=-1.0)
+        with pytest.raises(ValueError):
+            IncrementalFileculeIdentifier(half_life=10.0, stale_threshold=0.0)
+
+
+class TestRoundTrip:
+    def test_state_dict_round_trip_under_decay(self):
+        ident = IncrementalFileculeIdentifier(half_life=10.0)
+        for t in range(5):
+            ident.observe_job([0, 1, 2, 3, 4], now=float(t))
+        state = json.loads(json.dumps(ident.state_dict()))
+        restored = IncrementalFileculeIdentifier.from_state_dict(state)
+        assert restored.half_life == 10.0
+        assert restored.classes() == ident.classes()
+        # Restore-and-continue equals never-restarted: the quiet stream
+        # dissolves the crowd class in both.
+        for t in range(200, 260):
+            ident.observe_job([10, 11], now=float(t))
+            restored.observe_job([10, 11], now=float(t))
+        assert restored.classes() == ident.classes()
+        assert restored.state_dict() == ident.state_dict()
+
+    def test_observe_trace_uses_trace_time(self):
+        trace = make_trace(
+            [[0, 1], [0, 1], [2]],
+            job_starts=[0.0, 1.0, 10_000.0],
+            job_durations=[1.0, 1.0, 1.0],
+        )
+        decayed = IncrementalFileculeIdentifier(half_life=100.0)
+        decayed.observe_trace(trace)
+        assert sorted(tuple(sorted(c)) for c in decayed.classes()) == [
+            (0,), (1,), (2,),
+        ]
+        plain = IncrementalFileculeIdentifier()
+        plain.observe_trace(trace)
+        assert frozenset({0, 1}) in plain.classes()

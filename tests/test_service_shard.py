@@ -212,3 +212,50 @@ class TestShardedSnapshot:
         assert recovered.partition()["checksum"] == offline_checksum(
             tiny_trace
         )
+
+
+class TestMergePayloadEdges:
+    """Degenerate inputs for :func:`merge_partition_payloads`."""
+
+    def test_empty_payload_list(self):
+        merged = merge_partition_payloads([])
+        assert merged == {
+            "n_classes": 0,
+            "checksum": partition_checksum([]),
+            "classes": [],
+        }
+
+    def test_all_none_payloads(self):
+        merged = merge_partition_payloads([None, None])
+        assert merged["n_classes"] == 0
+        assert merged["classes"] == []
+
+    def test_none_members_are_skipped(self):
+        state = ServiceState()
+        state.ingest([0, 1, 2])
+        merged = merge_partition_payloads([None, state.partition(), None])
+        assert merged["checksum"] == state.partition()["checksum"]
+
+    def test_single_site_payload_is_identity(self):
+        """One observer (single site / one shard): merge changes nothing."""
+        state = ServiceState()
+        state.ingest([0, 1, 2], sizes=[1, 1, 1])
+        state.ingest([0, 1])
+        state.ingest([5])
+        payload = state.partition()
+        merged = merge_partition_payloads([payload])
+        assert merged["n_classes"] == payload["n_classes"]
+        assert merged["checksum"] == payload["checksum"]
+        assert [c["files"] for c in merged["classes"]] == [
+            c["files"] for c in payload["classes"]
+        ]
+        assert [c["requests"] for c in merged["classes"]] == [
+            c["requests"] for c in payload["classes"]
+        ]
+
+    def test_payload_with_no_classes(self):
+        empty = ServiceState().partition()
+        busy = ServiceState()
+        busy.ingest([3, 4])
+        merged = merge_partition_payloads([empty, busy.partition()])
+        assert merged["checksum"] == busy.partition()["checksum"]

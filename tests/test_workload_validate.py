@@ -1,5 +1,7 @@
 """Unit tests for calibration validation."""
 
+import json
+
 import pytest
 
 from repro.core.identify import find_filecules
@@ -71,3 +73,44 @@ class TestPaperTargets:
         results = validate_calibration(t, find_filecules(t))
         # nothing crashes; most targets are simply out of band
         assert len(results) == len(paper_targets())
+
+
+class TestValidateCli:
+    """The ``--validate`` flag: exit 3 + JSON report when out of band."""
+
+    def test_tiny_scale_fails_with_structured_report(self, tmp_path, capsys):
+        from repro.workload.__main__ import EXIT_CALIBRATION_FAILED, main
+
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "--out", str(out), "--validate"]
+        )
+        # tiny scale misses the population-skew targets by design, so
+        # the flag must surface that as a machine-readable failure.
+        assert code == EXIT_CALIBRATION_FAILED == 3
+        assert out.exists()  # the trace is still written
+        captured = capsys.readouterr()
+        assert "targets in band" in captured.out
+        report = json.loads(captured.err)
+        assert report["error"] == "calibration-check-failed"
+        assert report["scale"] == "tiny"
+        assert report["seed"] == 3
+        assert report["n_failed"] == len(report["failures"]) > 0
+        assert report["n_targets"] == len(paper_targets())
+        for failure in report["failures"]:
+            assert failure["deviation"] > failure["rel_tolerance"]
+            assert set(failure) == {
+                "target",
+                "expected",
+                "measured",
+                "rel_tolerance",
+                "deviation",
+            }
+
+    def test_without_flag_exits_zero(self, tmp_path, capsys):
+        from repro.workload.__main__ import main
+
+        out = tmp_path / "t.jsonl"
+        code = main(["--scale", "tiny", "--seed", "3", "--out", str(out)])
+        assert code == 0
+        assert capsys.readouterr().err == ""

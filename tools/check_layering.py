@@ -4,8 +4,8 @@
 The repository is layered (see ``docs/ARCHITECTURE.md``)::
 
     util < traces < core < obs < cache.base < engine < cache < registry
-         < {parallel, analysis, sam, transfer, workload} < replication
-         < service < experiments
+         < {parallel, analysis, sam, scenario, transfer, workload}
+         < replication < service < experiments
 
 Only **module-top-level** imports are checked: lazy function-level
 imports are the sanctioned mechanism for the engine's upcalls into the
@@ -45,6 +45,7 @@ RANKS: dict[str, int] = {
     "repro.parallel": 8,
     "repro.analysis": 8,
     "repro.sam": 8,
+    "repro.scenario": 8,
     "repro.transfer": 8,
     "repro.workload": 8,
     "repro.replication": 9,
