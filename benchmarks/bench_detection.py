@@ -1,0 +1,16 @@
+"""Benchmark: online drift detection scored against scenario ground
+truth — the ``detection`` experiment replays every non-stationary
+scenario through a live flight-recorder daemon and scores each health
+detector's precision/recall/lag against the injection windows.
+
+Wall-clock here is dominated by the paced live replays (a fixed number
+of seconds per scenario), not computation.
+
+Run with ``pytest benchmarks/bench_detection.py --benchmark-only -s``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_detection(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "detection")

@@ -96,6 +96,11 @@ WORKER_COUNTS = [
 #: The speedup the workers table must demonstrate at its largest worker
 #: count, lookup mix, vs the transcribed pre-shard baseline.
 REQUIRED_SPEEDUP = 1.0 if TINY else 3.0
+#: Ceiling on flight-recorder cost: replay-mix throughput with the
+#: sampler + health panel on may lose at most this fraction vs off.
+#: (Tiny smoke runs are noise-dominated, so the gate widens there.)
+MAX_SAMPLER_OVERHEAD = 0.25 if TINY else 0.03
+SAMPLER_ROUNDS = 3  # best-of-N per configuration to squeeze out noise
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +339,47 @@ def _measure_workers(
     }
 
 
+async def _measure_sampler_once(
+    replay_lines: list[bytes], sampled: bool
+) -> float:
+    """Replay-mix req/s on one single-worker server, sampler on or off."""
+    server = FileculeServer(
+        ServiceState(policy="lru", capacity_bytes=100 * GB),
+        log_interval=None,
+        sample_interval=1.0 if sampled else None,
+        health=sampled,
+    )
+    await server.start()
+    try:
+        return await asyncio.to_thread(
+            _blast, server.port, replay_lines, 2
+        )
+    finally:
+        await server.stop()
+
+
+def _measure_sampler_overhead(replay_lines: list[bytes]) -> dict:
+    """Flight-recorder cost on the replay mix: sampler+health on vs off.
+
+    Best-of-``SAMPLER_ROUNDS`` per configuration, alternating so thermal
+    and scheduler drift hit both sides equally.
+    """
+    off, on = 0.0, 0.0
+    for _ in range(SAMPLER_ROUNDS):
+        off = max(off, asyncio.run(_measure_sampler_once(replay_lines, False)))
+        on = max(on, asyncio.run(_measure_sampler_once(replay_lines, True)))
+    overhead = max(0.0, 1.0 - on / off)
+    return {
+        "mix": "replay (requests_per_second, single worker)",
+        "sample_interval_seconds": 1.0,
+        "rounds": SAMPLER_ROUNDS,
+        "requests_per_second_sampler_off": round(off, 2),
+        "requests_per_second_sampler_on": round(on, 2),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_SAMPLER_OVERHEAD,
+    }
+
+
 def test_bench_service(benchmark, archive):
     trace = generate_trace(SCALE(), seed=SEED)
     jobs = jobs_from_trace(trace)
@@ -350,9 +396,18 @@ def test_bench_service(benchmark, archive):
             _measure_workers(n, replay_lines, lookup_lines)
             for n in WORKER_COUNTS
         ]
-        return baseline, rows
+        sampler = _measure_sampler_overhead(replay_lines)
+        return baseline, rows, sampler
 
-    baseline, rows = benchmark.pedantic(suite, rounds=1, iterations=1)
+    baseline, rows, sampler = benchmark.pedantic(suite, rounds=1, iterations=1)
+
+    # flight-recorder gate: sampling must be effectively free on the
+    # replay mix
+    assert sampler["overhead_fraction"] <= MAX_SAMPLER_OVERHEAD, (
+        f"flight-recorder sampling cost "
+        f"{sampler['overhead_fraction']:.1%} of replay throughput "
+        f"(allowed {MAX_SAMPLER_OVERHEAD:.0%})"
+    )
 
     # correctness gates: every configuration serves the offline partition
     assert baseline["partition_checksum"] == offline
@@ -396,6 +451,7 @@ def test_bench_service(benchmark, archive):
         },
         "baseline": baseline,
         "workers": rows,
+        "sampler_overhead": sampler,
         "gate": {
             "required_speedup_at_max_workers": REQUIRED_SPEEDUP,
             "achieved": top["speedup_vs_baseline"],
@@ -443,6 +499,13 @@ def test_bench_service(benchmark, archive):
             f"{row['replay_requests_per_second']:>12.0f}  "
             f"{str(row['speedup_vs_baseline']) + 'x':>8}  ok"
         )
+    lines.append(
+        f"flight recorder: replay "
+        f"{sampler['requests_per_second_sampler_on']:.0f} req/s sampled vs "
+        f"{sampler['requests_per_second_sampler_off']:.0f} unsampled — "
+        f"{sampler['overhead_fraction']:.1%} overhead "
+        f"(allowed {MAX_SAMPLER_OVERHEAD:.0%})"
+    )
     rendered = "\n".join(lines)
     print()
     print(rendered)

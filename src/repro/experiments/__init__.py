@@ -58,6 +58,7 @@ from repro.experiments import (  # noqa: F401  (registration imports)
     partial_sampling,
     characterization,
     null_model,
+    detection,
 )
 
 __all__ = [

@@ -117,6 +117,14 @@ def main(argv: list[str] | None = None) -> int:
             "meaningful when running the robustness-matrix experiment)"
         ),
     )
+    parser.add_argument(
+        "--detection-json",
+        metavar="PATH",
+        help=(
+            "write the detector score matrix as JSON to PATH (only "
+            "meaningful when running the detection experiment)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_policies or "list-policies" in args.experiments:
@@ -171,6 +179,17 @@ def main(argv: list[str] | None = None) -> int:
         # build_matrix is memoized per context: this reuses the run above.
         path = write_matrix_json(args.matrix_json, build_matrix(ctx))
         print(f"wrote robustness matrix to {path}")
+    if args.detection_json:
+        if "detection" not in ids:
+            parser.error("--detection-json requires running detection")
+        from repro.experiments.detection import (
+            build_detection,
+            write_detection_json,
+        )
+
+        # build_detection is memoized per context: reuses the run above.
+        path = write_detection_json(args.detection_json, build_detection(ctx))
+        print(f"wrote detection scores to {path}")
     if failures:
         print(f"\n{failures} experiment(s) with failing checks", file=sys.stderr)
         if args.strict:

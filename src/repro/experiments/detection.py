@@ -1,0 +1,399 @@
+"""Scenario-scored drift detection against a live daemon.
+
+The PR-6 scenarios give us ground truth no production system has: each
+non-stationary transform declares *when* its anomaly is active (the
+:func:`~repro.scenario.spec.injection_window`).  This driver replays
+every non-stationary scenario through an in-process
+:class:`~repro.service.server.FileculeServer` with the flight recorder
+and health detectors enabled — trace time mapped linearly onto a short
+wall-clock window via the load generator's ``offsets`` pacing — then
+scores each online detector against the known injection window:
+
+* **recall** — the fraction of steady-state sampler ticks inside the
+  window (skipping a short onset allowance ``L``) where the detector
+  fired; sustained anomalies should keep the detector firing, not just
+  edge-trigger it;
+* **precision** — the fraction of the detector's events that landed
+  inside the window (with ``L`` ticks of trailing slack for the
+  recovery transient);
+* **lag** — sampler ticks from window start to the first true positive.
+
+``repro-experiments detection --detection-json out.json`` exports the
+full score matrix for the CI smoke job.  The gated pairs — flash crowd
+× hit-rate divergence and site outage × site-share collapse — must
+reach recall ≥ 0.8 at precision ≥ 0.5; the other cells are reported
+but not asserted (a share collapse during a flash crowd is *correct*:
+every other site's share genuinely craters while the crowd hammers one
+dataset).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.obs.health import default_detectors
+from repro.scenario import injection_window, parse_composition, scenario_job_stream
+from repro.service.loadgen import run_load
+from repro.service.server import FileculeServer
+from repro.service.state import ServiceState
+
+#: Wall-clock seconds each scenario's trace time is compressed into.
+REPLAY_SECONDS = 6.6
+#: Flight-recorder sampling cadence during the replay.
+SAMPLE_INTERVAL = 0.15
+#: Parallel loadgen connections per replay.
+CONNECTIONS = 4
+#: Modelled per-site cache capacity as a fraction of the trace's total
+#: accessed bytes — small enough that the baseline hit rate sits
+#: mid-range, so hit-rate anomalies have headroom in both directions.
+CAPACITY_FRACTION = 0.02
+
+
+def detection_scenarios(trace) -> dict[str, str]:
+    """Display name -> composition string for the scored scenarios.
+
+    The outage targets the trace's busiest site so its request share is
+    large enough to collapse measurably at small scales.
+    """
+    busiest = int(np.bincount(trace.job_sites).argmax())
+    return {
+        "flash-crowd": "flash-crowd?at=0.55&width=0.2&boost=1.0",
+        "site-outage": f"site-outage?site={busiest}&at=0.45&duration=0.3",
+        "phase-shift": "phase-shift?at=0.5",
+        "scan-flood": "scan-flood?at=0.35&rate=0.4",
+        "popularity-drift": "popularity-drift?strength=0.9",
+    }
+
+
+#: The (scenario, detector) cells whose recall/precision are asserted.
+GATED_PAIRS: tuple[tuple[str, str], ...] = (
+    ("flash-crowd", "hit-rate-divergence"),
+    ("site-outage", "site-share-collapse"),
+)
+RECALL_FLOOR = 0.8
+PRECISION_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class DetectionRow:
+    """One (scenario, detector) cell of the score matrix."""
+
+    scenario: str
+    detector: str
+    window: tuple[float, float]
+    window_ticks: int
+    fired_ticks: int
+    recall: float
+    precision: float
+    events: int
+    lag_ticks: int | None
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "detector": self.detector,
+            "window": list(self.window),
+            "window_ticks": self.window_ticks,
+            "fired_ticks": self.fired_ticks,
+            "recall": self.recall,
+            "precision": self.precision,
+            "events": self.events,
+            "lag_ticks": self.lag_ticks,
+        }
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """The full detector × scenario score matrix plus replay telemetry."""
+
+    scale: str
+    seed: int
+    interval: float
+    replay_seconds: float
+    compositions: dict[str, str]  # scenario -> canonical composition
+    windows: dict[str, tuple[float, float]]
+    rows: tuple[DetectionRow, ...]
+    replays: dict[str, dict]  # scenario -> replay telemetry
+
+    def row(self, scenario: str, detector: str) -> DetectionRow:
+        for row in self.rows:
+            if row.scenario == scenario and row.detector == detector:
+                return row
+        raise KeyError(f"no cell ({scenario!r}, {detector!r})")
+
+    def median_lag(self, detector: str) -> float | None:
+        lags = [
+            row.lag_ticks
+            for row in self.rows
+            if row.detector == detector and row.lag_ticks is not None
+        ]
+        if not lags:
+            return None
+        return float(np.median(lags))
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``--detection-json`` artifact)."""
+        detectors = sorted({row.detector for row in self.rows})
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "interval": self.interval,
+            "replay_seconds": self.replay_seconds,
+            "scenarios": [
+                {
+                    "name": name,
+                    "composition": self.compositions[name],
+                    "window": list(self.windows[name]),
+                }
+                for name in self.compositions
+            ],
+            "rows": [row.as_dict() for row in self.rows],
+            "median_lag_ticks": {d: self.median_lag(d) for d in detectors},
+            "replays": self.replays,
+            "gates": {
+                f"{scenario}:{detector}": {
+                    "recall": self.row(scenario, detector).recall,
+                    "precision": self.row(scenario, detector).precision,
+                    "recall_floor": RECALL_FLOOR,
+                    "precision_floor": PRECISION_FLOOR,
+                }
+                for scenario, detector in GATED_PAIRS
+            },
+        }
+
+
+def write_detection_json(path: str | Path, report: DetectionReport) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+    return path
+
+
+async def _replay_scenario(
+    jobs: list[dict], offsets: list[float], capacity_bytes: int
+) -> dict:
+    """One live replay: in-process server + paced loadgen, one event loop."""
+    server = FileculeServer(
+        ServiceState(capacity_bytes=capacity_bytes),
+        port=0,
+        sample_interval=SAMPLE_INTERVAL,
+        health=True,
+        log_interval=None,
+    )
+    await server.start()
+    try:
+        t0 = time.monotonic()
+        report = await run_load(
+            server.host,
+            server.port,
+            jobs,
+            connections=CONNECTIONS,
+            offsets=offsets,
+            fetch_final_stats=False,
+        )
+        t1 = time.monotonic()
+        # One final synchronous sample so the last partial interval (and
+        # any anomaly still active at the end) reaches the detectors.
+        server.sample_once()
+        events = [event.as_dict() for event in server.health.events()]
+        ticks = server.recorder.samples
+    finally:
+        await server.stop()
+    return {
+        "t0": t0,
+        "t1": t1,
+        "events": events,
+        "ticks": ticks,
+        "requests": report.requests,
+        "errors": report.errors,
+        "duration_seconds": report.duration_seconds,
+    }
+
+
+def _score_detector(
+    events: list[dict],
+    detector: str,
+    window: tuple[float, float],
+    t0: float,
+    t1: float,
+) -> DetectionRow:
+    """Tick-level recall / event-level precision for one detector."""
+    span = max(t1 - t0, 1e-9)
+    w_lo = t0 + window[0] * span
+    w_hi = t0 + window[1] * span
+    first = math.ceil(w_lo / SAMPLE_INTERVAL)
+    last = math.floor(w_hi / SAMPLE_INTERVAL)
+    window_ticks = max(0, last - first + 1)
+    # Onset allowance: detectors smooth over a few ticks before firing,
+    # and recall should measure the sustained steady state, not the edge.
+    allowance = max(2, math.ceil(0.1 * window_ticks))
+
+    mine = [e for e in events if e["detector"] == detector]
+    fired = {round(e["ts"] / SAMPLE_INTERVAL) for e in mine}
+    steady = set(range(first + allowance, last + 1))
+    hits = fired & steady
+    recall = len(hits) / len(steady) if steady else 0.0
+
+    in_window = [t for t in fired if first <= t <= last + allowance]
+    precision = len(in_window) / len(fired) if fired else 1.0
+
+    tp = sorted(t for t in fired if t >= first and t <= last + allowance)
+    lag = tp[0] - first if tp else None
+    return DetectionRow(
+        scenario="",  # filled by the caller
+        detector=detector,
+        window=window,
+        window_ticks=window_ticks,
+        fired_ticks=len(hits),
+        recall=recall,
+        precision=precision,
+        events=len(mine),
+        lag_ticks=lag,
+    )
+
+
+@lru_cache(maxsize=4)
+def build_detection(ctx: ExperimentContext) -> DetectionReport:
+    """Replay every scored scenario through a live daemon; score detectors.
+
+    Memoized per context so the experiment runner and the
+    ``--detection-json`` exporter share one (wall-clock-expensive)
+    computation, like :func:`~repro.experiments.robustness_matrix.build_matrix`.
+    """
+    from dataclasses import replace
+
+    detector_names = [d.name for d in default_detectors()]
+    scenarios = detection_scenarios(ctx.trace)
+    capacity = max(1, int(CAPACITY_FRACTION * ctx.trace.total_bytes()))
+    compositions: dict[str, str] = {}
+    windows: dict[str, tuple[float, float]] = {}
+    rows: list[DetectionRow] = []
+    replays: dict[str, dict] = {}
+    for name, spec in scenarios.items():
+        composition = parse_composition(spec)
+        compositions[name] = str(composition)
+        trace_window = injection_window(composition)
+        assert trace_window is not None, f"scenario {name} declares no window"
+
+        jobs = list(scenario_job_stream(ctx.trace, composition, seed=ctx.seed))
+        n = len(jobs)
+        starts = np.array([job["start"] for job in jobs])
+        span = float(starts.max() - starts.min()) or 1.0
+        fractions = (starts - starts.min()) / span
+        # Uniform-rate pacing: job k goes out at rank-fraction k/n of the
+        # run.  The trace's own time axis is heavily bursty (quiet nights,
+        # submission storms); replaying it verbatim would bury every
+        # detector signal in offered-load noise that says nothing about
+        # the anomaly.  The ground-truth window maps from trace-time
+        # fractions to rank fractions through the job-start quantiles, so
+        # scoring stays exact — injected jobs widen the window in rank
+        # space, which is correct: that is when the anomaly's traffic is
+        # actually on the wire.
+        offsets = (np.arange(n) / n * REPLAY_SECONDS).tolist()
+        window = (
+            float(np.searchsorted(fractions, trace_window[0]) / n),
+            float(np.searchsorted(fractions, trace_window[1]) / n),
+        )
+        windows[name] = window
+
+        outcome = asyncio.run(_replay_scenario(jobs, offsets, capacity))
+        replays[name] = {
+            "jobs": len(jobs),
+            "requests": outcome["requests"],
+            "errors": outcome["errors"],
+            "duration_seconds": round(outcome["duration_seconds"], 3),
+            "ticks": outcome["ticks"],
+            "events": len(outcome["events"]),
+        }
+        for detector in detector_names:
+            row = _score_detector(
+                outcome["events"],
+                detector,
+                window,
+                outcome["t0"],
+                outcome["t1"],
+            )
+            rows.append(replace(row, scenario=name))
+    return DetectionReport(
+        scale=ctx.scale,
+        seed=ctx.seed,
+        interval=SAMPLE_INTERVAL,
+        replay_seconds=REPLAY_SECONDS,
+        compositions=compositions,
+        windows=windows,
+        rows=tuple(rows),
+        replays=replays,
+    )
+
+
+@register("detection")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    report = build_detection(ctx)
+    rows = [
+        (
+            row.scenario,
+            row.detector,
+            round(row.recall, 3),
+            round(row.precision, 3),
+            row.lag_ticks if row.lag_ticks is not None else "-",
+            row.events,
+        )
+        for row in report.rows
+    ]
+
+    def gate(scenario: str, detector: str) -> bool:
+        cell = report.row(scenario, detector)
+        return cell.recall >= RECALL_FLOOR and cell.precision >= PRECISION_FLOOR
+
+    checks = {
+        "every replay completed without protocol errors": all(
+            r["errors"] == 0 for r in report.replays.values()
+        ),
+        "sampler ticked throughout every replay (>= 30 ticks)": all(
+            r["ticks"] >= 30 for r in report.replays.values()
+        ),
+        "flash-crowd: hit-rate divergence recall >= 0.8 at precision >= 0.5": gate(
+            "flash-crowd", "hit-rate-divergence"
+        ),
+        "site-outage: site-share collapse recall >= 0.8 at precision >= 0.5": gate(
+            "site-outage", "site-share-collapse"
+        ),
+        "gated detectors react within the onset allowance": all(
+            report.row(s, d).lag_ticks is not None
+            and report.row(s, d).lag_ticks
+            <= max(2, math.ceil(0.1 * report.row(s, d).window_ticks))
+            for s, d in GATED_PAIRS
+        ),
+    }
+    lag_notes = ", ".join(
+        f"{d}={report.median_lag(d):.0f}"
+        for d in sorted({row.detector for row in report.rows})
+        if report.median_lag(d) is not None
+    )
+    notes = (
+        f"{len(report.compositions)} scenarios replayed live over "
+        f"{report.replay_seconds:.1f}s each, sampled every "
+        f"{report.interval * 1e3:.0f}ms",
+        "recall = fraction of steady-state window ticks the detector fired; "
+        "precision = fraction of its events inside the window (+onset slack)",
+        f"median detection lag (ticks): {lag_notes or 'n/a'}",
+        "only the flash-crowd and site-outage cells are gated; cross-cell "
+        "firing can be legitimate (a crowd really does collapse other "
+        "sites' shares)",
+    )
+    return ExperimentResult(
+        experiment_id="detection",
+        title="Online drift detection scored against scenario ground truth",
+        headers=("scenario", "detector", "recall", "precision", "lag", "events"),
+        rows=tuple(rows),
+        notes=notes,
+        checks=checks,
+    )

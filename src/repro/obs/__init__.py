@@ -16,7 +16,14 @@ this repository reports through the same four primitives:
   automatic rid attachment;
 * :mod:`repro.obs.instrument` — observation-only callback hooks
   (access/hit/miss/evict/progress) for trace-driven simulation, with a
-  stats collector and a throttled live progress reporter.
+  stats collector and a throttled live progress reporter;
+* :mod:`repro.obs.timeseries` — the flight recorder: ring-buffered time
+  series sampled from a registry (counter rates, gauge levels,
+  per-interval histogram quantiles) with EWMA smoothing, window
+  aggregation and cross-worker slot-aligned merge;
+* :mod:`repro.obs.health` — online detectors over those series (hit-rate
+  divergence, site-share collapse, latency burn rate, filecule churn
+  spikes) emitting structured :class:`HealthEvent`s.
 
 Plus ``repro-top`` (:mod:`repro.obs.top`): a refreshing terminal
 dashboard polling a live daemon's ``stats``/``metrics`` ops.
@@ -43,6 +50,15 @@ from repro.obs.trace import (
     set_recorder,
     span,
 )
+from repro.obs.timeseries import (
+    Series,
+    TimeSeriesRecorder,
+)
+from repro.obs.health import (
+    HealthEvent,
+    HealthMonitor,
+    default_detectors,
+)
 from repro.obs.log import StructLogger, configure, get_logger
 from repro.obs.instrument import (
     Instrumentation,
@@ -67,6 +83,11 @@ __all__ = [
     "new_rid",
     "set_recorder",
     "span",
+    "Series",
+    "TimeSeriesRecorder",
+    "HealthEvent",
+    "HealthMonitor",
+    "default_detectors",
     "StructLogger",
     "configure",
     "get_logger",

@@ -177,7 +177,13 @@ class LatencyHistogram:
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "LatencyHistogram":
-        """Rebuild a histogram from :meth:`state_dict` output."""
+        """Rebuild a histogram from :meth:`state_dict` output.
+
+        Tolerates a missing/invalid ``min`` on a non-empty payload (older
+        producers omitted it): the floor is re-derived from the first
+        non-empty bucket's lower bound, so ``min``/``percentile`` never
+        leak ``inf`` into snapshots or exposition.
+        """
         hist = cls()
         for index, n in state.get("buckets", {}).items():
             hist._buckets[int(index)] = int(n)
@@ -185,8 +191,21 @@ class LatencyHistogram:
         hist.total = float(state["total"])
         hist.max = float(state["max"])
         raw_min = state.get("min")
-        hist._min = math.inf if raw_min is None else float(raw_min)
+        if raw_min is not None and math.isfinite(float(raw_min)):
+            hist._min = float(raw_min)
+        elif hist.count:
+            hist._min = hist._derive_min()
+        else:
+            hist._min = math.inf
         return hist
+
+    def _derive_min(self) -> float:
+        """Lower bound of the first non-empty bucket (a floor estimate)."""
+        for i, n in enumerate(self._buckets):
+            if n:
+                bound = 0.0 if i == 0 else FIRST_BOUND * GROWTH ** (i - 1)
+                return min(bound, self.max)
+        return 0.0
 
     def bucket_bounds(self) -> Iterable[tuple[float, int]]:
         """Yield ``(upper_bound_seconds, cumulative_count)`` per non-empty

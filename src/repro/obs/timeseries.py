@@ -1,0 +1,489 @@
+"""Flight recorder: constant-memory time series sampled from a registry.
+
+:class:`MetricsRegistry` answers "what is the total now"; this module
+answers "what happened over the last few minutes" without ever growing.
+A :class:`TimeSeriesRecorder` samples a registry on a fixed cadence and
+derives *per-interval* series from it:
+
+- counters become ``rate:<key>`` series (delta since the last sample
+  divided by the elapsed time);
+- cumulative gauges (``jobs_observed``, ``site_requests``,
+  ``site_hits`` — monotone totals the server republishes as gauges)
+  are rate-ified the same way;
+- level gauges become ``gauge:<key>`` series (``*_rate`` gauges average
+  across workers, everything else sums);
+- histograms yield ``p50:<key>`` / ``p99:<key>`` quantiles of the
+  observations *in the interval* (a bucket-delta walk, not the
+  cumulative quantile) plus a ``rate:<key>.count`` throughput series;
+- one derived series, ``derived:hit_rate``, carries the per-interval
+  global cache hit rate (hits delta over requests delta, weighted by
+  requests so cross-worker merges recover the true global ratio).
+
+Memory is constant by construction: every :class:`Series` is a ring
+buffer of at most ``capacity`` points (:data:`DEFAULT_CAPACITY` by
+default) and the set of series is bounded by the registry's metric-key
+cardinality.  Like registries, recorders from different workers
+:meth:`merge <TimeSeriesRecorder.merge>`: points are keyed by *slot*
+(sample time rounded to the sampling interval), so two workers sampling
+on the same cadence land their points in the same slots and the
+combination is associative and commutative — sums add, means combine as
+weighted means, maxima take the max.  (Associativity is exact while the
+merged history fits in ``capacity`` points; beyond that the ring drops
+the oldest slots, so pathologically disjoint histories can truncate
+differently depending on grouping.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from typing import Sequence
+
+from repro.obs.metrics import (
+    FIRST_BOUND,
+    GROWTH,
+    N_BUCKETS,
+    MetricsRegistry,
+    _format_key,
+)
+
+#: Default ring capacity per series — at the default 1 s cadence this is
+#: ~8.5 minutes of history; at 100 ms it is ~51 s.
+DEFAULT_CAPACITY = 512
+
+#: Default sampling cadence in seconds.
+DEFAULT_INTERVAL = 1.0
+
+#: Gauges that are monotone totals republished by the server (they come
+#: from the state actor's stats, not from counters) — the recorder
+#: differentiates these into ``rate:`` series.
+CUMULATIVE_GAUGES = frozenset({"jobs_observed", "site_requests", "site_hits"})
+
+#: Aggregation modes a series can carry.  All three are associative and
+#: commutative over (value, weight) points, which is what makes
+#: cross-worker merges order-independent.
+AGGREGATIONS = ("sum", "mean", "max")
+
+
+def _delta_quantile(buckets: Sequence[int], q: float, count: int) -> float:
+    """``q`` quantile (seconds) of a *delta* bucket array.
+
+    Mirrors :meth:`LatencyHistogram.percentile` but runs over the
+    per-interval bucket differences, so the answer reflects only the
+    observations that landed in the interval.
+    """
+    if count <= 0:
+        return 0.0
+    rank = max(q * count, 0.5)
+    seen = 0
+    for i, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            return FIRST_BOUND * GROWTH ** min(i, N_BUCKETS)
+    return FIRST_BOUND * GROWTH**N_BUCKETS
+
+
+class Series:
+    """One named ring-buffered time series of (slot, value, weight) points.
+
+    ``slot = round(t / interval)`` aligns samples from different workers
+    onto a shared grid; the canonical timestamp of a point is
+    ``slot * interval``.  ``agg`` picks how same-slot points combine:
+
+    - ``"sum"`` — values add (rates, throughput);
+    - ``"mean"`` — weighted mean (quantiles, hit rates);
+    - ``"max"`` — pointwise maximum.
+    """
+
+    __slots__ = ("name", "agg", "interval", "capacity", "_points")
+
+    def __init__(
+        self,
+        name: str,
+        agg: str = "sum",
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if agg not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {agg!r} (want one of {AGGREGATIONS})")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.agg = agg
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        # Ring of [slot, acc, weight]; acc is the value sum ("sum"/"mean")
+        # or the running max ("max").  maxlen enforces constant memory.
+        self._points: deque[list] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add(self, t: float, value: float, weight: float = 1.0) -> None:
+        """Record ``value`` at time ``t`` (seconds on the sampling clock)."""
+        if weight <= 0:
+            return
+        slot = round(t / self.interval)
+        points = self._points
+        if points and slot < points[-1][0]:
+            # Late sample (clock jitter, out-of-order replay): combine
+            # into its slot, or insert in order — the ring must stay
+            # slot-sorted or merges stop being order-independent.
+            for i in range(len(points) - 1, -1, -1):
+                if points[i][0] == slot:
+                    self._combine(points[i], value, weight)
+                    return
+                if points[i][0] < slot:
+                    self._insert(i + 1, slot, value, weight)
+                    return
+            self._insert(0, slot, value, weight)
+            return
+        if points and points[-1][0] == slot:
+            self._combine(points[-1], value, weight)
+            return
+        points.append([slot, value if self.agg != "mean" else value * weight, weight])
+
+    def _insert(self, index: int, slot: int, value: float, weight: float) -> None:
+        if len(self._points) == self.capacity:
+            if index == 0:
+                return  # older than everything the ring retains
+            self._points.popleft()
+            index -= 1
+        self._points.insert(
+            index, [slot, value if self.agg != "mean" else value * weight, weight]
+        )
+
+    def _combine(self, point: list, value: float, weight: float) -> None:
+        if self.agg == "sum":
+            point[1] += value
+        elif self.agg == "mean":
+            point[1] += value * weight
+        else:  # max
+            point[1] = max(point[1], value)
+        point[2] += weight
+
+    def _resolve(self, acc: float, weight: float) -> float:
+        if self.agg == "mean":
+            return acc / weight if weight > 0 else 0.0
+        return acc
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def points(self) -> list[tuple[int, float, float]]:
+        """Oldest-first ``(slot, value, weight)`` with values resolved."""
+        return [(s, self._resolve(a, w), w) for s, a, w in self._points]
+
+    def values(self) -> list[float]:
+        return [self._resolve(a, w) for _, a, w in self._points]
+
+    def times(self) -> list[float]:
+        """Canonical timestamps (``slot * interval``), oldest first."""
+        return [s * self.interval for s, _, _ in self._points]
+
+    def latest(self) -> tuple[int, float, float] | None:
+        if not self._points:
+            return None
+        s, a, w = self._points[-1]
+        return (s, self._resolve(a, w), w)
+
+    def ewma(self, alpha: float = 0.3) -> list[float]:
+        """Exponentially smoothed values, oldest first (same length)."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        out: list[float] = []
+        smoothed: float | None = None
+        for v in self.values():
+            smoothed = v if smoothed is None else alpha * v + (1 - alpha) * smoothed
+            out.append(smoothed)
+        return out
+
+    def window(self, n: int) -> dict:
+        """Aggregate of the last ``n`` points: count/mean/min/max/last."""
+        if n < 1:
+            raise ValueError(f"window must be >= 1, got {n}")
+        tail = self.values()[-n:]
+        if not tail:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "last": 0.0}
+        return {
+            "count": len(tail),
+            "mean": sum(tail) / len(tail),
+            "min": min(tail),
+            "max": max(tail),
+            "last": tail[-1],
+        }
+
+    # ------------------------------------------------------------------
+    # combination / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "Series") -> "Series":
+        """Fold ``other`` into this series, slot-aligned (in place).
+
+        Raises :class:`ValueError` on interval or aggregation mismatch —
+        slots from different cadences do not share a grid.
+        """
+        if other.agg != self.agg:
+            raise ValueError(
+                f"cannot merge series {self.name!r}: agg {self.agg!r} != {other.agg!r}"
+            )
+        if not math.isclose(other.interval, self.interval, rel_tol=1e-9):
+            raise ValueError(
+                f"cannot merge series {self.name!r}: interval "
+                f"{self.interval} != {other.interval}"
+            )
+        if not other._points:
+            return self
+        merged: dict[int, list] = {s: [s, a, w] for s, a, w in self._points}
+        for s, a, w in other._points:
+            mine = merged.get(s)
+            if mine is None:
+                merged[s] = [s, a, w]
+            elif self.agg == "max":
+                mine[1] = max(mine[1], a)
+                mine[2] += w
+            else:  # sum and mean both accumulate the raw acc
+                mine[1] += a
+                mine[2] += w
+        self._points = deque(
+            (merged[s] for s in sorted(merged)[-self.capacity:]),
+            maxlen=self.capacity,
+        )
+        return self
+
+    def state_dict(self) -> dict:
+        """JSON-safe full-fidelity form (round-trips via :meth:`from_state_dict`)."""
+        return {
+            "name": self.name,
+            "agg": self.agg,
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "points": [[s, a, w] for s, a, w in self._points],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Series":
+        series = cls(
+            state["name"],
+            state.get("agg", "sum"),
+            interval=float(state.get("interval", DEFAULT_INTERVAL)),
+            capacity=int(state.get("capacity", DEFAULT_CAPACITY)),
+        )
+        for s, a, w in state.get("points", []):
+            series._points.append([int(s), float(a), float(w)])
+        return series
+
+
+class TimeSeriesRecorder:
+    """Samples a :class:`MetricsRegistry` into ring-buffered series.
+
+    Thread-safe for the single-sampler / many-reader pattern the daemon
+    uses (one asyncio task sampling, protocol handlers reading).  Memory
+    is bounded by ``number of metric keys x capacity`` points regardless
+    of how long the process runs.
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        quantiles: Sequence[float] = (0.5, 0.99),
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.quantiles = tuple(quantiles)
+        self.samples = 0
+        self._series: dict[str, Series] = {}
+        self._last_time: float | None = None
+        self._last_counters: dict = {}
+        self._last_gauges: dict = {}
+        self._last_buckets: dict = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # series access
+    # ------------------------------------------------------------------
+    def series(self, name: str, agg: str = "sum") -> Series:
+        """Get or create the series called ``name``."""
+        existing = self._series.get(name)
+        if existing is None:
+            existing = self._series[name] = Series(
+                name, agg, interval=self.interval, capacity=self.capacity
+            )
+        return existing
+
+    def get(self, name: str) -> Series | None:
+        return self._series.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def matching(self, prefix: str) -> list[Series]:
+        """All series whose name starts with ``prefix``, name-sorted."""
+        return [self._series[n] for n in sorted(self._series) if n.startswith(prefix)]
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, registry: MetricsRegistry, now: float) -> None:
+        """Take one sample of ``registry`` at time ``now``.
+
+        The first call only establishes delta baselines (plus gauge
+        levels); rates appear from the second call on.
+        """
+        with self._lock:
+            self._sample_locked(registry, now)
+
+    def _sample_locked(self, registry: MetricsRegistry, now: float) -> None:
+        first = self._last_time is None
+        dt = 0.0 if first else now - self._last_time
+        emit = not first and dt > 0
+
+        counters = dict(registry._counters)
+        gauges = dict(registry._gauges)
+
+        if emit:
+            for key, value in counters.items():
+                delta = value - self._last_counters.get(key, 0)
+                if delta < 0:  # registry replaced/reset
+                    delta = value
+                self.series(f"rate:{_format_key(key)}").add(now, delta / dt)
+
+        hits_delta = 0.0
+        requests_delta = 0.0
+        for key, value in gauges.items():
+            name = key[0]
+            if name in CUMULATIVE_GAUGES:
+                if emit:
+                    delta = value - self._last_gauges.get(key, 0.0)
+                    if delta < 0:
+                        delta = value
+                    self.series(f"rate:{_format_key(key)}").add(now, delta / dt)
+                    if name == "site_hits":
+                        hits_delta += delta
+                    elif name == "site_requests":
+                        requests_delta += delta
+            else:
+                agg = "mean" if name.endswith("_rate") else "sum"
+                self.series(f"gauge:{_format_key(key)}", agg).add(now, value)
+
+        if emit and requests_delta > 0:
+            self.series("derived:hit_rate", "mean").add(
+                now, hits_delta / requests_delta, weight=requests_delta
+            )
+
+        for key, hist in registry._histograms.items():
+            last = self._last_buckets.get(key)
+            buckets = hist._buckets
+            if emit:
+                if last is None:
+                    delta_buckets = list(buckets)
+                else:
+                    delta_buckets = [b - p for b, p in zip(buckets, last)]
+                    if any(d < 0 for d in delta_buckets):
+                        delta_buckets = list(buckets)
+                dcount = sum(delta_buckets)
+                self.series(f"rate:{_format_key(key)}.count").add(now, dcount / dt)
+                if dcount > 0:
+                    for q in self.quantiles:
+                        self.series(f"p{int(round(q * 100))}:{_format_key(key)}", "mean").add(
+                            now,
+                            _delta_quantile(delta_buckets, q, dcount),
+                            weight=dcount,
+                        )
+            self._last_buckets[key] = list(buckets)
+
+        self._last_counters = counters
+        self._last_gauges = gauges
+        self._last_time = now
+        if emit:
+            self.samples += 1
+
+    # ------------------------------------------------------------------
+    # combination / serialization
+    # ------------------------------------------------------------------
+    def merge(self, *others: "TimeSeriesRecorder") -> "TimeSeriesRecorder":
+        """Fold other recorders in, series by series (slot-aligned).
+
+        All recorders must share the sampling interval; series present in
+        only one side pass through unchanged.  Associative and
+        commutative up to ring truncation (see module docstring).
+        """
+        with self._lock:
+            for other in others:
+                if not math.isclose(other.interval, self.interval, rel_tol=1e-9):
+                    raise ValueError(
+                        f"cannot merge recorders: interval {self.interval} "
+                        f"!= {other.interval}"
+                    )
+                for name, series in other._series.items():
+                    mine = self._series.get(name)
+                    if mine is None:
+                        self._series[name] = Series.from_state_dict(series.state_dict())
+                    else:
+                        mine.merge(series)
+                self.samples += other.samples
+        return self
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "capacity": self.capacity,
+                "quantiles": list(self.quantiles),
+                "samples": self.samples,
+                "series": [
+                    self._series[name].state_dict() for name in sorted(self._series)
+                ],
+            }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TimeSeriesRecorder":
+        recorder = cls(
+            float(state.get("interval", DEFAULT_INTERVAL)),
+            capacity=int(state.get("capacity", DEFAULT_CAPACITY)),
+            quantiles=tuple(state.get("quantiles", (0.5, 0.99))),
+        )
+        recorder.samples = int(state.get("samples", 0))
+        for series_state in state.get("series", []):
+            series = Series.from_state_dict(series_state)
+            recorder._series[series.name] = series
+        return recorder
+
+    def payload(self, last: int | None = None) -> dict:
+        """The ``history`` protocol-op / admin-endpoint body.
+
+        A superset of :meth:`state_dict` (so :meth:`from_state_dict`
+        accepts it back); ``last`` caps the points returned per series
+        without touching the ring itself.
+        """
+        payload = self.state_dict()
+        if last is not None and last >= 1:
+            for series_state in payload["series"]:
+                series_state["points"] = series_state["points"][-last:]
+        return payload
+
+    def to_json(self, last: int | None = None) -> str:
+        return json.dumps(self.payload(last))
+
+
+__all__ = [
+    "AGGREGATIONS",
+    "CUMULATIVE_GAUGES",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL",
+    "Series",
+    "TimeSeriesRecorder",
+]

@@ -18,6 +18,12 @@ With ``--workers N`` the dashboard polls every worker's admin HTTP port
 cluster view (:func:`repro.service.aggregate.aggregate_stats`): partition
 classes merged with the §6 meet, metric registries folded bucket-exactly.
 
+When the daemon runs its flight recorder (``repro-serve
+--sample-every``), each frame also shows ring-buffer sparklines for the
+headline series (request rate, ingest p99, hit rate) and the most recent
+health events, polled through the ``history`` protocol op (or merged
+across workers with :func:`repro.service.aggregate.aggregate_history`).
+
 Rendering is split from polling: :func:`render_dashboard` is a pure
 function of two ``stats`` payloads (current + previous, for rates), so
 the layout is unit-testable without a server.
@@ -29,11 +35,24 @@ import argparse
 import sys
 import time
 
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceError
 from repro.util.units import format_bytes
 
 #: ANSI: clear screen and home the cursor (one frame replaces the last).
 CLEAR = "\x1b[H\x1b[2J"
+
+#: Eight-level block ramp used by :func:`sparkline`.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ``history`` series shown as sparklines, in panel order, with labels.
+SPARK_SERIES = (
+    ("rate:requests", "req/s"),
+    ("p99:op.ingest", "p99 ms"),
+    ("derived:hit_rate", "hit rate"),
+)
+
+#: Health events shown per frame (newest last, like a tail).
+HEALTH_EVENT_ROWS = 5
 
 
 def _rate(current: dict, previous: dict | None, interval: float | None) -> float:
@@ -49,6 +68,67 @@ def _ms(value: float) -> str:
     return f"{value:8.2f}"
 
 
+def sparkline(values: list[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-width block-character sparkline.
+
+    The newest ``width`` values map onto the eight-level ramp, scaled to
+    the rendered window's own min/max (a flat window renders as all-low
+    blocks, so level changes are what catch the eye).
+    """
+    if not values:
+        return ""
+    window = [float(v) for v in values[-width:]]
+    lo, hi = min(window), max(window)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(window)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - lo) / span * len(SPARK_CHARS)))]
+        for v in window
+    )
+
+
+def _history_series_values(history: dict, name: str) -> list[float]:
+    """Resolved values for one series in a ``history`` payload."""
+    from repro.obs.timeseries import Series
+
+    for state in history.get("series", []):
+        if state.get("name") == name:
+            return Series.from_state_dict(state).values()
+    return []
+
+
+def _render_history_panels(history: dict) -> list[str]:
+    """Sparkline + health-event dashboard lines for a ``history`` payload."""
+    lines: list[str] = []
+    sparks = []
+    for name, label in SPARK_SERIES:
+        values = _history_series_values(history, name)
+        if values:
+            sparks.append((label, values))
+    if sparks:
+        lines.append("")
+        samples = history.get("samples", 0)
+        interval = history.get("interval", 0.0)
+        lines.append(
+            f"flight recorder — {samples:,} samples every {interval:g}s"
+        )
+        for label, values in sparks:
+            lines.append(f"{label:<10}{sparkline(values):<42}{values[-1]:>10.2f}")
+    events = history.get("health", {}).get("events", [])
+    if events:
+        lines.append("")
+        lines.append(f"health events ({len(events)} buffered)")
+        for event in events[-HEALTH_EVENT_ROWS:]:
+            lines.append(
+                f"  [{event.get('severity', '?'):<8}] "
+                f"t={event.get('ts', 0.0):8.1f}s "
+                f"{event.get('detector', '?')}: {event.get('message', '')}"
+            )
+    return lines
+
+
 def render_dashboard(
     stats: dict,
     *,
@@ -56,11 +136,15 @@ def render_dashboard(
     interval: float | None = None,
     endpoint: str = "",
     exposition_samples: int | None = None,
+    history: dict | None = None,
 ) -> str:
     """Render one dashboard frame from a ``stats`` op result.
 
     ``previous``/``interval`` (the prior poll's ``server`` snapshot and
     the seconds between polls) turn monotonic counters into rates.
+    ``history``, when given, is a ``history`` op payload (or the
+    cluster-merged equivalent) and adds the sparkline and health-event
+    panels.
     """
     server = stats.get("server", {})
     counters = server.get("counters", {})
@@ -116,6 +200,9 @@ def render_dashboard(
                 f"{fc.get('requests', 0):>10,}"
                 f"{format_bytes(fc.get('bytes', 0), 1):>12}"
             )
+
+    if history is not None:
+        lines.extend(_render_history_panels(history))
 
     if exposition_samples is not None:
         lines.append("")
@@ -189,12 +276,17 @@ def main(argv: list[str] | None = None) -> int:
         while True:
             stats = client.stats()
             samples = count_exposition_samples(client.metrics()["body"])
+            try:
+                history = client.history(last=64)
+            except ServiceError:  # pre-flight-recorder daemon
+                history = None
             rendered = render_dashboard(
                 stats,
                 previous=previous,
                 interval=args.interval if previous is not None else None,
                 endpoint=endpoint,
                 exposition_samples=samples,
+                history=history,
             )
             if not args.no_clear:
                 sys.stdout.write(CLEAR)
@@ -221,6 +313,7 @@ def _main_cluster(args: argparse.Namespace) -> int:
     import urllib.error
 
     from repro.service.aggregate import (
+        aggregate_history,
         aggregate_registry,
         aggregate_stats,
         worker_ports,
@@ -245,12 +338,17 @@ def _main_cluster(args: argparse.Namespace) -> int:
             samples = count_exposition_samples(
                 aggregate_registry(args.host, ports).expose()
             )
+            try:
+                history = aggregate_history(args.host, ports)
+            except urllib.error.HTTPError:  # pre-flight-recorder workers
+                history = None
             rendered = render_dashboard(
                 stats,
                 previous=previous,
                 interval=args.interval if previous is not None else None,
                 endpoint=endpoint,
                 exposition_samples=samples,
+                history=history,
             )
             if not args.no_clear:
                 sys.stdout.write(CLEAR)

@@ -28,6 +28,7 @@ from repro.scenario.spec import (
     UnknownScenarioError,
     bound_params,
     get_transform,
+    injection_window,
     list_transforms,
     parse_scenario,
     register_scenario,
@@ -47,6 +48,7 @@ __all__ = [
     "bound_params",
     "compose",
     "get_transform",
+    "injection_window",
     "list_transforms",
     "parse_composition",
     "parse_scenario",

@@ -45,6 +45,11 @@ class TransformSpec:
     summary: str = ""
     defaults: Mapping[str, object] = field(default_factory=dict)
     aliases: tuple[str, ...] = ()
+    #: Optional ``params -> (lo, hi) | None`` callable giving the
+    #: transform's injection window as run-time fractions — the ground
+    #: truth the detection experiment scores detectors against.  ``None``
+    #: (the callable, or its return) means "no anomalous window".
+    window: Callable | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass(frozen=True)
@@ -80,6 +85,7 @@ def register_scenario(
     summary: str = "",
     defaults: Mapping[str, object] | None = None,
     aliases: tuple[str, ...] = (),
+    window: Callable | None = None,
 ) -> Callable[[Callable], Callable]:
     """Decorator registering a transform function under ``name``."""
 
@@ -92,6 +98,7 @@ def register_scenario(
             summary=summary,
             defaults=dict(defaults or {}),
             aliases=tuple(aliases),
+            window=window,
         )
         _TRANSFORMS[name] = spec
         for alias in spec.aliases:
@@ -221,3 +228,30 @@ def bound_params(spec: ScenarioSpec) -> dict[str, object]:
             )
         merged[key] = value
     return merged
+
+
+def injection_window(spec) -> tuple[float, float] | None:
+    """The spec's anomaly window as clipped run-time fractions.
+
+    Accepts a spec string, a :class:`ScenarioSpec`, or a composition
+    (anything with a ``specs`` tuple); a composition's window is the
+    convex hull of its members' windows.  ``None`` means the scenario is
+    stationary — no ground-truth window for detectors to hit.
+    """
+    specs = getattr(spec, "specs", None)
+    if specs is not None:
+        windows = [w for w in map(injection_window, specs) if w is not None]
+        if not windows:
+            return None
+        return (min(w[0] for w in windows), max(w[1] for w in windows))
+    parsed = parse_scenario(spec)
+    transform = get_transform(parsed.name)
+    if transform.window is None:
+        return None
+    window = transform.window(bound_params(parsed))
+    if window is None:
+        return None
+    lo, hi = window
+    lo = min(max(float(lo), 0.0), 1.0)
+    hi = min(max(float(hi), 0.0), 1.0)
+    return (lo, hi) if hi > lo else None

@@ -186,6 +186,7 @@ def stationary(trace: Trace, rng: np.random.Generator) -> Trace:
     summary="rotate dataset popularity over time (late jobs drift most)",
     defaults={"strength": 0.5, "shift": 1},
     aliases=("drift",),
+    window=lambda params: (0.0, 1.0),
 )
 def popularity_drift(
     trace: Trace,
@@ -221,6 +222,7 @@ def popularity_drift(
     summary="reprocessing campaign: popularity ranks mirror at a cut-over",
     defaults={"at": 0.5},
     aliases=("reprocessing",),
+    window=lambda params: (params["at"], 1.0),
 )
 def phase_shift(
     trace: Trace, rng: np.random.Generator, at: float = 0.5
@@ -257,6 +259,7 @@ def phase_shift(
         "files": 32,
     },
     aliases=("crowd",),
+    window=lambda params: (params["at"], params["at"] + params["width"]),
 )
 def flash_crowd(
     trace: Trace,
@@ -316,6 +319,7 @@ def flash_crowd(
     summary="one site's jobs fail over to other sites for a window",
     defaults={"site": 0, "at": 0.3, "duration": 0.2},
     aliases=("outage",),
+    window=lambda params: (params["at"], params["at"] + params["duration"]),
 )
 def site_outage(
     trace: Trace,
@@ -354,6 +358,7 @@ def site_outage(
     summary="adversarial sequential scans striding across all files",
     defaults={"at": 0.0, "rate": 0.1, "files": 64, "stride": 1},
     aliases=("scan",),
+    window=lambda params: (params["at"], 1.0),
 )
 def scan_flood(
     trace: Trace,

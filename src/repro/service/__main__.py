@@ -1,17 +1,21 @@
 """Operational CLI: ``repro-serve`` / ``python -m repro.service``.
 
-Four subcommands::
+Five subcommands::
 
     repro-serve serve --port 7401 --workers 4 --shards 2 \
         --advisor-policy lru \
         --capacity 10TB --snapshot /var/lib/repro/state.jsonl \
-        --snapshot-interval 60 --metrics-port 9401 --span-log spans.jsonl
+        --snapshot-interval 60 --metrics-port 9401 --span-log spans.jsonl \
+        --sample-every 1.0 --health --health-log health.jsonl
     repro-serve loadgen --port 7401 --scale tiny --seed 42 --jobs 2000 \
-        --connections 8 --pipeline 32 --procs 2 --rate 500 --json load.json
+        --connections 8 --pipeline 32 --procs 2 --rate 500 --json load.json \
+        --timeline-json timeline.json
     repro-serve stats --port 7401
     repro-serve metrics --port 7401
     repro-serve metrics --metrics-port 9401 --worker 2
     repro-serve metrics --metrics-port 9401 --aggregate --workers 4
+    repro-serve spans --port 7401 --last 100
+    repro-serve spans --metrics-port 9401 --workers 4
 
 ``serve`` runs the daemon in the foreground (SIGINT/SIGTERM shut it down
 gracefully, writing a final snapshot when configured); ``--workers N``
@@ -24,7 +28,10 @@ pretty-prints one ``stats`` query; ``metrics`` prints one Prometheus text
 exposition payload — from the data port, from one worker's admin port
 (``--worker``), or merged across every worker (``--aggregate``).  The
 live dashboard is the separate ``repro-top`` script
-(:mod:`repro.obs.top`).
+(:mod:`repro.obs.top`).  ``spans`` pulls the live span ring buffer —
+from the data port, or from every worker of a cluster — and prints it
+as JSONL (spans otherwise die with the process unless ``--span-log``
+was set at startup).
 """
 
 from __future__ import annotations
@@ -37,7 +44,12 @@ from pathlib import Path
 from repro import registry
 from repro.obs import log as obslog
 
-from repro.service.aggregate import aggregate_registry, fetch_text, worker_ports
+from repro.service.aggregate import (
+    aggregate_registry,
+    aggregate_spans,
+    fetch_text,
+    worker_ports,
+)
 from repro.service.client import ServiceClient
 from repro.service.cluster import ClusterConfig, run_cluster
 from repro.service.loadgen import jobs_from_trace, run_load_procs, run_load_sync
@@ -71,6 +83,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.restore and not args.snapshot:
         print("--restore requires --snapshot", file=sys.stderr)
         return 2
+    sample_every = args.sample_every
+    if args.health and sample_every is None:
+        sample_every = 1.0
     if args.workers > 1:
         return run_cluster(
             ClusterConfig(
@@ -89,6 +104,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 span_log_path=args.span_log,
                 slow_op_seconds=args.slow_op_ms / 1e3,
                 restore=args.restore,
+                sample_interval=sample_every,
+                health=args.health,
+                health_log_path=args.health_log,
             )
         )
 
@@ -130,6 +148,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         span_log_path=args.span_log,
         slow_op_seconds=args.slow_op_ms / 1e3,
+        sample_interval=sample_every,
+        health=args.health,
+        health_log_path=args.health_log,
     )
     server.run()
     return 0
@@ -150,6 +171,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         + (f" under scenario '{args.scenario}'" if args.scenario else "")
         + (f" across {args.procs} processes" if args.procs > 1 else "")
     )
+    timeline_interval = args.timeline_interval
+    if args.timeline_json and timeline_interval is None:
+        timeline_interval = 1.0
     report = run_load_procs(
         args.host,
         args.port,
@@ -161,6 +185,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         pipeline_depth=args.pipeline,
         rid_prefix=args.rid_prefix,
         progress_every=args.progress_every,
+        timeline_interval=timeline_interval,
     )
     print(report.render())
     if report.final_stats is not None:
@@ -172,6 +197,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"wrote {args.json}")
+    if args.timeline_json:
+        payload = {
+            "interval": report.timeline_interval,
+            "timeline": report.timeline_summary(),
+        }
+        Path(args.timeline_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.timeline_json}")
     return 1 if report.errors else 0
 
 
@@ -204,6 +236,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         return 0
     with ServiceClient(args.host, args.port) as client:
         print(client.metrics()["body"], end="")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    if args.metrics_port is not None:
+        ports = worker_ports(args.metrics_port, args.workers)
+        payload = aggregate_spans(args.host, ports)
+    else:
+        with ServiceClient(args.host, args.port) as client:
+            payload = client.spans(last=args.last)
+    lines = [json.dumps(span, sort_keys=True) for span in payload.get("spans", [])]
+    if args.metrics_port is not None and args.last is not None:
+        lines = lines[-args.last :]
+    body = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        Path(args.out).write_text(body)
+        print(
+            f"wrote {len(lines)} spans to {args.out} "
+            f"(dropped {payload.get('dropped', 0)})",
+            file=sys.stderr,
+        )
+    else:
+        print(body, end="")
     return 0
 
 
@@ -297,6 +352,30 @@ def main(argv: list[str] | None = None) -> int:
         help="log a structured slow-op record for ops handled slower than this",
     )
     p_serve.add_argument(
+        "--sample-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "enable the flight recorder: sample the metrics registry into "
+            "ring-buffer time series on this cadence"
+        ),
+    )
+    p_serve.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "run online health detectors over the flight recorder "
+            "(implies --sample-every 1.0 unless set)"
+        ),
+    )
+    p_serve.add_argument(
+        "--health-log",
+        default=None,
+        metavar="PATH",
+        help="export health events as JSONL on shutdown (needs --health)",
+    )
+    p_serve.add_argument(
         "--log-level",
         default="info",
         choices=sorted(obslog.LEVELS),
@@ -361,6 +440,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="JOBS",
         help="emit a structured progress record every N completed jobs",
     )
+    p_load.add_argument(
+        "--timeline-json",
+        default=None,
+        metavar="PATH",
+        help="write a per-interval throughput/latency timeline as JSON",
+    )
+    p_load.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="timeline bin width (default 1.0 when --timeline-json is set)",
+    )
     p_load.set_defaults(func=_cmd_loadgen)
 
     p_stats = sub.add_parser("stats", help="query and print live stats")
@@ -398,6 +490,39 @@ def main(argv: list[str] | None = None) -> int:
         help="worker count for --aggregate",
     )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_spans = sub.add_parser(
+        "spans", help="dump the live span ring buffer as JSONL"
+    )
+    _add_endpoint_args(p_spans)
+    p_spans.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="BASE",
+        help=(
+            "pull and merge every worker's /spans over the cluster admin "
+            "ports instead of the data port"
+        ),
+    )
+    p_spans.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for --metrics-port",
+    )
+    p_spans.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the newest N spans",
+    )
+    p_spans.add_argument(
+        "--out", default=None, metavar="PATH", help="write JSONL here instead of stdout"
+    )
+    p_spans.set_defaults(func=_cmd_spans)
 
     args = parser.parse_args(argv)
     return args.func(args)

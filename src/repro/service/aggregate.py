@@ -27,6 +27,7 @@ import json
 import urllib.request
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.service.shard import merge_partition_payloads
 
 #: Per-request timeout for one admin fetch.
@@ -117,6 +118,61 @@ def _requested_bytes(adv: dict) -> float:
     return float(adv.get("requested_bytes", adv["requests"]))
 
 
+def aggregate_history(host: str, ports: list[int]) -> dict:
+    """Cluster-wide ``history`` payload merged from every worker.
+
+    Per-worker flight-recorder series rebuild into
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` instances and fold
+    with the slot-aligned :meth:`~repro.obs.timeseries.TimeSeriesRecorder.merge`
+    (sums add, means combine weighted, maxima max) — so the cluster view
+    has the same shape a single worker serves, and ``repro-top
+    --workers`` renders it unchanged.  Health events concatenate in
+    timestamp order.
+    """
+    payloads = [fetch_json(host, port, "/history") for port in ports]
+    recorders = [TimeSeriesRecorder.from_state_dict(p) for p in payloads]
+    merged = recorders[0].merge(*recorders[1:]) if recorders else TimeSeriesRecorder()
+    events = sorted(
+        (
+            event
+            for payload in payloads
+            for event in payload.get("health", {}).get("events", [])
+        ),
+        key=lambda e: e.get("ts", 0.0),
+    )
+    result = merged.state_dict()
+    result["enabled"] = any(p.get("enabled") for p in payloads)
+    result["health"] = {
+        "enabled": any(p.get("health", {}).get("enabled") for p in payloads),
+        "events": events,
+    }
+    result["workers"] = len(payloads)
+    return result
+
+
+def aggregate_spans(host: str, ports: list[int]) -> dict:
+    """Every worker's live span ring buffer, concatenated in time order.
+
+    Each span dict gains a ``worker`` key naming its origin; ``dropped``
+    and ``capacity`` sum across workers.
+    """
+    payloads = [fetch_json(host, port, "/spans") for port in ports]
+    spans: list[dict] = []
+    for index, payload in enumerate(payloads):
+        worker = payload.get("worker", index)
+        for span in payload.get("spans", []):
+            span.setdefault("worker", worker)
+            spans.append(span)
+    spans.sort(key=lambda s: s.get("ts", 0.0))
+    return {
+        "capacity": sum(p.get("capacity", 0) for p in payloads),
+        "dropped": sum(p.get("dropped", 0) for p in payloads),
+        "count": len(spans),
+        "spans": spans,
+        "workers": len(payloads),
+    }
+
+
 def aggregate_stats(host: str, ports: list[int]) -> dict:
     """Cluster-wide ``stats`` payload merged from every worker.
 
@@ -171,6 +227,8 @@ __all__ = [
     "worker_ports",
     "aggregate_partition",
     "aggregate_registry",
+    "aggregate_history",
+    "aggregate_spans",
     "aggregate_stats",
     "FETCH_TIMEOUT",
 ]

@@ -92,6 +92,15 @@ class _RequestMixin:
     def partition(self):
         return self.request("partition")
 
+    def history(self, last: int | None = None):
+        """Flight-recorder time series + health events; ``last`` caps the
+        points returned per series."""
+        return self.request("history", last=last)
+
+    def spans(self, last: int | None = None):
+        """The server's live span ring buffer (newest ``last`` spans)."""
+        return self.request("spans", last=last)
+
     def snapshot(self, path: str | None = None):
         return self.request("snapshot", path=path)
 

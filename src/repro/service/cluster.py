@@ -76,6 +76,10 @@ class ClusterConfig:
     log_interval: float | None = None
     metrics_port: int | None = None  # base; worker k serves on base + k
     span_log_path: str | None = None  # base; worker k writes <base>.w<k>
+    sample_interval: float | None = None  # flight-recorder cadence (seconds)
+    series_capacity: int = 512  # ring capacity per flight-recorder series
+    health: bool = False  # run the detector panel on each sample
+    health_log_path: str | None = None  # base; worker k writes <base>.w<k>
     slow_op_seconds: float = 0.25
     restore: bool = False
     max_restarts: int = 5
@@ -157,6 +161,9 @@ def _worker_main(
     span_log = (
         f"{config.span_log_path}.w{index}" if config.span_log_path else None
     )
+    health_log = (
+        f"{config.health_log_path}.w{index}" if config.health_log_path else None
+    )
     server = FileculeServer(
         state,
         host=config.host,
@@ -166,6 +173,10 @@ def _worker_main(
         log_interval=config.log_interval,
         metrics_port=config.worker_metrics_port(index),
         span_log_path=span_log,
+        sample_interval=config.sample_interval,
+        series_capacity=config.series_capacity,
+        health=config.health,
+        health_log_path=health_log,
         slow_op_seconds=config.slow_op_seconds,
         reuse_port=sock is None,
         sock=sock,

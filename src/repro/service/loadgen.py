@@ -83,6 +83,12 @@ class LoadReport:
     #: Full-fidelity per-op histograms (:meth:`LatencyHistogram.state_dict`)
     #: — what lets reports from parallel generator processes merge exactly.
     histograms: dict[str, dict] = field(default_factory=dict)
+    #: Per-interval trajectory bins (``timeline_interval`` seconds each):
+    #: ``{"index", "requests", "errors", "histogram"}`` with a
+    #: full-fidelity histogram state per bin, so timelines from parallel
+    #: generator processes merge bucket-exactly like the totals.
+    timeline: list[dict] = field(default_factory=list)
+    timeline_interval: float | None = None
 
     @property
     def requests_per_second(self) -> float:
@@ -90,8 +96,27 @@ class LoadReport:
             return 0.0
         return self.requests / self.duration_seconds
 
+    def timeline_summary(self) -> list[dict]:
+        """Render the raw timeline bins into a plotting-friendly list."""
+        if not self.timeline or not self.timeline_interval:
+            return []
+        out = []
+        for bin_ in sorted(self.timeline, key=lambda b: b["index"]):
+            hist = LatencyHistogram.from_state_dict(bin_["histogram"])
+            out.append(
+                {
+                    "t": bin_["index"] * self.timeline_interval,
+                    "requests": bin_["requests"],
+                    "errors": bin_["errors"],
+                    "requests_per_second": bin_["requests"] / self.timeline_interval,
+                    "p50_ms": hist.percentile(0.50) * 1e3,
+                    "p99_ms": hist.percentile(0.99) * 1e3,
+                }
+            )
+        return out
+
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "jobs": self.jobs,
             "requests": self.requests,
             "errors": self.errors,
@@ -99,6 +124,10 @@ class LoadReport:
             "requests_per_second": self.requests_per_second,
             "latencies_ms": self.latencies_ms,
         }
+        if self.timeline:
+            payload["timeline_interval"] = self.timeline_interval
+            payload["timeline"] = self.timeline_summary()
+        return payload
 
     def render(self) -> str:
         lines = [
@@ -163,6 +192,31 @@ def merge_reports(reports: list["LoadReport"]) -> "LoadReport":
                 hists[op] = incoming
             else:
                 into.merge(incoming)
+    # Timeline bins align by index (children start together), so the
+    # trajectory merges the same way the totals do: counts sum, per-bin
+    # histograms merge bucket-exactly.
+    bins: dict[int, dict] = {}
+    timeline_interval = next(
+        (r.timeline_interval for r in reports if r.timeline_interval), None
+    )
+    for report in reports:
+        for bin_ in report.timeline:
+            into = bins.get(bin_["index"])
+            if into is None:
+                bins[bin_["index"]] = {
+                    "index": bin_["index"],
+                    "requests": bin_["requests"],
+                    "errors": bin_["errors"],
+                    "histogram": bin_["histogram"],
+                }
+            else:
+                into["requests"] += bin_["requests"]
+                into["errors"] += bin_["errors"]
+                into["histogram"] = (
+                    LatencyHistogram.from_state_dict(into["histogram"])
+                    .merge(LatencyHistogram.from_state_dict(bin_["histogram"]))
+                    .state_dict()
+                )
     return LoadReport(
         jobs=sum(r.jobs for r in reports),
         requests=sum(r.requests for r in reports),
@@ -172,6 +226,8 @@ def merge_reports(reports: list["LoadReport"]) -> "LoadReport":
             op: _summarize_histogram(hist) for op, hist in hists.items()
         },
         histograms={op: hist.state_dict() for op, hist in hists.items()},
+        timeline=[bins[i] for i in sorted(bins)],
+        timeline_interval=timeline_interval,
     )
 
 
@@ -182,11 +238,13 @@ async def run_load(
     *,
     connections: int = 4,
     target_rate: float | None = None,
+    offsets: list[float] | None = None,
     advise_every: int = 0,
     pipeline_depth: int = 1,
     fetch_final_stats: bool = True,
     rid_prefix: str | None = None,
     progress_every: int = 0,
+    timeline_interval: float | None = None,
 ) -> LoadReport:
     """Replay ``jobs`` against a running server; see module docstring.
 
@@ -196,6 +254,12 @@ async def run_load(
         Parallel client connections (jobs are split round-robin).
     target_rate:
         Aggregate ingest requests per second (None = as fast as possible).
+    offsets:
+        Absolute per-job send offsets in seconds from run start (one per
+        job) — open-loop pacing on an arbitrary schedule instead of a
+        constant rate.  This is how trace/scenario time maps linearly
+        onto wall clock (a flash crowd at trace fraction 0.6 hits the
+        daemon at 60% of the run).  Overrides ``target_rate``.
     advise_every:
         When > 0, every k-th job first asks for an ``advise`` plan —
         modelling a data-management middleware that consults the service
@@ -213,6 +277,10 @@ async def run_load(
     progress_every:
         When > 0, emit a structured ``loadgen-progress`` log record
         every that many completed jobs (aggregate across connections).
+    timeline_interval:
+        When set, bucket completions into bins of this many seconds and
+        attach the per-interval trajectory (throughput, errors, latency
+        histogram) to the report — see :meth:`LoadReport.timeline_summary`.
     """
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
@@ -220,11 +288,41 @@ async def run_load(
         raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
     if not jobs:
         raise ValueError("no jobs to replay")
+    if offsets is not None and len(offsets) != len(jobs):
+        raise ValueError(
+            f"offsets length {len(offsets)} != jobs length {len(jobs)}"
+        )
 
     samples: dict[str, list[float]] = {"ingest": [], "advise": []}
     errors = 0
     jobs_done = 0
+    timeline_bins: dict[int, dict] = {}
     start = time.perf_counter()
+
+    def note_timeline(latency_s: float | None, ok: bool) -> None:
+        if timeline_interval is None:
+            return
+        index = int((time.perf_counter() - start) / timeline_interval)
+        bin_ = timeline_bins.get(index)
+        if bin_ is None:
+            bin_ = timeline_bins[index] = {
+                "index": index,
+                "requests": 0,
+                "errors": 0,
+                "hist": LatencyHistogram(),
+            }
+        bin_["requests"] += 1
+        if not ok:
+            bin_["errors"] += 1
+        if latency_s is not None:
+            bin_["hist"].record(latency_s)
+
+    def scheduled_send(k: int) -> float | None:
+        if offsets is not None:
+            return start + offsets[k]
+        if target_rate is not None:
+            return start + k / target_rate
+        return None
 
     def note_progress(batch: int) -> None:
         nonlocal jobs_done
@@ -245,8 +343,8 @@ async def run_load(
         nonlocal errors
         sent = 0
         for k in range(worker_id, len(jobs), connections):
-            if target_rate is not None:
-                scheduled = start + k / target_rate
+            scheduled = scheduled_send(k)
+            if scheduled is not None:
                 delay = scheduled - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -258,9 +356,12 @@ async def run_load(
                     await client.advise(
                         job["files"], site=job.get("site", 0), rid=rid
                     )
-                    samples["advise"].append(time.perf_counter() - t0)
+                    latency = time.perf_counter() - t0
+                    samples["advise"].append(latency)
+                    note_timeline(latency, True)
                 except ServiceError:
                     errors += 1
+                    note_timeline(None, False)
                 sent += 1
             t0 = time.perf_counter()
             try:
@@ -270,9 +371,12 @@ async def run_load(
                     site=job.get("site", 0),
                     rid=rid,
                 )
-                samples["ingest"].append(time.perf_counter() - t0)
+                latency = time.perf_counter() - t0
+                samples["ingest"].append(latency)
+                note_timeline(latency, True)
             except ServiceError:
                 errors += 1
+                note_timeline(None, False)
             sent += 1
             note_progress(1)
         return sent
@@ -283,8 +387,8 @@ async def run_load(
         indices = range(worker_id, len(jobs), connections)
         for batch_start in range(0, len(indices), pipeline_depth):
             batch = indices[batch_start : batch_start + pipeline_depth]
-            if target_rate is not None:
-                scheduled = start + batch[0] / target_rate
+            scheduled = scheduled_send(batch[0])
+            if scheduled is not None:
                 delay = scheduled - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -320,9 +424,12 @@ async def run_load(
             for op, request_id in in_flight:
                 try:
                     await client.read_response(request_id)
-                    samples[op].append(time.perf_counter() - t0)
+                    latency = time.perf_counter() - t0
+                    samples[op].append(latency)
+                    note_timeline(latency, True)
                 except ServiceError:
                     errors += 1
+                    note_timeline(None, False)
                 sent += 1
             note_progress(len(batch))
         return sent
@@ -358,6 +465,16 @@ async def run_load(
         histograms={
             op: _histogram_state(vals) for op, vals in samples.items() if vals
         },
+        timeline=[
+            {
+                "index": bin_["index"],
+                "requests": bin_["requests"],
+                "errors": bin_["errors"],
+                "histogram": bin_["hist"].state_dict(),
+            }
+            for index, bin_ in sorted(timeline_bins.items())
+        ],
+        timeline_interval=timeline_interval,
     )
 
 
@@ -377,6 +494,8 @@ def _replay_slice(host: str, port: int, jobs: list[dict], kwargs: dict) -> dict:
         "errors": report.errors,
         "duration_seconds": report.duration_seconds,
         "histograms": report.histograms,
+        "timeline": report.timeline,
+        "timeline_interval": report.timeline_interval,
     }
 
 
@@ -424,11 +543,24 @@ def run_load_procs(
     child_kwargs["target_rate"] = (
         target_rate / procs if target_rate is not None else None
     )
+    offsets = child_kwargs.pop("offsets", None)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(procs) as pool:
         results = pool.starmap(
             _replay_slice,
-            [(host, port, jobs[i::procs], child_kwargs) for i in range(procs)],
+            [
+                (
+                    host,
+                    port,
+                    jobs[i::procs],
+                    # Offsets are absolute send times, so the strided
+                    # slice keeps each child on the global schedule.
+                    dict(child_kwargs, offsets=offsets[i::procs])
+                    if offsets is not None
+                    else child_kwargs,
+                )
+                for i in range(procs)
+            ],
         )
     merged = merge_reports(
         [
@@ -438,6 +570,8 @@ def run_load_procs(
                 errors=r["errors"],
                 duration_seconds=r["duration_seconds"],
                 histograms=r["histograms"],
+                timeline=r.get("timeline", []),
+                timeline_interval=r.get("timeline_interval"),
             )
             for r in results
         ]

@@ -52,6 +52,8 @@ OPS = frozenset(
         "advise",
         "stats",
         "metrics",
+        "history",
+        "spans",
         "partition",
         "snapshot",
         "shutdown",
@@ -273,6 +275,11 @@ def decode_request(line: bytes | str) -> dict[str, Any]:
         if path is not None and not isinstance(path, str):
             raise ProtocolError("bad-request", "'path' must be a string")
         request["path"] = path
+    elif op == "history" or op == "spans":
+        # Optional tail cap: at most the last N points per series
+        # (history) or the last N spans (spans).
+        if obj.get("last") is not None:
+            request["last"] = _require_int(obj, "last", minimum=1)
     # ping / stats / metrics / partition / shutdown carry no arguments
 
     return request

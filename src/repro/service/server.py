@@ -38,7 +38,17 @@ shutdown when ``span_log_path`` is set), carrying the client-supplied
 registry.  The admin endpoint serves ``/metrics`` (Prometheus text),
 ``/stats``, ``/partition`` and ``/registry`` (JSON — the latter is the
 full-fidelity :meth:`MetricsRegistry.state_dict` that cross-worker
-aggregation merges), ``/healthz`` and ``/snapshot``.
+aggregation merges), ``/history`` and ``/spans`` (the flight recorder's
+time series/health events and the live span ring buffer), ``/healthz``
+and ``/snapshot``.
+
+When ``sample_interval`` is set, a background task feeds the flight
+recorder (:mod:`repro.obs.timeseries`) on that cadence, and ``health``
+additionally runs the online detector panel (:mod:`repro.obs.health`)
+over the sampled series — firings surface as ``health_events`` counter
+increments, structured ``health-event`` log lines, the ``history``
+payload, and a JSONL export on shutdown when ``health_log_path`` is
+set.
 """
 
 from __future__ import annotations
@@ -52,8 +62,14 @@ import socket as socket_module
 import time
 
 from repro.obs import trace as obstrace
+from repro.obs.health import HealthMonitor
 from repro.obs.log import get_logger
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY as DEFAULT_SERIES_CAPACITY,
+    DEFAULT_INTERVAL as DEFAULT_SAMPLE_INTERVAL,
+    TimeSeriesRecorder,
+)
 from repro.service.protocol import (
     INGEST_OK_TEMPLATE,
     RESULT_OK_TEMPLATE,
@@ -108,6 +124,21 @@ class FileculeServer:
         shutdown.
     span_capacity:
         Ring-buffer size of the per-server span recorder.
+    sample_interval:
+        When set, a sampler task feeds the flight recorder
+        (:class:`~repro.obs.timeseries.TimeSeriesRecorder`) every
+        ``sample_interval`` seconds; the series are served by the
+        ``history`` op and the ``/history`` admin route.
+    series_capacity:
+        Ring capacity per flight-recorder series (constant memory).
+    health:
+        Run the default detector panel (:mod:`repro.obs.health`) on each
+        sample; events surface in the ``history`` payload, the
+        ``health_events`` counter and structured log lines.  Requires
+        ``sample_interval``.
+    health_log_path:
+        When set, retained health events are exported there as JSONL on
+        shutdown.
     slow_op_seconds:
         Requests handled slower than this emit a ``slow-op`` structured
         log line carrying the request's ``rid``.
@@ -137,6 +168,10 @@ class FileculeServer:
         metrics_port: int | None = None,
         span_log_path: str | None = None,
         span_capacity: int = obstrace.DEFAULT_CAPACITY,
+        sample_interval: float | None = None,
+        series_capacity: int = DEFAULT_SERIES_CAPACITY,
+        health: bool = False,
+        health_log_path: str | None = None,
         slow_op_seconds: float = 0.25,
         reuse_port: bool = False,
         sock: socket_module.socket | None = None,
@@ -165,6 +200,18 @@ class FileculeServer:
         self.worker_index = worker_index
         self.metrics = MetricsRegistry()
         self.spans = obstrace.SpanRecorder(span_capacity)
+        if health and sample_interval is None:
+            raise ValueError("health monitoring requires sample_interval")
+        self.sample_interval = sample_interval
+        self.health_log_path = health_log_path
+        # The recorder always exists (the history op answers even when
+        # sampling is off — with empty series); the monitor only under
+        # --health.
+        self.recorder = TimeSeriesRecorder(
+            sample_interval if sample_interval else DEFAULT_SAMPLE_INTERVAL,
+            capacity=series_capacity,
+        )
+        self.health = HealthMonitor(self.recorder) if health else None
         self._listen_sock = sock
         self._metrics_server: asyncio.AbstractServer | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -190,6 +237,8 @@ class FileculeServer:
             "advise": self._op_advise,
             "stats": self._op_stats,
             "metrics": self._op_metrics,
+            "history": self._op_history,
+            "spans": self._op_spans,
             "partition": self._op_partition,
             "snapshot": self._op_snapshot,
             "shutdown": self._op_shutdown,
@@ -222,6 +271,12 @@ class FileculeServer:
             "content_type": PROMETHEUS_CONTENT_TYPE,
             "body": self.expose_metrics(),
         }
+
+    def _op_history(self, request: dict) -> dict:
+        return self.history_payload(last=request.get("last"))
+
+    def _op_spans(self, request: dict) -> dict:
+        return self.spans_payload(last=request.get("last"))
 
     def _op_partition(self, request: dict) -> dict:
         return self.state.partition()
@@ -265,9 +320,13 @@ class FileculeServer:
             )
         return ok_response(request_id, result, rid=rid)
 
-    def expose_metrics(self) -> str:
-        """Prometheus text exposition: server registry + live state gauges."""
-        stats = self.state.stats()
+    def _set_state_gauges(self, stats: dict) -> None:
+        """Republish live state stats as registry gauges.
+
+        Shared by the exposition path and the flight-recorder sampler, so
+        both see the same vocabulary (``site_requests``/``site_hits`` are
+        monotone totals the recorder differentiates into rates).
+        """
         self.metrics.set_gauge("jobs_observed", stats["jobs_observed"])
         self.metrics.set_gauge("files_observed", stats["files_observed"])
         self.metrics.set_gauge("filecule_classes", stats["n_classes"])
@@ -287,7 +346,66 @@ class FileculeServer:
             self.metrics.set_gauge(
                 "site_requests", adv["requests"], site=site
             )
+            self.metrics.set_gauge("site_hits", adv["hits"], site=site)
+
+    def expose_metrics(self) -> str:
+        """Prometheus text exposition: server registry + live state gauges."""
+        self._set_state_gauges(self.state.stats())
         return self.metrics.expose()
+
+    # ------------------------------------------------------------------
+    # flight recorder
+    # ------------------------------------------------------------------
+    def sample_once(self, now: float | None = None) -> None:
+        """Take one flight-recorder sample (and run detectors if on)."""
+        if now is None:
+            now = time.monotonic()
+        self._set_state_gauges(self.state.stats())
+        self.recorder.sample(self.metrics, now)
+        if self.health is not None:
+            for event in self.health.observe():
+                self.metrics.inc(
+                    "health_events",
+                    detector=event.detector,
+                    severity=event.severity,
+                )
+                log = slog.error if event.severity == "critical" else slog.warning
+                log(
+                    "health-event",
+                    detector=event.detector,
+                    severity=event.severity,
+                    message=event.message,
+                    **{k: v for k, v in event.evidence.items() if k != "message"},
+                )
+
+    def history_payload(self, last: int | None = None) -> dict:
+        """The ``history`` op / ``/history`` admin body: series + events."""
+        payload = self.recorder.payload(last=last)
+        payload["enabled"] = self.sample_interval is not None
+        payload["health"] = {
+            "enabled": self.health is not None,
+            "events": [e.as_dict() for e in self.health.events()]
+            if self.health is not None
+            else [],
+        }
+        if self.worker_index is not None:
+            payload["worker"] = self.worker_index
+        return payload
+
+    def spans_payload(self, last: int | None = None) -> dict:
+        """The ``spans`` op / ``/spans`` admin body: the live ring buffer."""
+        spans = self.spans.spans()
+        if last is not None and last >= 1:
+            spans = spans[-last:]
+        payload = {
+            "capacity": self.spans.capacity,
+            "dropped": self.spans.dropped,
+            "count": len(spans),
+            "spans": [s.as_dict() for s in spans],
+        }
+        if self.worker_index is not None:
+            payload["worker"] = self.worker_index
+        return payload
 
     async def _actor(self, inbox: asyncio.Queue) -> None:
         metrics = self.metrics
@@ -530,7 +648,7 @@ class FileculeServer:
     # ------------------------------------------------------------------
     def _admin_response(self, method: str, path: str) -> tuple[str, str, bytes]:
         """Route one admin request → ``(status, content_type, body)``."""
-        route = path.split("?", 1)[0]
+        route, _, query = path.partition("?")
         if method not in ("GET", "POST"):
             return "405 Method Not Allowed", "text/plain", b"method not allowed\n"
         if route in ("/metrics", "/"):
@@ -545,6 +663,14 @@ class FileculeServer:
             # Full-fidelity registry (bucket-exact histograms): what a
             # cross-worker aggregator merges via MetricsRegistry.merge.
             return "200 OK", "application/json", _json_bytes(self.metrics.state_dict())
+        if route == "/history":
+            return "200 OK", "application/json", _json_bytes(
+                self.history_payload(last=_query_int(query, "last"))
+            )
+        if route == "/spans":
+            return "200 OK", "application/json", _json_bytes(
+                self.spans_payload(last=_query_int(query, "last"))
+            )
         if route == "/healthz":
             return "200 OK", "application/json", _json_bytes(
                 {
@@ -574,7 +700,8 @@ class FileculeServer:
             self.metrics.inc("snapshots")
             return "200 OK", "application/json", _json_bytes({"ok": True, **receipt})
         return "404 Not Found", "text/plain", (
-            b"try /metrics /stats /partition /registry /healthz /snapshot\n"
+            b"try /metrics /stats /partition /registry /history /spans"
+            b" /healthz /snapshot\n"
         )
 
     async def _handle_admin_http(
@@ -634,6 +761,12 @@ class FileculeServer:
             await asyncio.sleep(self.log_interval)
             slog.info("metrics", **self.metrics.snapshot())
 
+    async def _periodic_sample(self) -> None:
+        assert self.sample_interval
+        while True:
+            await asyncio.sleep(self.sample_interval)
+            self.sample_once()
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -650,6 +783,11 @@ class FileculeServer:
             self._background.append(asyncio.create_task(self._periodic_snapshot()))
         if self.log_interval:
             self._background.append(asyncio.create_task(self._periodic_log()))
+        if self.sample_interval:
+            # Establish delta baselines immediately so the first periodic
+            # tick already yields rates.
+            self.sample_once()
+            self._background.append(asyncio.create_task(self._periodic_sample()))
         if self._listen_sock is not None:
             self._server = await asyncio.start_server(
                 self._track_connection,
@@ -722,6 +860,17 @@ class FileculeServer:
                 )
             except OSError as exc:
                 slog.error("span-log-failed", error=str(exc))
+        if self.health_log_path and self.health is not None:
+            try:
+                exported = self.health.export_jsonl(self.health_log_path)
+                slog.info(
+                    "health-log-written",
+                    path=str(self.health_log_path),
+                    events=exported,
+                    dropped=self.health.dropped,
+                )
+            except OSError as exc:
+                slog.error("health-log-failed", error=str(exc))
         self._server = None
         self._actor_tasks = []
         self._background.clear()
@@ -765,6 +914,15 @@ class FileculeServer:
 
 def _json_bytes(payload: dict) -> bytes:
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def _query_int(query: str, key: str) -> int | None:
+    """Pull a positive integer out of an admin-route query string."""
+    for pair in query.split("&"):
+        k, _, v = pair.partition("=")
+        if k == key and v.isdigit() and int(v) >= 1:
+            return int(v)
+    return None
 
 
 def _salvage_id(line: bytes | str):

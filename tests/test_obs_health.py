@@ -1,0 +1,253 @@
+"""Health detectors: each fires on its synthetic anomaly, stays quiet
+on stationary traffic, and the monitor's event buffer is a ring.
+
+Synthetic series are fed straight into a :class:`TimeSeriesRecorder`
+(no registry, no server) so each detector's trigger logic is exercised
+in isolation with exact control over the signal shape.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.health import (
+    ChurnSpikeDetector,
+    HealthEvent,
+    HealthMonitor,
+    HitRateDivergenceDetector,
+    LatencyBurnRateDetector,
+    SiteShareCollapseDetector,
+    default_detectors,
+)
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+def recorder_with(series_values: dict, *, interval: float = 1.0, weights=None):
+    """A recorder preloaded with named series (one value per tick)."""
+    recorder = TimeSeriesRecorder(interval=interval)
+    for name, values in series_values.items():
+        agg = "mean" if name.startswith(("derived:", "p")) else "sum"
+        series = recorder.series(name, agg)
+        for t, v in enumerate(values):
+            series.add(t * interval, v, weight=(weights or {}).get(name, 1.0))
+    return recorder
+
+
+def drive(detector, series_values, **kwargs):
+    """One observe() pass over a fully-preloaded recorder."""
+    return detector.observe(recorder_with(series_values, **kwargs))
+
+
+class TestHitRateDivergence:
+    def test_fires_on_step_change_after_warmup(self):
+        values = [0.5] * 12 + [0.95] * 8
+        events = drive(
+            HitRateDivergenceDetector(), {"derived:hit_rate": values}
+        )
+        assert events, "step change after warmup must fire"
+        assert all(e.detector == "hit-rate-divergence" for e in events)
+        assert all(e.severity == "warning" for e in events)
+        assert "above" in events[0].message
+        assert events[0].evidence["divergence"] > 0
+        # fires only after the step (tick 12), never during warmup
+        assert min(e.ts for e in events) >= 12.0
+
+    def test_fires_downward_too(self):
+        values = [0.8] * 12 + [0.1] * 8
+        events = drive(
+            HitRateDivergenceDetector(), {"derived:hit_rate": values}
+        )
+        assert events and "below" in events[0].message
+
+    def test_quiet_on_stationary_signal(self):
+        events = drive(
+            HitRateDivergenceDetector(), {"derived:hit_rate": [0.7] * 40}
+        )
+        assert events == []
+
+    def test_quiet_during_cache_fill_trend(self):
+        # A cache warming from empty: fast early climb inside warmup.
+        values = [0.0, 0.2, 0.4, 0.55, 0.65, 0.72, 0.76, 0.78, 0.79, 0.8]
+        events = drive(
+            HitRateDivergenceDetector(warmup=8), {"derived:hit_rate": values}
+        )
+        assert events == []
+
+    def test_leaky_baseline_eventually_absorbs_sustained_shift(self):
+        # A permanent regime change fires for a while, then the slow
+        # leak adopts it as the new normal — no firing forever.
+        values = [0.5] * 12 + [0.9] * 300
+        detector = HitRateDivergenceDetector()
+        events = drive(detector, {"derived:hit_rate": values})
+        assert events
+        assert max(e.ts for e in events) < 311.0
+
+    def test_processes_only_new_slots(self):
+        detector = HitRateDivergenceDetector()
+        recorder = recorder_with({"derived:hit_rate": [0.5] * 12 + [0.95] * 4})
+        first = detector.observe(recorder)
+        assert first
+        assert detector.observe(recorder) == []  # nothing new
+
+
+class TestSiteShareCollapse:
+    @staticmethod
+    def series(site_rates: dict):
+        return {
+            f'rate:site_requests{{site="{s}"}}': rates
+            for s, rates in site_rates.items()
+        }
+
+    def test_fires_after_consecutive_collapsed_ticks(self):
+        # Site 0 holds 50% share for 10 ticks, then goes dark.
+        rates = self.series(
+            {"0": [50.0] * 10 + [0.0] * 4, "1": [50.0] * 14}
+        )
+        events = drive(SiteShareCollapseDetector(), rates)
+        assert events
+        assert all(e.severity == "critical" for e in events)
+        assert all(e.evidence["site"] == "0" for e in events)
+        # needs `consecutive` collapsed ticks: first firing at tick 11
+        assert events[0].ts == 11.0
+        assert len(events) == 3  # ticks 11, 12, 13
+
+    def test_single_tick_dropout_not_enough(self):
+        rates = self.series(
+            {"0": [50.0] * 10 + [0.0] + [50.0] * 3, "1": [50.0] * 14}
+        )
+        assert drive(SiteShareCollapseDetector(), rates) == []
+
+    def test_low_share_sites_never_eligible(self):
+        # An intermittent 5%-share site goes quiet: not a collapse.
+        rates = self.series(
+            {"0": [95.0] * 14, "1": [5.0] * 10 + [0.0] * 4}
+        )
+        events = drive(SiteShareCollapseDetector(min_share=0.2), rates)
+        assert events == []
+
+    def test_bursty_totals_cancel_out(self):
+        # Total traffic swings 10x but shares stay constant: quiet.
+        totals = [10.0, 100.0, 30.0, 80.0, 15.0, 90.0, 40.0, 70.0] * 3
+        rates = self.series(
+            {
+                "0": [0.6 * t for t in totals],
+                "1": [0.4 * t for t in totals],
+            }
+        )
+        assert drive(SiteShareCollapseDetector(), rates) == []
+
+    def test_quiet_ticks_skipped(self):
+        # Globally-silent ticks carry no share information.
+        rates = self.series(
+            {"0": [50.0] * 10 + [0.0] * 4, "1": [50.0] * 10 + [0.0] * 4}
+        )
+        assert drive(SiteShareCollapseDetector(), rates) == []
+
+    def test_baseline_frozen_during_collapse(self):
+        detector = SiteShareCollapseDetector()
+        rates = self.series(
+            {"0": [50.0] * 10 + [0.0] * 6, "1": [50.0] * 16}
+        )
+        drive_events = drive(detector, rates)
+        assert drive_events
+        # the stored baseline still remembers the healthy ~50% share
+        assert detector._share["0"] > 0.4
+
+
+class TestLatencyBurnRate:
+    def test_fires_when_burn_crosses_threshold(self):
+        # p99 in seconds; SLO 5 ms. 6 of the last 8 ticks breach.
+        values = [0.001] * 8 + [0.02] * 6
+        events = drive(
+            LatencyBurnRateDetector(slo_ms=5.0, window=8, burn_threshold=0.5),
+            {"p99:op.ingest": values},
+        )
+        assert events
+        assert events[0].severity == "critical"
+        assert events[0].evidence["burn_rate"] >= 0.5
+
+    def test_quiet_below_slo(self):
+        events = drive(
+            LatencyBurnRateDetector(slo_ms=5.0),
+            {"p99:op.ingest": [0.001] * 30},
+        )
+        assert events == []
+
+    def test_needs_full_window(self):
+        events = drive(
+            LatencyBurnRateDetector(slo_ms=5.0, window=8),
+            {"p99:op.ingest": [0.02] * 5},  # all breaching, window unfilled
+        )
+        assert events == []
+
+
+class TestChurnSpike:
+    def test_fires_on_class_count_jump(self):
+        values = [100.0 + t for t in range(10)] + [400.0]
+        events = drive(
+            ChurnSpikeDetector(), {"gauge:filecule_classes": values}
+        )
+        assert events
+        assert events[0].value == pytest.approx(291.0)
+        assert events[0].evidence["classes"] == 400.0
+
+    def test_quiet_on_steady_drift(self):
+        values = [100.0 + t for t in range(30)]
+        assert (
+            drive(ChurnSpikeDetector(), {"gauge:filecule_classes": values})
+            == []
+        )
+
+    def test_spike_does_not_poison_typical_delta(self):
+        detector = ChurnSpikeDetector()
+        values = [100.0 + t for t in range(10)] + [400.0] + [401.0 + t for t in range(5)]
+        drive(detector, {"gauge:filecule_classes": values})
+        # typical delta reflects the steady ±1 movement, not the spike
+        assert detector._typical < 2.0
+
+
+class TestHealthMonitor:
+    def test_ring_capacity_and_dropped_count(self):
+        recorder = recorder_with(
+            {"derived:hit_rate": [0.5] * 12 + [0.95] * 20}
+        )
+        monitor = HealthMonitor(
+            recorder, [HitRateDivergenceDetector()], capacity=4
+        )
+        new = monitor.observe()
+        assert len(new) > 4
+        assert len(monitor.events()) == 4
+        assert monitor.dropped == len(new) - 4
+        # newest events retained
+        assert monitor.events()[-1].ts == new[-1].ts
+
+    def test_counts_and_default_panel(self):
+        monitor = HealthMonitor(TimeSeriesRecorder())
+        names = [d.name for d in monitor.detectors]
+        assert names == [d.name for d in default_detectors()]
+        assert monitor.observe() == []
+        assert monitor.counts() == {}
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        recorder = recorder_with(
+            {"derived:hit_rate": [0.5] * 12 + [0.95] * 6}
+        )
+        monitor = HealthMonitor(recorder, [HitRateDivergenceDetector()])
+        monitor.observe()
+        path = tmp_path / "health.jsonl"
+        written = monitor.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == len(monitor.events())
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == [e.as_dict() for e in monitor.events()]
+        assert monitor.to_jsonl() == "".join(line + "\n" for line in lines)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(TimeSeriesRecorder(), capacity=0)
+
+    def test_event_as_dict_is_json_safe(self):
+        event = HealthEvent(
+            detector="x", severity="warning", ts=1.0, value=2.0, message="m"
+        )
+        assert json.loads(json.dumps(event.as_dict()))["detector"] == "x"

@@ -244,3 +244,101 @@ class TestServiceImportPathRemoved:
         r.observe("op.x", 0.1)
         r.set_gauge("g", 2.5)
         json.dumps(r.snapshot())
+
+
+def _histograms(min_count=0):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=min_count,
+        max_size=30,
+    ).map(
+        lambda samples: (
+            lambda h: ([h.record(s) for s in samples], h)[1]
+        )(LatencyHistogram())
+    )
+
+
+class TestEmptyHistogramSafety:
+    """Never-observed histograms stay finite through merge and export.
+
+    Regression territory: a histogram that has recorded nothing carries
+    ``_min = inf`` internally; merging it, serializing it, or quoting
+    its min/percentiles must never leak ``inf``/``NaN`` outward.
+    """
+
+    def test_empty_reads_as_zero(self):
+        h = LatencyHistogram()
+        assert h.min == 0.0 and h.max == 0.0 and h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+
+    def test_empty_state_dict_round_trips_without_inf(self):
+        state = json.loads(json.dumps(LatencyHistogram().state_dict()))
+        assert state["min"] is None
+        clone = LatencyHistogram.from_state_dict(state)
+        assert clone.min == 0.0 and clone.count == 0
+        assert math.isinf(clone._min)  # sentinel restored, never exposed
+
+    def test_merging_empty_into_populated_keeps_min(self):
+        h = LatencyHistogram()
+        h.record(0.25)
+        h.merge(LatencyHistogram())
+        assert h.min == 0.25 and h.count == 1
+
+    def test_merging_populated_into_empty_adopts_min(self):
+        h = LatencyHistogram()
+        other = LatencyHistogram()
+        other.record(0.25)
+        h.merge(other)
+        assert h.min == 0.25 and math.isfinite(h._min)
+
+    def test_legacy_state_without_min_derives_finite_floor(self):
+        source = LatencyHistogram()
+        source.record(0.003)
+        source.record(0.7)
+        state = source.state_dict()
+        del state["min"]
+        clone = LatencyHistogram.from_state_dict(state)
+        assert math.isfinite(clone.min)
+        assert 0.0 < clone.min <= 0.003
+        assert clone.percentile(0.0) >= clone.min
+
+    @given(parts=st.lists(_histograms(), min_size=1, max_size=5))
+    @settings(max_examples=120, deadline=None)
+    def test_merge_chain_always_finite(self, parts):
+        merged = parts[0]
+        for other in parts[1:]:
+            merged.merge(other)
+        for value in (
+            merged.min,
+            merged.max,
+            merged.mean,
+            merged.percentile(0.0),
+            merged.percentile(0.5),
+            merged.percentile(0.99),
+            merged.percentile(1.0),
+        ):
+            assert math.isfinite(value)
+        assert merged.min <= merged.percentile(0.5) <= merged.max or (
+            merged.count == 0
+        )
+        # export stays JSON-clean (None, not Infinity)
+        encoded = json.dumps(merged.state_dict())
+        assert "Infinity" not in encoded and "NaN" not in encoded
+        clone = LatencyHistogram.from_state_dict(json.loads(encoded))
+        assert clone.min == merged.min and clone.max == merged.max
+
+    @given(parts=st.lists(_histograms(), min_size=2, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_merge_min_matches_global_min(self, parts):
+        merged = LatencyHistogram()
+        for part in parts:
+            merged.merge(
+                LatencyHistogram.from_state_dict(
+                    json.loads(json.dumps(part.state_dict()))
+                )
+            )
+        populated = [p for p in parts if p.count]
+        if populated:
+            assert merged.min == min(p.min for p in populated)
+        else:
+            assert merged.min == 0.0

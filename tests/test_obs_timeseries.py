@@ -1,0 +1,304 @@
+"""Flight-recorder time series: rings, rates, derivation, merging.
+
+Unit tests for :mod:`repro.obs.timeseries` — series semantics (slot
+alignment, aggregation modes, constant memory), registry sampling
+(counter deltas, cumulative gauges, quantile-of-interval, derived hit
+rate), and the property-based cross-worker merge laws the cluster
+aggregation path relies on.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    Series,
+    TimeSeriesRecorder,
+)
+
+
+class TestSeries:
+    def test_slot_alignment_combines_same_interval_samples(self):
+        s = Series("x", "sum", interval=1.0)
+        s.add(10.1, 2.0)
+        s.add(9.9, 3.0)  # rounds to the same slot
+        assert s.points() == [(10, 5.0, 2.0)]
+        assert s.times() == [10.0]
+
+    def test_capacity_bounds_memory(self):
+        s = Series("x", "sum", interval=1.0, capacity=8)
+        for t in range(100):
+            s.add(float(t), 1.0)
+        assert len(s) == 8
+        assert s.times() == [92.0 + k for k in range(8)]
+
+    def test_mean_aggregation_is_weighted(self):
+        s = Series("x", "mean", interval=1.0)
+        s.add(5.0, 1.0, weight=1.0)
+        s.add(5.0, 0.0, weight=3.0)
+        # (1*1 + 0*3) / 4
+        assert s.values() == [0.25]
+
+    def test_max_aggregation(self):
+        s = Series("x", "max", interval=1.0)
+        s.add(5.0, 2.0)
+        s.add(5.0, 7.0)
+        s.add(5.0, 1.0)
+        assert s.values() == [7.0]
+
+    def test_zero_weight_points_ignored(self):
+        s = Series("x", "mean", interval=1.0)
+        s.add(1.0, 5.0, weight=0.0)
+        assert len(s) == 0
+
+    def test_ewma_smooths_and_preserves_length(self):
+        s = Series("x", "sum", interval=1.0)
+        for t, v in enumerate([0.0, 10.0, 10.0, 10.0]):
+            s.add(float(t), v)
+        smoothed = s.ewma(alpha=0.5)
+        assert len(smoothed) == 4
+        assert smoothed[0] == 0.0
+        assert smoothed[1] == 5.0
+        assert smoothed[-1] < 10.0  # still converging
+        assert smoothed == sorted(smoothed)  # monotone toward the level
+
+    def test_ewma_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Series("x").ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Series("x").ewma(alpha=1.5)
+
+    def test_window_aggregate(self):
+        s = Series("x", "sum", interval=1.0)
+        for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            s.add(float(t), v)
+        w = s.window(2)
+        assert w == {"count": 2, "mean": 3.5, "min": 3.0, "max": 4.0, "last": 4.0}
+        assert s.window(100)["count"] == 4
+        assert Series("y").window(3)["count"] == 0
+        with pytest.raises(ValueError):
+            s.window(0)
+
+    def test_merge_rejects_mismatched_interval_and_agg(self):
+        a = Series("x", "sum", interval=1.0)
+        with pytest.raises(ValueError, match="agg"):
+            a.merge(Series("x", "mean", interval=1.0))
+        with pytest.raises(ValueError, match="interval"):
+            a.merge(Series("x", "sum", interval=0.5))
+
+    def test_state_dict_round_trip(self):
+        s = Series("p99:op", "mean", interval=0.25, capacity=16)
+        s.add(1.0, 3.0, weight=2.0)
+        s.add(2.0, 5.0, weight=1.0)
+        clone = Series.from_state_dict(json.loads(json.dumps(s.state_dict())))
+        assert clone.name == s.name and clone.agg == s.agg
+        assert clone.interval == s.interval and clone.capacity == s.capacity
+        assert clone.points() == s.points()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", "median")
+        with pytest.raises(ValueError):
+            Series("x", interval=0.0)
+        with pytest.raises(ValueError):
+            Series("x", capacity=0)
+
+
+def _point_lists():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=0.1, max_value=10, allow_nan=False),
+        ),
+        max_size=20,
+    )
+
+
+def _series_from(points, agg):
+    s = Series("x", agg, interval=1.0, capacity=DEFAULT_CAPACITY)
+    for slot, value, weight in points:
+        s.add(float(slot), value, weight=weight)
+    return s
+
+
+class TestMergeLaws:
+    """The cluster-aggregation algebra: merge is associative + commutative."""
+
+    @given(
+        agg=st.sampled_from(["sum", "mean", "max"]),
+        a=_point_lists(),
+        b=_point_lists(),
+        c=_point_lists(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_merge_associative_and_commutative(self, agg, a, b, c):
+        def merged(*groups):
+            out = _series_from(groups[0], agg)
+            for g in groups[1:]:
+                out.merge(_series_from(g, agg))
+            return out.points()
+
+        left = merged(a, b, c)  # (a+b)+c
+        right = _series_from(a, agg)
+        right.merge(_series_from(b, agg).merge(_series_from(c, agg)))
+        assert _close(left, right.points())  # a+(b+c)
+        assert _close(merged(a, b), merged(b, a))
+
+    @given(agg=st.sampled_from(["sum", "mean", "max"]), a=_point_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, agg, a):
+        s = _series_from(a, agg)
+        before = s.points()
+        s.merge(Series("x", agg, interval=1.0))
+        assert s.points() == before
+
+
+def _close(a, b):
+    if len(a) != len(b):
+        return False
+    return all(
+        sa == sb and abs(va - vb) < 1e-9 and abs(wa - wb) < 1e-9
+        for (sa, va, wa), (sb, vb, wb) in zip(a, b)
+    )
+
+
+class TestRecorderSampling:
+    def test_counter_rates(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        registry.inc("requests", 10)
+        recorder.sample(registry, 0.0)  # baseline only
+        assert recorder.samples == 0
+        registry.inc("requests", 30)
+        recorder.sample(registry, 2.0)
+        assert recorder.samples == 1
+        (rate,) = recorder.get("rate:requests").values()
+        assert rate == pytest.approx(15.0)  # 30 new over 2 s
+
+    def test_counter_reset_does_not_go_negative(self):
+        recorder = TimeSeriesRecorder(interval=1.0)
+        old = MetricsRegistry()
+        old.inc("requests", 100)
+        recorder.sample(old, 0.0)
+        replaced = MetricsRegistry()  # daemon swapped its registry
+        replaced.inc("requests", 5)
+        recorder.sample(replaced, 1.0)
+        (rate,) = recorder.get("rate:requests").values()
+        assert rate == pytest.approx(5.0)
+
+    def test_cumulative_gauges_become_rates(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        registry.set_gauge("jobs_observed", 100)
+        registry.set_gauge("site_requests", 1000, site=0)
+        recorder.sample(registry, 0.0)
+        registry.set_gauge("jobs_observed", 104)
+        registry.set_gauge("site_requests", 1040, site=0)
+        recorder.sample(registry, 1.0)
+        assert recorder.get("rate:jobs_observed").values() == [4.0]
+        assert recorder.get('rate:site_requests{site="0"}').values() == [40.0]
+        # no gauge: series for cumulative gauges
+        assert recorder.get("gauge:jobs_observed") is None
+
+    def test_level_gauges_snapshot(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        registry.set_gauge("span_buffer_spans", 7)
+        registry.set_gauge("site_hit_rate", 0.5, site=0)
+        recorder.sample(registry, 0.0)
+        assert recorder.get("gauge:span_buffer_spans").values() == [7.0]
+        hit = recorder.get('gauge:site_hit_rate{site="0"}')
+        assert hit.agg == "mean"  # *_rate gauges average across workers
+        assert hit.values() == [0.5]
+
+    def test_derived_hit_rate_weighted_by_requests(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        registry.set_gauge("site_requests", 0, site=0)
+        registry.set_gauge("site_hits", 0, site=0)
+        recorder.sample(registry, 0.0)
+        registry.set_gauge("site_requests", 200, site=0)
+        registry.set_gauge("site_hits", 50, site=0)
+        recorder.sample(registry, 1.0)
+        series = recorder.get("derived:hit_rate")
+        assert series.agg == "mean"
+        assert series.points() == [(1, 0.25, 200.0)]
+
+    def test_histogram_interval_quantiles(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0)
+        recorder.sample(registry, 0.0)
+        for _ in range(100):
+            registry.observe("op.ingest", 0.001)
+        recorder.sample(registry, 1.0)
+        assert recorder.get("rate:op.ingest.count").values() == [100.0]
+        p99 = recorder.get("p99:op.ingest").values()
+        assert len(p99) == 1 and 0.0005 < p99[0] < 0.01
+        # second interval has no new observations: throughput 0, no quantile
+        recorder.sample(registry, 2.0)
+        assert recorder.get("rate:op.ingest.count").values() == [100.0, 0.0]
+        assert len(recorder.get("p99:op.ingest")) == 1
+
+    def test_constant_memory_under_long_sampling(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=1.0, capacity=32)
+        for t in range(500):
+            registry.inc("requests")
+            recorder.sample(registry, float(t))
+        series = recorder.get("rate:requests")
+        assert len(series) == 32
+        assert all(len(s) <= 32 for s in map(recorder.get, recorder.names()))
+
+    def test_recorder_merge_matches_single_recorder_view(self):
+        """Two workers' recorders merge into the global per-slot truth."""
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        recorders = [TimeSeriesRecorder(interval=1.0) for _ in registries]
+        for reg, rec in zip(registries, recorders):
+            rec.sample(reg, 0.0)
+        registries[0].inc("requests", 10)
+        registries[1].inc("requests", 30)
+        registries[0].set_gauge("site_hits", 5, site=0)
+        registries[0].set_gauge("site_requests", 10, site=0)
+        registries[1].set_gauge("site_hits", 0, site=1)
+        registries[1].set_gauge("site_requests", 30, site=1)
+        for reg, rec in zip(registries, recorders):
+            rec.sample(reg, 1.0)
+        merged = recorders[0].merge(recorders[1])
+        assert merged.get("rate:requests").values() == [40.0]
+        # weighted mean over 40 requests: (5 + 0) / (10 + 30)
+        assert merged.get("derived:hit_rate").points() == [(1, 0.125, 40.0)]
+        assert merged.samples == 2
+
+    def test_recorder_merge_rejects_interval_mismatch(self):
+        with pytest.raises(ValueError, match="interval"):
+            TimeSeriesRecorder(interval=1.0).merge(TimeSeriesRecorder(interval=0.5))
+
+    def test_state_dict_round_trip_and_payload_cap(self):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(interval=0.5, capacity=64)
+        recorder.sample(registry, 0.0)
+        for t in range(1, 10):
+            registry.inc("requests", t)
+            recorder.sample(registry, t * 0.5)
+        clone = TimeSeriesRecorder.from_state_dict(
+            json.loads(json.dumps(recorder.state_dict()))
+        )
+        assert clone.interval == recorder.interval
+        assert clone.samples == recorder.samples
+        assert clone.names() == recorder.names()
+        for name in recorder.names():
+            assert clone.get(name).points() == recorder.get(name).points()
+        capped = recorder.payload(last=3)
+        assert all(len(s["points"]) <= 3 for s in capped["series"])
+        # payload is a state_dict superset: it round-trips too
+        assert TimeSeriesRecorder.from_state_dict(capped).names() == recorder.names()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(interval=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(capacity=0)

@@ -1,8 +1,11 @@
 """repro-top dashboard rendering (pure-function tests, no server)."""
 
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.top import (
+    SPARK_CHARS,
     count_exposition_samples,
     render_dashboard,
+    sparkline,
 )
 
 
@@ -109,6 +112,90 @@ class TestRenderDashboard:
     def test_minimal_stats_do_not_crash(self):
         frame = render_dashboard({})
         assert "repro-top" in frame
+
+
+def sample_history():
+    """A ``history`` payload with the headline series and one event."""
+    recorder = TimeSeriesRecorder(interval=1.0)
+    rates = recorder.series("rate:requests", "sum")
+    p99 = recorder.series("p99:op.ingest", "mean")
+    hit = recorder.series("derived:hit_rate", "mean")
+    for t in range(10):
+        rates.add(float(t), 100.0 + 10 * t)
+        p99.add(float(t), 0.002)
+        hit.add(float(t), 0.5 + 0.01 * t, weight=100.0)
+    recorder.samples = 10
+    payload = recorder.payload()
+    payload["health"] = {
+        "enabled": True,
+        "events": [
+            {
+                "detector": "hit-rate-divergence",
+                "severity": "warning",
+                "ts": 7.0,
+                "value": 0.9,
+                "message": "hit rate diverged above baseline",
+                "evidence": {},
+            }
+        ],
+    }
+    return payload
+
+
+class TestSparkline:
+    def test_maps_range_onto_block_ramp(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == SPARK_CHARS[0]
+        assert line[-1] == SPARK_CHARS[-1]
+
+    def test_flat_series_renders_low(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_CHARS[0] * 3
+
+    def test_window_caps_width(self):
+        assert len(sparkline(list(range(100)), width=40)) == 40
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestHistoryPanels:
+    def test_sparkline_panel_with_series_and_events(self):
+        frame = render_dashboard(sample_stats(), history=sample_history())
+        assert "flight recorder — 10 samples every 1s" in frame
+        assert "req/s" in frame and "p99 ms" in frame and "hit rate" in frame
+        assert any(ch in frame for ch in SPARK_CHARS)
+        assert "health events (1 buffered)" in frame
+        assert "hit-rate-divergence: hit rate diverged above baseline" in frame
+        assert "[warning " in frame
+
+    def test_absent_history_renders_no_panel(self):
+        frame = render_dashboard(sample_stats())
+        assert "flight recorder" not in frame
+        assert "health events" not in frame
+
+    def test_empty_history_renders_no_panel(self):
+        empty = TimeSeriesRecorder().payload()
+        empty["health"] = {"enabled": True, "events": []}
+        frame = render_dashboard(sample_stats(), history=empty)
+        assert "flight recorder" not in frame
+
+    def test_event_tail_capped(self):
+        history = sample_history()
+        history["health"]["events"] = [
+            {
+                "detector": "churn-spike",
+                "severity": "warning",
+                "ts": float(t),
+                "value": 1.0,
+                "message": f"event {t}",
+                "evidence": {},
+            }
+            for t in range(12)
+        ]
+        frame = render_dashboard(sample_stats(), history=history)
+        assert "health events (12 buffered)" in frame
+        assert "event 11" in frame and "event 0" not in frame
 
 
 class TestCountExpositionSamples:

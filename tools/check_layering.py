@@ -3,7 +3,8 @@
 
 The repository is layered (see ``docs/ARCHITECTURE.md``)::
 
-    util < traces < core < obs < cache.base < engine < cache < registry
+    util < traces < core < obs < obs.timeseries < obs.health
+         < cache.base < engine < cache < registry
          < {parallel, analysis, sam, scenario, transfer, workload}
          < replication < service < experiments
 
@@ -38,19 +39,21 @@ RANKS: dict[str, int] = {
     "repro.traces": 1,
     "repro.core": 2,
     "repro.obs": 3,
-    "repro.cache.base": 4,
-    "repro.engine": 5,
-    "repro.cache": 6,
-    "repro.registry": 7,
-    "repro.parallel": 8,
-    "repro.analysis": 8,
-    "repro.sam": 8,
-    "repro.scenario": 8,
-    "repro.transfer": 8,
-    "repro.workload": 8,
-    "repro.replication": 9,
-    "repro.service": 10,
-    "repro.experiments": 11,
+    "repro.obs.timeseries": 4,
+    "repro.obs.health": 5,
+    "repro.cache.base": 6,
+    "repro.engine": 7,
+    "repro.cache": 8,
+    "repro.registry": 9,
+    "repro.parallel": 10,
+    "repro.analysis": 10,
+    "repro.sam": 10,
+    "repro.scenario": 10,
+    "repro.transfer": 10,
+    "repro.workload": 10,
+    "repro.replication": 11,
+    "repro.service": 12,
+    "repro.experiments": 13,
 }
 
 #: (importer module prefix, imported module prefix) pairs allowed to
@@ -60,6 +63,10 @@ EXCEPTIONS: frozenset[tuple[str, str]] = frozenset(
         # The repro-top dashboard: an operational CLI leaf that lives in
         # obs but drives the service's admin endpoints.
         ("repro.obs.top", "repro.service"),
+        # The obs package façade re-exports the flight-recorder layers
+        # (timeseries, health) that rank above the base metrics layer.
+        ("repro.obs", "repro.obs.timeseries"),
+        ("repro.obs", "repro.obs.health"),
     }
 )
 
