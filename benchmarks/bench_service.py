@@ -53,6 +53,7 @@ from pathlib import Path
 
 from repro.core.identify import find_filecules
 from repro.obs import trace as obstrace
+from repro.util.host import host_info
 from repro.service import (
     AsyncServiceClient,
     FileculeServer,
@@ -441,7 +442,7 @@ def test_bench_service(benchmark, archive):
         "benchmark": "service",
         "scale": SCALE.__name__.removesuffix("_config"),
         "seed": SEED,
-        "cpus": os.cpu_count(),
+        "host": host_info(),
         "advise_every": ADVISE_EVERY,
         "pipeline_depth": PIPELINE_DEPTH,
         "workload": {
@@ -485,7 +486,7 @@ def test_bench_service(benchmark, archive):
 
     lines = [
         f"service bench — scale {payload['scale']}, seed {SEED}, "
-        f"cpus {payload['cpus']}",
+        f"cpus {payload['host']['cpus']}",
         f"{'row':>12}  {'lookup req/s':>12}  {'replay req/s':>12}  "
         f"{'speedup':>8}  checksum",
         f"{'baseline':>12}  {baseline['requests_per_second']:>12.0f}  "

@@ -174,6 +174,24 @@ class ReplacementPolicy(ABC):
         if self.evict_listener is not None:
             self.evict_listener(size)
 
+    def batch_kernel(self, trace):
+        """Optional vectorized replay kernel for this policy over ``trace``.
+
+        Policies whose request semantics reduce to pure group residency
+        (see :mod:`repro.cache.batch`) return a single-use callable
+        ``kernel(metrics) -> None`` that replays the *entire* trace and
+        folds outcome totals into the metrics, bit-identically to
+        calling :meth:`request` once per access.  The default is
+        ``None``: no batch implementation, replay per access.
+
+        Implementations must decline (return ``None``) whenever batch
+        replay could diverge from per-access replay for this *instance*
+        — e.g. the policy already holds entries (kernels assume a fresh
+        cache) or an ``evict_listener`` is attached (kernels do not
+        observe individual evictions).
+        """
+        return None
+
     def begin_job(self, file_ids, now: float) -> None:
         """Hook: a job is about to request exactly ``file_ids`` at ``now``.
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cache.base import ReplacementPolicy, RequestOutcome
+from repro.cache.batch import GroupedReplayKernel
 
 
 class FileFIFO(ReplacementPolicy):
@@ -22,6 +23,17 @@ class FileFIFO(ReplacementPolicy):
 
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._entries
+
+    def batch_kernel(self, trace):
+        """Vectorized replay: group = file, insertion order (no touch)."""
+        if self._entries or self.used_bytes or self.evict_listener is not None:
+            return None
+        return GroupedReplayKernel(
+            trace,
+            capacity=self.capacity_bytes,
+            group_sizes=trace.file_size_list,
+            touch_on_hit=False,
+        )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
         if file_id in self._entries:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cache.base import HIT, ReplacementPolicy, RequestOutcome
+from repro.cache.batch import GroupedReplayKernel
 from repro.core.filecule import FileculePartition
 
 #: Shared outcome for the ``intra_job_hits=False`` case: the triggering
@@ -82,6 +83,28 @@ class FileculeLRU(ReplacementPolicy):
     def cached_filecules(self) -> list[int]:
         """Resident filecule ids, least recently used first."""
         return list(self._entries)
+
+    def batch_kernel(self, trace):
+        """Vectorized replay: group = filecule label, LRU recency.
+
+        Only for the paper's default ``intra_job_hits=True`` accounting
+        — with ``False``, outcomes depend on the requesting job's
+        timestamp, which the group-residency kernel does not model.
+        """
+        if (
+            not self._intra_job_hits
+            or self._entries
+            or self.used_bytes
+            or self.evict_listener is not None
+        ):
+            return None
+        return GroupedReplayKernel(
+            trace,
+            capacity=self.capacity_bytes,
+            group_sizes=self._size_list,
+            labels=self._labels,
+            touch_on_hit=True,
+        )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
         label = self._label_list[file_id]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.cache.base import HIT, ReplacementPolicy, RequestOutcome
+from repro.cache.batch import GroupedReplayKernel
 
 
 class FileLRU(ReplacementPolicy):
@@ -30,6 +31,17 @@ class FileLRU(ReplacementPolicy):
 
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._entries
+
+    def batch_kernel(self, trace):
+        """Vectorized replay: group = file, LRU recency (see batch.py)."""
+        if self._entries or self.used_bytes or self.evict_listener is not None:
+            return None
+        return GroupedReplayKernel(
+            trace,
+            capacity=self.capacity_bytes,
+            group_sizes=trace.file_size_list,
+            touch_on_hit=True,
+        )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:
         entries = self._entries

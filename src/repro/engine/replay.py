@@ -38,6 +38,7 @@ def simulate(
     instrumentation: Instrumentation | None = None,
     *,
     partition=None,
+    batch: bool | None = None,
 ) -> CacheMetrics:
     """Replay ``trace`` against a fresh policy of the given capacity.
 
@@ -50,6 +51,14 @@ def simulate(
 
     ``instrumentation`` hooks observe the replay without affecting it;
     see :mod:`repro.obs.instrument`.
+
+    ``batch`` selects the vectorized whole-trace kernel offered by
+    batch-capable policies (:meth:`~repro.cache.base.ReplacementPolicy
+    .batch_kernel`; bit-identical to per-access replay, tested).  The
+    default ``None`` uses a kernel whenever the policy offers one,
+    ``False`` forces the per-access path, ``True`` demands a kernel and
+    raises :class:`ValueError` if the policy has none.  Kernels run only
+    on the uninstrumented path — per-access hooks would defeat batching.
     """
     if not callable(policy_factory):
         # Spec-based selection.  The registry sits above the engine in
@@ -68,11 +77,23 @@ def simulate(
     metrics = CacheMetrics(
         name=name or policy.name, capacity_bytes=int(capacity)
     )
-    access_files = trace.access_files
-    ptr_list, files, sizes, starts = trace.replay_columns
-    request = policy.request
-    begin_job = policy.begin_job
     if instrumentation is None:
+        # Batch path: a policy-provided vectorized kernel replays the
+        # whole trace without materializing the per-access list columns.
+        if batch is not False:
+            kernel = policy.batch_kernel(trace)
+            if kernel is not None:
+                kernel(metrics)
+                return metrics
+            if batch:
+                raise ValueError(
+                    f"batch=True but policy {metrics.name!r} offers no "
+                    f"batch kernel for this trace/configuration"
+                )
+        access_files = trace.access_files
+        ptr_list, files, sizes, starts = trace.replay_columns
+        request = policy.request
+        begin_job = policy.begin_job
         # Fast path: per-job outer loop (job id and timestamp hoisted out
         # of the access loop), list columns (no numpy scalar boxing) and
         # local counters folded into the metrics once at the end.  Job
@@ -109,6 +130,15 @@ def simulate(
         metrics.bypasses = bypasses
         return metrics
 
+    if batch:
+        raise ValueError(
+            "batch=True is incompatible with instrumentation; per-access "
+            "hooks require the per-access replay path"
+        )
+    access_files = trace.access_files
+    ptr_list, files, sizes, starts = trace.replay_columns
+    request = policy.request
+    begin_job = policy.begin_job
     inst = instrumentation
     total = len(files)
     progress_every = inst.progress_every

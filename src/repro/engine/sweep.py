@@ -135,6 +135,7 @@ def sweep(
     jobs: int = 1,
     *,
     partition=None,
+    batch: bool | None = None,
 ) -> SweepResult:
     """Run every (policy, capacity) combination over the same trace.
 
@@ -160,6 +161,10 @@ def sweep(
     :class:`~repro.obs.instrument.ProgressReporter` (progress checkpoints
     forwarded over a queue) and combinations of those are supported in
     parallel mode.
+
+    ``batch`` is forwarded to :func:`~repro.engine.replay.simulate` on
+    the serial path; parallel workers always use the default (kernels
+    whenever the policy offers one) — results are identical either way.
     """
     caps = tuple(int(c) for c in capacities)
     if not caps:
@@ -183,7 +188,14 @@ def sweep(
     metrics: dict[str, tuple[CacheMetrics, ...]] = {}
     for name, factory in factories.items():
         metrics[name] = tuple(
-            simulate(trace, factory, cap, name=name, instrumentation=instrumentation)
+            simulate(
+                trace,
+                factory,
+                cap,
+                name=name,
+                instrumentation=instrumentation,
+                batch=batch,
+            )
             for cap in caps
         )
     return SweepResult(capacities=caps, metrics=metrics)

@@ -54,6 +54,82 @@ def render_policy_catalog() -> str:
     return table
 
 
+def run_sweep_command(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: a fig10-style (policy x capacity) grid.
+
+    With ``--dry-run`` the plan — grid shape, estimated accesses, the
+    chunking and the serial-vs-parallel decision — is printed from the
+    workload *config alone*, without generating a trace, so a paper- or
+    grown-scale sweep can be sanity-checked in milliseconds before
+    committing real hours to it.
+    """
+    from repro.experiments.base import _SCALES
+    from repro.experiments.fig10 import (
+        CAPACITY_FRACTIONS,
+        POLICIES,
+        capacities_for,
+    )
+    from repro.parallel import plan_sweep
+    from repro.util.units import format_bytes
+
+    policies = tuple(args.policies.split(",")) if args.policies else POLICIES
+    config = _SCALES[args.scale]()
+    n_cells = len(policies) * len(CAPACITY_FRACTIONS)
+    est_accesses = config.estimated_accesses
+    est_bytes = config.estimated_total_bytes
+    plan = plan_sweep(n_cells, est_accesses, args.jobs)
+
+    print(f"sweep plan: scale={args.scale} seed={args.seed} jobs={args.jobs}")
+    print(
+        f"  grid: {len(policies)} policies x {len(CAPACITY_FRACTIONS)} "
+        f"capacities = {n_cells} cells"
+    )
+    print(f"  policies: {', '.join(policies)}")
+    print(
+        "  capacities: "
+        + ", ".join(
+            format_bytes(c, 1) for c in capacities_for(est_bytes)
+        )
+        + f"  (fractions of ~{format_bytes(est_bytes, 1)} estimated data)"
+    )
+    print(
+        f"  est. accesses: {est_accesses:,} per cell, "
+        f"{plan.total_accesses:,} total"
+    )
+    mode = "parallel" if plan.use_parallel else "serial"
+    print(
+        f"  decision: {mode} — {plan.reason}"
+        + (
+            f"\n  chunking: {plan.n_chunks} chunks of "
+            f"{plan.cells_per_chunk} cell(s) on {plan.workers} workers"
+            if plan.use_parallel
+            else ""
+        )
+    )
+    if args.dry_run:
+        return 0
+
+    from repro.engine import sweep as run_sweep
+
+    ctx = get_context(args.scale, args.seed, args.jobs)
+    caps = capacities_for(ctx.trace.total_bytes())
+    t0 = time.perf_counter()
+    result = run_sweep(
+        ctx.trace,
+        policies,
+        caps,
+        partition=ctx.partition,
+        jobs=args.jobs,
+    )
+    elapsed = time.perf_counter() - t0
+    for name in policies:
+        rates = result.miss_rates(name)
+        for cap, rate in zip(caps, rates):
+            print(f"  {name}@{format_bytes(cap, 1)}: miss rate {rate:.4f}")
+    print(f"({elapsed:.2f}s, {plan.total_accesses:,} accesses estimated)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -68,7 +144,8 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "experiment ids (or 'all'); known: "
             f"{', '.join(all_experiment_ids())}; 'list-policies' prints "
-            "the policy catalog"
+            "the policy catalog; 'sweep' runs (or with --dry-run, plans) "
+            "a fig10-style policy/capacity grid"
         ),
     )
     parser.add_argument(
@@ -79,8 +156,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale",
         default="default",
-        choices=("default", "small", "tiny"),
-        help="workload scale preset (default: 'default', 5%% of paper scale)",
+        choices=("default", "small", "tiny", "paper", "grown"),
+        help=(
+            "workload scale preset (default: 'default', 5%% of paper "
+            "scale); 'paper' and 'grown' (10x paper) go through the "
+            "on-disk trace store and take minutes + GBs on first use"
+        ),
     )
     parser.add_argument(
         "--seed",
@@ -103,6 +184,23 @@ def main(argv: list[str] | None = None) -> int:
         "--strict",
         action="store_true",
         help="exit non-zero if any qualitative check fails",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "with 'sweep': print the planned grid (cells, estimated "
+            "accesses, chunking, serial-vs-parallel decision) and exit "
+            "without generating a trace or replaying anything"
+        ),
+    )
+    parser.add_argument(
+        "--policies",
+        metavar="NAMES",
+        help=(
+            "with 'sweep': comma-separated registry specs to sweep "
+            "(default: the Figure 10 pair, file-lru,filecule-lru)"
+        ),
     )
     parser.add_argument(
         "--report",
@@ -130,6 +228,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_policies or "list-policies" in args.experiments:
         print(render_policy_catalog())
         return 0
+    if "sweep" in args.experiments:
+        if args.experiments != ["sweep"]:
+            parser.error("'sweep' cannot be combined with experiment ids")
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        return run_sweep_command(args)
+    if args.dry_run:
+        parser.error("--dry-run is only meaningful with the 'sweep' command")
+    if args.policies:
+        parser.error("--policies is only meaningful with the 'sweep' command")
     if not args.experiments:
         parser.error("no experiment ids given (or use --list-policies)")
 

@@ -12,10 +12,13 @@ from repro.traces.trace import Trace
 from repro.util.tables import render_table
 from repro.workload.calibration import (
     default_config,
+    grown_config,
+    paper_config,
     small_config,
     tiny_config,
 )
 from repro.workload.generator import generate_trace
+from repro.workload.store import cached_trace
 
 #: The fixed seed behind every number in EXPERIMENTS.md.
 EXPERIMENT_SEED: int = 7
@@ -24,7 +27,14 @@ _SCALES = {
     "default": default_config,
     "small": small_config,
     "tiny": tiny_config,
+    "paper": paper_config,
+    "grown": grown_config,
 }
+
+#: Scales expensive enough to generate that their traces go through the
+#: on-disk artifact store (:mod:`repro.workload.store`) instead of being
+#: regenerated per process.
+_STORE_BACKED = frozenset({"paper", "grown"})
 
 
 @dataclass(frozen=True)
@@ -60,7 +70,10 @@ def get_context(
         raise ValueError(
             f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
         ) from None
-    trace = generate_trace(config, seed=seed)
+    if scale in _STORE_BACKED:
+        trace = cached_trace(config, seed=seed)
+    else:
+        trace = generate_trace(config, seed=seed)
     return ExperimentContext(
         scale=scale,
         seed=seed,

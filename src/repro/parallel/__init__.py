@@ -22,6 +22,13 @@ See ``docs/PERFORMANCE.md`` for the design, the equivalence guarantees
 and how to read ``BENCH_sweep.json``.
 """
 
+from repro.parallel.plan import (
+    DEFAULT_MIN_ACCESSES,
+    MIN_CHUNK_ACCESSES,
+    SweepPlan,
+    min_parallel_accesses,
+    plan_sweep,
+)
 from repro.parallel.runner import (
     DEFAULT_PROGRESS_EVERY,
     ParallelSweepRunner,
@@ -37,10 +44,15 @@ from repro.parallel.shm import (
 )
 
 __all__ = [
+    "DEFAULT_MIN_ACCESSES",
     "DEFAULT_PROGRESS_EVERY",
+    "MIN_CHUNK_ACCESSES",
     "ParallelSweepRunner",
     "SweepCellError",
+    "SweepPlan",
+    "min_parallel_accesses",
     "parallel_sweep",
+    "plan_sweep",
     "SEGMENT_PREFIX",
     "SharedTraceBuffers",
     "SharedTraceSpec",

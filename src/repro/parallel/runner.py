@@ -55,6 +55,7 @@ from repro.obs.instrument import (
     SimStats,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.parallel.plan import plan_sweep
 from repro.parallel.shm import SharedTraceBuffers, SharedTraceSpec, attach_trace
 from repro.traces.trace import Trace
 from repro.util.units import format_bytes
@@ -167,6 +168,24 @@ class _QueueProgress(Instrumentation):
                 self._evicted,
             )
         )
+
+
+def _run_cells(chunk: tuple) -> list:
+    """Run a batch of (name, index, capacity) cells in this worker.
+
+    Cells are chunked by :func:`repro.parallel.plan.plan_sweep` so small
+    cells share one pickle round trip instead of paying one each.  A
+    failing cell is captured as an ``("err", name, index, exc)`` entry —
+    the chunk's remaining cells still run, and the parent raises
+    :class:`SweepCellError` for the first error in cell order.
+    """
+    out = []
+    for name, index, capacity in chunk:
+        try:
+            out.append(("ok", *_run_cell(name, index, capacity)))
+        except Exception as exc:
+            out.append(("err", name, index, exc))
+    return out
 
 
 def _run_cell(name: str, index: int, capacity: int):
@@ -353,6 +372,7 @@ class ParallelSweepRunner:
         capacities,
         *,
         partition=None,
+        buffers: SharedTraceBuffers | None = None,
     ) -> SweepResult:
         """Run the grid; identical results to serial ``sweep``.
 
@@ -362,6 +382,13 @@ class ParallelSweepRunner:
         factory`` mappings (fork-only).  Spec grids that include
         filecule-granularity policies need ``partition=...``; it is
         pickled once into each worker.
+
+        ``buffers`` optionally reuses an existing
+        :class:`~repro.parallel.shm.SharedTraceBuffers` built from this
+        same trace — repeated runs (benchmark repeats, back-to-back
+        grids) then skip the copy-into-shared-memory setup cost.  A
+        caller-provided segment is left open: its owner closes and
+        unlinks it.
         """
         factories, specs = resolve_policies(policies, trace, partition)
         caps = tuple(int(c) for c in capacities)
@@ -373,10 +400,17 @@ class ParallelSweepRunner:
             for name in factories
             for index, cap in enumerate(caps)
         ]
-        processes = min(self.jobs, len(cells))
-        if not self.oversubscribe:
-            processes = min(processes, os.cpu_count() or processes)
-        processes = max(1, processes)
+        plan = plan_sweep(
+            len(cells),
+            trace.n_accesses,
+            self.jobs,
+            oversubscribe=self.oversubscribe,
+        )
+        chunks = [
+            tuple(cells[k : k + plan.cells_per_chunk])
+            for k in range(0, len(cells), plan.cells_per_chunk)
+        ]
+        processes = max(1, min(plan.workers, len(chunks)))
         self.effective_jobs = processes
         queue = ctx.Queue() if self.progress else None
         printer_thread = None
@@ -407,7 +441,9 @@ class ParallelSweepRunner:
             name: [None] * len(caps) for name in factories
         }
         merged_stats = SimStats() if self.collect_stats else None
-        buffers = SharedTraceBuffers(trace)
+        owns_buffers = buffers is None
+        if owns_buffers:
+            buffers = SharedTraceBuffers(trace)
         try:
             progress_cfg = (
                 (queue, self.progress_every) if queue is not None else None
@@ -423,25 +459,34 @@ class ParallelSweepRunner:
                 ),
             ) as pool:
                 pending = [
-                    (name, index, pool.apply_async(_run_cell, (name, index, cap)))
-                    for name, index, cap in cells
+                    (chunk, pool.apply_async(_run_cells, (chunk,)))
+                    for chunk in chunks
                 ]
-                for name, index, handle in pending:
+                for chunk, handle in pending:
                     try:
-                        _, _, metrics, stats, registry = handle.get()
+                        results = handle.get()
                     except Exception as exc:
+                        # The whole chunk failed to round-trip (e.g. an
+                        # unpicklable result); blame its first cell.
+                        name, index, _cap = chunk[0]
                         raise SweepCellError(name, caps[index], exc) from exc
-                    grid[name][index] = metrics
-                    self.registry.merge(registry)
-                    if merged_stats is not None and stats is not None:
-                        merged_stats.merge(stats)
+                    for entry in results:
+                        if entry[0] == "err":
+                            _, name, index, exc = entry
+                            raise SweepCellError(name, caps[index], exc) from exc
+                        _, name, index, metrics, stats, registry = entry
+                        grid[name][index] = metrics
+                        self.registry.merge(registry)
+                        if merged_stats is not None and stats is not None:
+                            merged_stats.merge(stats)
         finally:
             if queue is not None:
                 queue.put(None)
                 printer_thread.join(timeout=5.0)
                 queue.close()
-            buffers.close()
-            buffers.unlink()
+            if owns_buffers:
+                buffers.close()
+                buffers.unlink()
         self.stats = merged_stats
         return SweepResult(
             capacities=caps,
@@ -458,6 +503,7 @@ def parallel_sweep(
     instrumentation: Instrumentation | None = None,
     partition=None,
     start_method: str | None = None,
+    auto_serial: bool = True,
 ) -> SweepResult:
     """``sweep(jobs=N)`` backend: map the instrumentation contract onto a
     :class:`ParallelSweepRunner`.
@@ -469,6 +515,16 @@ def parallel_sweep(
     :class:`~repro.obs.instrument.SimStats` receives the merged worker
     collectors after the run.  Anything else raises ``ValueError`` —
     run serially for custom per-access instrumentation.
+
+    ``jobs`` is a ceiling, never a demand to go slower: with
+    ``auto_serial`` (the default), grids whose
+    :func:`~repro.parallel.plan.plan_sweep` says a pool cannot win —
+    too few total accesses to amortize the fork/shared-memory setup, or
+    only one usable worker — run on the ordinary serial loop instead,
+    with identical results, the same instrumentation objects observing,
+    and per-cell failures still wrapped in :class:`SweepCellError`.
+    Set ``REPRO_PARALLEL_FORCE=1`` (or ``auto_serial=False``) to force
+    the pool for crossover measurements.
     """
     hooks: tuple[Instrumentation, ...]
     if instrumentation is None:
@@ -491,6 +547,31 @@ def parallel_sweep(
                 f"{type(hook).__name__} — use jobs=1 for custom per-access "
                 "hooks"
             )
+    caps = tuple(int(c) for c in capacities)
+    if not caps:
+        raise ValueError("need at least one capacity")
+    if auto_serial:
+        factories, _ = resolve_policies(policies, trace, partition)
+        plan = plan_sweep(len(factories) * len(caps), trace.n_accesses, jobs)
+        if not plan.use_parallel:
+            metrics: dict[str, tuple[CacheMetrics, ...]] = {}
+            for name, factory in factories.items():
+                row = []
+                for cap in caps:
+                    try:
+                        row.append(
+                            simulate(
+                                trace,
+                                factory,
+                                cap,
+                                name=name,
+                                instrumentation=instrumentation,
+                            )
+                        )
+                    except Exception as exc:
+                        raise SweepCellError(name, cap, exc) from exc
+                metrics[name] = tuple(row)
+            return SweepResult(capacities=caps, metrics=metrics)
     runner = ParallelSweepRunner(
         jobs=jobs,
         start_method=start_method,

@@ -34,6 +34,7 @@ from repro.registry.spec import register_policy
 @register_policy(
     "file-lru",
     summary="LRU at file granularity (the paper's baseline)",
+    supports_batch=True,
     aliases=("lru",),
 )
 def _file_lru(capacity, *, trace, partition):
@@ -43,6 +44,7 @@ def _file_lru(capacity, *, trace, partition):
 @register_policy(
     "file-fifo",
     summary="FIFO at file granularity",
+    supports_batch=True,
     aliases=("fifo",),
 )
 def _file_fifo(capacity, *, trace, partition):
@@ -147,6 +149,7 @@ def _group_prefetch_lru(capacity, *, trace, partition, max_prefetch_fraction):
     summary="LRU over whole filecules (the paper's contribution)",
     defaults={"intra_job_hits": True},
     needs_filecules=True,
+    supports_batch=True,
 )
 def _filecule_lru(capacity, *, trace, partition, intra_job_hits):
     return FileculeLRU(capacity, partition, intra_job_hits=intra_job_hits)

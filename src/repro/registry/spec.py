@@ -24,7 +24,12 @@ from collections.abc import Callable, Mapping
 from repro.cache.base import ReplacementPolicy
 
 #: Ordered capability-flag names, as exposed by :attr:`PolicySpec.flags`.
-FLAG_NAMES = ("needs_filecules", "needs_trace", "is_offline_optimal")
+FLAG_NAMES = (
+    "needs_filecules",
+    "needs_trace",
+    "is_offline_optimal",
+    "supports_batch",
+)
 
 
 class UnknownPolicyError(ValueError):
@@ -58,6 +63,7 @@ class PolicySpec:
     needs_filecules: bool = False
     needs_trace: bool = False
     is_offline_optimal: bool = False
+    supports_batch: bool = False
     aliases: tuple[str, ...] = ()
 
     @property
@@ -101,6 +107,7 @@ def register_policy(
     needs_filecules: bool = False,
     needs_trace: bool = False,
     is_offline_optimal: bool = False,
+    supports_batch: bool = False,
     aliases: tuple[str, ...] = (),
 ) -> Callable[[Callable[..., ReplacementPolicy]], Callable[..., ReplacementPolicy]]:
     """Decorator registering ``factory`` under ``name`` (plus aliases)."""
@@ -116,6 +123,7 @@ def register_policy(
             needs_filecules=needs_filecules,
             needs_trace=needs_trace,
             is_offline_optimal=is_offline_optimal,
+            supports_batch=supports_batch,
             aliases=tuple(aliases),
         )
         _SPECS[name] = spec

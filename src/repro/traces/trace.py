@@ -308,6 +308,16 @@ class Trace:
         return out
 
     @cached_property
+    def file_size_list(self) -> list[int]:
+        """``file_sizes`` as a plain Python list (one shared conversion).
+
+        Used by the per-access replay path (via :attr:`replay_columns`)
+        and by the batch kernels' eviction bookkeeping; evicted together
+        with the other list copies by :meth:`release_replay_columns`.
+        """
+        return self.file_sizes.tolist()
+
+    @cached_property
     def replay_columns(self) -> tuple[list, list, list, list]:
         """``(job_ptr, access_files, file_sizes, job_starts)`` as plain lists.
 
@@ -318,14 +328,40 @@ class Trace:
         lists once per trace — they are immutable, so the conversion is
         shared by every (policy, capacity) cell of a sweep — makes the
         replay loop pure list indexing.  Costs roughly 40 bytes per
-        access while the trace is alive.
+        access while cached; at paper scale that rivals the numpy
+        columns themselves, so the copies are *evictable*: call
+        :meth:`release_replay_columns` when a replay consumer is done
+        (the batch kernels never materialize them at all).
         """
         return (
             self.job_access_ptr.tolist(),
             self.access_files.tolist(),
-            self.file_sizes.tolist(),
+            self.file_size_list,
             self.job_starts.tolist(),
         )
+
+    def release_replay_columns(self) -> None:
+        """Drop the cached list copies built by :attr:`replay_columns`.
+
+        The numpy columns are untouched; a later :attr:`replay_columns`
+        access simply rebuilds the lists.  Frees ~40 bytes/access —
+        roughly half the resident footprint of a paper-scale trace.
+        """
+        self.__dict__.pop("replay_columns", None)
+        self.__dict__.pop("file_size_list", None)
+
+    @cached_property
+    def access_size_cumsum(self) -> np.ndarray:
+        """Prefix sums of per-access byte sizes (length ``n_accesses+1``).
+
+        ``cumsum[b] - cumsum[a]`` is the total bytes requested by the
+        access range ``[a, b)`` — the batch replay kernels account whole
+        hit runs with one subtraction instead of per-access adds.
+        """
+        out = np.zeros(self.n_accesses + 1, dtype=np.int64)
+        np.cumsum(self.file_sizes[self.access_files], out=out[1:])
+        out.setflags(write=False)
+        return out
 
     @cached_property
     def accessed_file_ids(self) -> np.ndarray:

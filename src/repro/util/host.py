@@ -1,0 +1,23 @@
+"""Host identification for benchmark artifacts.
+
+Every ``BENCH_*.json`` this repository commits embeds :func:`host_info`
+so a reader can tell *what machine* produced the numbers — a 0.63x
+"parallel speedup" means something entirely different on one CPU than on
+sixteen, and the committed artifacts have historically come from
+single-CPU CI-class hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+
+def host_info() -> dict:
+    """The fields benchmark artifacts record about the machine."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }

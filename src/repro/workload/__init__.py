@@ -32,12 +32,21 @@ from repro.workload.config import (
 )
 from repro.workload.calibration import (
     paper_config,
+    grown_config,
     default_config,
     small_config,
     tiny_config,
 )
 from repro.workload.datasets import FilePopulation, DatasetCatalog, build_population
 from repro.workload.generator import generate_trace
+from repro.workload.store import (
+    cached_trace,
+    load_trace,
+    save_trace,
+    trace_cache_dir,
+    trace_key,
+    trace_path,
+)
 from repro.workload.validate import (
     CalibrationResult,
     CalibrationTarget,
@@ -55,9 +64,16 @@ __all__ = [
     "DomainConfig",
     "WorkloadConfig",
     "paper_config",
+    "grown_config",
     "default_config",
     "small_config",
     "tiny_config",
+    "cached_trace",
+    "load_trace",
+    "save_trace",
+    "trace_cache_dir",
+    "trace_key",
+    "trace_path",
     "FilePopulation",
     "DatasetCatalog",
     "build_population",

@@ -46,6 +46,7 @@ _JOBS_OTHER = 120_962
 _FILES_PER_JOB = {"reconstructed": 60.0, "root-tuple": 80.0, "thumbnail": 120.0}
 
 
+@lru_cache(maxsize=None)
 def paper_config() -> WorkloadConfig:
     """Full-scale configuration calibrated to the paper's Tables 1–2."""
     tiers = (
@@ -121,6 +122,20 @@ def paper_config() -> WorkloadConfig:
         span_days=PAPER_SPAN_DAYS,
         name="paper",
     )
+
+
+@lru_cache(maxsize=None)
+def grown_config() -> WorkloadConfig:
+    """Stress preset: the paper workload grown 10x.
+
+    ≈ 1.1M traced jobs over ≈ 10M files, ≈ 130M accesses — the
+    forward-looking tier for scheduler-scale stress runs (the paper's
+    DZero numbers kept growing after the trace window closed).  Only the
+    benchmark harness and the trace store touch this; always go through
+    :func:`repro.workload.store.cached_trace` so the generation cost is
+    paid once per machine.
+    """
+    return paper_config().scaled(10, name="grown")
 
 
 @lru_cache(maxsize=None)

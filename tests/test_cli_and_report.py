@@ -61,3 +61,75 @@ class TestReportGenerator:
         ctx = get_context("small", seed=7)
         with pytest.raises(KeyError):
             generate_report(tmp_path / "r.md", ctx, experiment_ids=["nope"])
+
+
+class TestSweepCli:
+    """The ``sweep`` subcommand of ``python -m repro.experiments``."""
+
+    @staticmethod
+    def _main(argv):
+        from repro.experiments.__main__ import main
+
+        return main(argv)
+
+    def test_dry_run_plans_paper_scale_without_a_trace(self, capsys):
+        """--dry-run prints the grid and the dispatch decision from the
+        workload config alone — fast even at paper scale."""
+        code = self._main(
+            ["sweep", "--dry-run", "--scale", "paper", "--jobs", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep plan: scale=paper" in out
+        assert "2 policies x 7 capacities = 14 cells" in out
+        assert "est. accesses:" in out
+        assert "decision:" in out
+
+    def test_dry_run_chunking_shown_when_parallel(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+        code = self._main(
+            ["sweep", "--dry-run", "--scale", "tiny", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decision: parallel — REPRO_PARALLEL_FORCE=1" in out
+        assert "chunking:" in out
+
+    def test_dry_run_policies_override(self, capsys):
+        code = self._main(
+            [
+                "sweep",
+                "--dry-run",
+                "--scale",
+                "tiny",
+                "--policies",
+                "file-lru,file-fifo,file-lfu",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 policies x 7 capacities = 21 cells" in out
+        assert "file-lru, file-fifo, file-lfu" in out
+
+    def test_sweep_runs_the_grid(self, capsys):
+        code = self._main(
+            ["sweep", "--scale", "tiny", "--seed", "3", "--policies", "file-lru"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+
+    def test_sweep_cannot_combine_with_experiment_ids(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["sweep", "fig10", "--scale", "tiny"])
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_dry_run_requires_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["fig10", "--dry-run", "--scale", "tiny"])
+        assert "--dry-run" in capsys.readouterr().err
+
+    def test_policies_requires_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            self._main(["fig10", "--policies", "file-lru", "--scale", "tiny"])
+        assert "--policies" in capsys.readouterr().err

@@ -42,6 +42,18 @@ from repro.parallel import (
 SHM_DIR = Path("/dev/shm")
 
 
+@pytest.fixture(autouse=True)
+def _force_parallel(monkeypatch):
+    """Keep ``jobs>1`` tests on the pool even on small hosts.
+
+    ``parallel_sweep`` auto-serializes when the plan says a pool cannot
+    win (one CPU, tiny grid).  These tests exist to exercise the pool
+    machinery itself, so force the parallel path regardless of host
+    shape; the auto-serial decision is covered by its own suite.
+    """
+    monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+
+
 def _leaked_segments() -> list[str]:
     if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux
         return []

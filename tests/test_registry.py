@@ -94,7 +94,12 @@ class TestCatalog:
             "needs_trace",
             "is_offline_optimal",
         )
-        assert by_name["file-lru"].flags == ()
+        assert by_name["file-lru"].flags == ("supports_batch",)
+        assert by_name["file-lfu"].flags == ()
+        # The batch capability matches exactly the policies whose
+        # instances actually offer a kernel (see test_engine_batch).
+        batchable = {s.name for s in specs if s.supports_batch}
+        assert batchable == {"file-lru", "file-fifo", "filecule-lru"}
 
     def test_aliases_resolve_to_canonical_specs(self):
         for alias, canonical in (

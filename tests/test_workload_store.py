@@ -1,0 +1,132 @@
+"""On-disk trace artifact store: keying, round trip, failure recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import Trace
+from repro.workload import (
+    cached_trace,
+    generate_trace,
+    load_trace,
+    save_trace,
+    tiny_config,
+    trace_cache_dir,
+    trace_key,
+    trace_path,
+)
+from repro.workload.store import FORMAT_VERSION, TRACE_ARRAY_COLUMNS
+
+SEED = 11
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return tmp_path / "traces"
+
+
+def _assert_traces_equal(a: Trace, b: Trace) -> None:
+    for name in TRACE_ARRAY_COLUMNS:
+        got, want = getattr(a, name), getattr(b, name)
+        assert got.dtype == want.dtype, name
+        assert np.array_equal(got, want), name
+    assert a.site_names == b.site_names
+    assert a.domain_names == b.domain_names
+
+
+def test_round_trip_restores_every_column(store_dir):
+    cfg = tiny_config()
+    ref = generate_trace(cfg, seed=SEED)
+    path = trace_path(cfg, SEED, store_dir)
+    save_trace(ref, path)
+    loaded = load_trace(path)
+    _assert_traces_equal(loaded, ref)
+    # loaded columns are frozen like any Trace's
+    with pytest.raises(ValueError):
+        loaded.access_files[0] = 1
+
+
+def test_cached_trace_generates_once(store_dir):
+    cfg = tiny_config()
+    events: list[str] = []
+    first = cached_trace(cfg, SEED, cache_dir=store_dir, on_event=events.append)
+    second = cached_trace(cfg, SEED, cache_dir=store_dir, on_event=events.append)
+    _assert_traces_equal(second, first)
+    assert any("generating" in e for e in events[:2])
+    assert any("hit" in e for e in events[2:])
+    # exactly one artifact on disk
+    assert len(list(store_dir.glob("*.npz"))) == 1
+
+
+def test_key_is_structural_not_nominal(store_dir):
+    cfg = tiny_config()
+    renamed = cfg.scaled(1.0, name="renamed")
+    # scaled(1.0) keeps every count: only the name differs
+    assert trace_key(cfg, SEED) == trace_key(renamed, SEED)
+    # any calibrated number (or the seed) changes the key
+    assert trace_key(cfg, SEED) != trace_key(cfg, SEED + 1)
+    assert trace_key(cfg, SEED) != trace_key(cfg.scaled(2.0), SEED)
+
+
+def test_corrupt_artifact_is_regenerated(store_dir):
+    cfg = tiny_config()
+    ref = cached_trace(cfg, SEED, cache_dir=store_dir)
+    path = trace_path(cfg, SEED, store_dir)
+    path.write_bytes(b"not an npz")
+    events: list[str] = []
+    recovered = cached_trace(
+        cfg, SEED, cache_dir=store_dir, on_event=events.append
+    )
+    _assert_traces_equal(recovered, ref)
+    assert any("discarding" in e for e in events)
+    # and the rewritten artifact is valid again
+    _assert_traces_equal(load_trace(path), ref)
+
+
+def test_format_version_mismatch_is_refused_then_rewritten(
+    store_dir, monkeypatch
+):
+    cfg = tiny_config()
+    cached_trace(cfg, SEED, cache_dir=store_dir)
+    path = trace_path(cfg, SEED, store_dir)
+    # rewrite the artifact claiming a future format
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays["format_version"] = np.asarray(FORMAT_VERSION + 1, dtype=np.int64)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    with pytest.raises(ValueError, match="format"):
+        load_trace(path)
+    # cached_trace treats it like any unreadable artifact
+    recovered = cached_trace(cfg, SEED, cache_dir=store_dir)
+    assert recovered.n_accesses > 0
+    assert int(np.load(path)["format_version"]) == FORMAT_VERSION
+
+
+def test_refresh_forces_regeneration(store_dir):
+    cfg = tiny_config()
+    cached_trace(cfg, SEED, cache_dir=store_dir)
+    path = trace_path(cfg, SEED, store_dir)
+    before = path.stat().st_mtime_ns
+    events: list[str] = []
+    cached_trace(
+        cfg, SEED, cache_dir=store_dir, refresh=True, on_event=events.append
+    )
+    assert any("generating" in e for e in events)
+    assert path.stat().st_mtime_ns >= before
+
+
+def test_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "elsewhere"))
+    assert trace_cache_dir() == tmp_path / "elsewhere"
+    monkeypatch.delenv("REPRO_TRACE_CACHE")
+    default = trace_cache_dir()
+    assert default.name == "repro-traces"
+
+
+def test_no_tmp_files_left_behind(store_dir):
+    cfg = tiny_config()
+    cached_trace(cfg, SEED, cache_dir=store_dir)
+    leftovers = [p for p in store_dir.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
