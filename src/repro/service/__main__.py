@@ -183,6 +183,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         target_rate=args.rate,
         advise_every=args.advise_every,
         pipeline_depth=args.pipeline,
+        ingest_batch=args.ingest_batch,
         rid_prefix=args.rid_prefix,
         progress_every=args.progress_every,
         timeline_interval=timeline_interval,
@@ -201,6 +202,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         payload = {
             "interval": report.timeline_interval,
             "timeline": report.timeline_summary(),
+            # What the daemon's writer actually coalesced this run
+            # (size-bucketed batch counts from the server registry).
+            "writer_batching": report.writer_batching(),
         }
         Path(args.timeline_json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.timeline_json}")
@@ -409,6 +413,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="DEPTH",
         help="jobs kept in flight per connection (1 = request/response)",
+    )
+    p_load.add_argument(
+        "--ingest-batch",
+        type=int,
+        default=1,
+        metavar="JOBS",
+        help=(
+            "flush ingests in coalescing-friendly groups of this size "
+            "(advises front-loaded per group; excludes --pipeline)"
+        ),
     )
     p_load.add_argument(
         "--procs",

@@ -25,6 +25,12 @@ Two throughput levers beyond connection count:
   measure batch-send → individual-response, so percentiles under deep
   pipelining reflect queueing inside the batch — by design: that is
   what a pipelining client experiences;
+* ``ingest_batch > 1`` is the coalescing-friendly variant of pipelining:
+  groups of that many jobs are flushed together with the group's
+  ``advise`` probes front-loaded, so the ingests arrive back-to-back in
+  the daemon's writer inbox and coalesce into single kernel calls (see
+  ``docs/SERVICE.md``).  Advises in a group consult the pre-group
+  partition — the trade a batching middleware actually makes;
 * :func:`run_load_procs` forks N generator processes so a single Python
   client process is never the bottleneck of a multi-worker measurement;
   per-op latency histograms from the children merge bucket-exactly
@@ -115,6 +121,46 @@ class LoadReport:
             )
         return out
 
+    def writer_batching(self) -> dict | None:
+        """The daemon's effective writer-batch-size histogram, if polled.
+
+        Extracted from the final ``stats`` snapshot: the actor counts
+        every fast-path ingest batch it executes in the labeled counter
+        ``ingest_batch_jobs{jobs=...}`` (power-of-two size buckets), so
+        this reports what coalescing *actually* achieved server-side —
+        which client-side knobs like ``ingest_batch`` only influence.
+        Returns ``None`` when final stats were not fetched or the daemon
+        predates the counter.
+        """
+        if not self.final_stats:
+            return None
+        server = self.final_stats.get("server") or {}
+        counters = server.get("counters") or {}
+        prefix = 'ingest_batch_jobs{jobs="'
+        buckets = {
+            key[len(prefix) : -2]: count
+            for key, count in counters.items()
+            if key.startswith(prefix)
+        }
+        if not buckets:
+            return None
+
+        def lower_edge(label: str) -> int:
+            return int(label.rstrip("+").split("-")[0])
+
+        batches = counters.get("ingest_batches", 0)
+        latency = server.get("latency") or {}
+        ingests = (latency.get("op.ingest") or {}).get("count", 0)
+        return {
+            "batches": batches,
+            "ingest_requests": ingests,
+            "mean_jobs_per_batch": (ingests / batches) if batches else None,
+            "batch_size_histogram": {
+                label: buckets[label]
+                for label in sorted(buckets, key=lower_edge)
+            },
+        }
+
     def as_dict(self) -> dict:
         payload = {
             "jobs": self.jobs,
@@ -127,6 +173,9 @@ class LoadReport:
         if self.timeline:
             payload["timeline_interval"] = self.timeline_interval
             payload["timeline"] = self.timeline_summary()
+        batching = self.writer_batching()
+        if batching is not None:
+            payload["writer_batching"] = batching
         return payload
 
     def render(self) -> str:
@@ -241,6 +290,7 @@ async def run_load(
     offsets: list[float] | None = None,
     advise_every: int = 0,
     pipeline_depth: int = 1,
+    ingest_batch: int = 1,
     fetch_final_stats: bool = True,
     rid_prefix: str | None = None,
     progress_every: int = 0,
@@ -268,6 +318,13 @@ async def run_load(
         Jobs kept in flight per connection before reading responses
         (1 = classic request/response).  Keep below the server's
         per-connection backpressure window (128 by default).
+    ingest_batch:
+        When > 1, flush jobs in groups of this size with the group's
+        advises sent *before* its ingests, so the ingests land
+        back-to-back in the daemon's writer inbox and coalesce into one
+        kernel call per group.  Mutually exclusive with
+        ``pipeline_depth > 1`` (it implies pipelined sending at this
+        depth).
     fetch_final_stats:
         Issue one final ``stats`` query and attach it to the report.
     rid_prefix:
@@ -286,6 +343,13 @@ async def run_load(
         raise ValueError(f"connections must be >= 1, got {connections}")
     if pipeline_depth < 1:
         raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+    if ingest_batch < 1:
+        raise ValueError(f"ingest_batch must be >= 1, got {ingest_batch}")
+    if ingest_batch > 1 and pipeline_depth > 1:
+        raise ValueError(
+            "ingest_batch and pipeline_depth are mutually exclusive "
+            "(ingest_batch implies pipelined sending at its own depth)"
+        )
     if not jobs:
         raise ValueError("no jobs to replay")
     if offsets is not None and len(offsets) != len(jobs):
@@ -381,44 +445,80 @@ async def run_load(
             note_progress(1)
         return sent
 
-    async def worker_pipelined(client: AsyncServiceClient, worker_id: int) -> int:
+    def _job_fields(k: int) -> dict:
+        job = jobs[k]
+        fields = {"site": job.get("site", 0)}
+        if rid_prefix:
+            fields["rid"] = f"{rid_prefix}-{k}"
+        return fields
+
+    async def worker_pipelined(
+        client: AsyncServiceClient,
+        worker_id: int,
+        depth: int,
+        group_ingests: bool,
+    ) -> int:
         nonlocal errors
         sent = 0
         indices = range(worker_id, len(jobs), connections)
-        for batch_start in range(0, len(indices), pipeline_depth):
-            batch = indices[batch_start : batch_start + pipeline_depth]
+        for batch_start in range(0, len(indices), depth):
+            batch = indices[batch_start : batch_start + depth]
             scheduled = scheduled_send(batch[0])
             if scheduled is not None:
                 delay = scheduled - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
             in_flight: list[tuple[str, int]] = []
-            for k in batch:
-                job = jobs[k]
-                rid = f"{rid_prefix}-{k}" if rid_prefix else None
-                fields = {"site": job.get("site", 0)}
-                if rid is not None:
-                    fields["rid"] = rid
-                if advise_every and k % advise_every == 0:
+            if group_ingests:
+                # Advises first, then the ingests back-to-back: the
+                # actor sees an unbroken ingest run it can coalesce.
+                for k in batch:
+                    if advise_every and k % advise_every == 0:
+                        in_flight.append(
+                            (
+                                "advise",
+                                client.send_nowait(
+                                    "advise",
+                                    files=jobs[k]["files"],
+                                    **_job_fields(k),
+                                ),
+                            )
+                        )
+                for k in batch:
                     in_flight.append(
                         (
-                            "advise",
+                            "ingest",
                             client.send_nowait(
-                                "advise", files=job["files"], **fields
+                                "ingest",
+                                files=jobs[k]["files"],
+                                sizes=jobs[k].get("sizes"),
+                                **_job_fields(k),
                             ),
                         )
                     )
-                in_flight.append(
-                    (
-                        "ingest",
-                        client.send_nowait(
+            else:
+                for k in batch:
+                    fields = _job_fields(k)
+                    if advise_every and k % advise_every == 0:
+                        in_flight.append(
+                            (
+                                "advise",
+                                client.send_nowait(
+                                    "advise", files=jobs[k]["files"], **fields
+                                ),
+                            )
+                        )
+                    in_flight.append(
+                        (
                             "ingest",
-                            files=job["files"],
-                            sizes=job.get("sizes"),
-                            **fields,
-                        ),
+                            client.send_nowait(
+                                "ingest",
+                                files=jobs[k]["files"],
+                                sizes=jobs[k].get("sizes"),
+                                **fields,
+                            ),
+                        )
                     )
-                )
             t0 = time.perf_counter()
             await client.flush()
             for op, request_id in in_flight:
@@ -437,8 +537,14 @@ async def run_load(
     async def worker(worker_id: int) -> int:
         client = await AsyncServiceClient.connect(host, port)
         try:
+            if ingest_batch > 1:
+                return await worker_pipelined(
+                    client, worker_id, ingest_batch, True
+                )
             if pipeline_depth > 1:
-                return await worker_pipelined(client, worker_id)
+                return await worker_pipelined(
+                    client, worker_id, pipeline_depth, False
+                )
             return await worker_serial(client, worker_id)
         finally:
             await client.close()

@@ -86,6 +86,16 @@ slog = get_logger("repro.service")
 
 _STOP = object()  # sentinel closing a connection's response queue
 
+
+def _batch_bucket(n: int) -> str:
+    """Power-of-two bucket label for the writer-batch-size histogram."""
+    if n <= 2:
+        return str(n)
+    if n > 64:
+        return "65+"
+    hi = 1 << (n - 1).bit_length()
+    return f"{hi // 2 + 1}-{hi}"
+
 #: Stop coalescing responses into one write beyond this many bytes.
 WRITE_COALESCE_BYTES = 256 * 1024
 
@@ -142,6 +152,12 @@ class FileculeServer:
     slow_op_seconds:
         Requests handled slower than this emit a ``slow-op`` structured
         log line carrying the request's ``rid``.
+    coalesce_ingest:
+        When True (default) and the state exposes ``ingest_batch``, each
+        actor wakeup hands its maximal runs of consecutive queued
+        fast-path ingest requests to the state as one kernel call
+        (per-request responses are still rendered individually and in
+        order).  Disable to force the per-job ingest path.
     reuse_port:
         Bind the data port with ``SO_REUSEPORT`` so sibling worker
         processes can share it (the kernel load-balances accepts).
@@ -173,6 +189,7 @@ class FileculeServer:
         health: bool = False,
         health_log_path: str | None = None,
         slow_op_seconds: float = 0.25,
+        coalesce_ingest: bool = True,
         reuse_port: bool = False,
         sock: socket_module.socket | None = None,
         worker_index: int | None = None,
@@ -196,6 +213,7 @@ class FileculeServer:
         self.metrics_port = metrics_port
         self.span_log_path = span_log_path
         self.slow_op_seconds = slow_op_seconds
+        self.coalesce_ingest = coalesce_ingest
         self.reuse_port = reuse_port
         self.worker_index = worker_index
         self.metrics = MetricsRegistry()
@@ -407,9 +425,87 @@ class FileculeServer:
             payload["worker"] = self.worker_index
         return payload
 
+    def _ingest_run(self, run: list) -> None:
+        """Handle one coalesced run of fast-path ingest requests.
+
+        One ``ingest_batch`` state call for the whole run; per-request
+        receipts render through the wire template individually and in
+        order, so clients cannot tell coalesced from per-job handling.
+        Like the single fast path, the state call is not retried on
+        failure (it may have partially mutated state); every request in
+        the run then gets an ``internal`` error carrying its own id.
+        """
+        metrics = self.metrics
+        n_jobs = len(run)
+        t0 = time.perf_counter()
+        with obstrace.span(
+            "op.ingest.batch", recorder=self.spans
+        ) as span_fields:
+            span_fields["jobs"] = n_jobs
+            try:
+                receipts = self.state.ingest_batch(
+                    [(r["files"], r["sizes"], r["site"]) for r, _, _ in run]
+                )
+                datas = [
+                    INGEST_OK_TEMPLATE
+                    % (
+                        r["id"],
+                        receipt["job_seq"],
+                        receipt["n_files"],
+                        receipt["n_classes"],
+                        receipt["site_hits"],
+                    )
+                    for (r, _, _), receipt in zip(run, receipts)
+                ]
+                span_fields["ok"] = True
+            except Exception as exc:  # noqa: BLE001 — fault barrier
+                slog.error(
+                    "internal-error",
+                    op="ingest.batch",
+                    jobs=n_jobs,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                metrics.inc("errors", n_jobs)
+                datas = [
+                    encode_response(
+                        error_response(
+                            r["id"],
+                            "internal",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    for r, _, _ in run
+                ]
+                span_fields["ok"] = False
+        t1 = time.perf_counter()
+        amortized = (t1 - t0) / n_jobs
+        metrics.inc("requests", n_jobs)
+        metrics.inc("ingest_batches")
+        metrics.inc("ingest_batch_jobs", jobs=_batch_bucket(n_jobs))
+        metrics.observe_many("op.ingest", amortized, n_jobs)
+        observe = metrics.observe
+        for _, _, t_enqueued in run:
+            observe("queue_wait", t0 - t_enqueued)
+        if amortized >= self.slow_op_seconds:
+            metrics.inc("slow_ops", n_jobs)
+            slog.warning(
+                "slow-op",
+                op="ingest.batch",
+                jobs=n_jobs,
+                duration_ms=round((t1 - t0) * 1e3, 3),
+            )
+        for (_, future, _), data in zip(run, datas):
+            if not future.done():
+                future.set_result(data)
+
     async def _actor(self, inbox: asyncio.Queue) -> None:
         metrics = self.metrics
         state_ingest = self.state.ingest
+        ingest_batch = (
+            getattr(self.state, "ingest_batch", None)
+            if self.coalesce_ingest
+            else None
+        )
         # Plain states expose the memoized filecule_of payload; sharded
         # states (cross-shard meet per lookup) take the generic path.
         filecule_json = getattr(self.state, "filecule_of_json", None)
@@ -422,109 +518,153 @@ class FileculeServer:
                 except asyncio.QueueEmpty:
                     break
             metrics.inc("batches")  # mean batch size = requests/batches
-            for request, future, t_enqueued in batch:
+            metrics.set_gauge("actor_queue_depth", inbox.qsize())
+            n = len(batch)
+            i = 0
+            while i < n:
+                request, future, t_enqueued = batch[i]
                 op = request["op"]
                 rid = request.get("rid")
-                t0 = perf_counter()
-                with obstrace.span(
-                    f"op.{op}", recorder=self.spans, rid=rid
-                ) as span_fields:
-                    # Hot path: a plain-int-id, untraced ingest renders
-                    # its receipt straight through the wire template —
-                    # no response dict, no json.dumps.  The state call
-                    # is NOT retried on failure (it may already have
-                    # mutated state); errors map exactly as in _handle.
-                    if (
-                        op == "ingest"
-                        and rid is None
-                        and type(request["id"]) is int
-                    ):
-                        try:
-                            r = state_ingest(
-                                request["files"],
-                                request["sizes"],
-                                request["site"],
-                            )
-                            data = INGEST_OK_TEMPLATE % (
-                                request["id"],
-                                r["job_seq"],
-                                r["n_files"],
-                                r["n_classes"],
-                                r["site_hits"],
-                            )
-                            span_fields["ok"] = True
-                        except Exception as exc:  # noqa: BLE001 — fault barrier
-                            slog.error(
-                                "internal-error",
-                                op=op,
-                                rid=rid,
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
-                            metrics.inc("errors")
-                            data = encode_response(
-                                error_response(
-                                    request["id"],
-                                    "internal",
-                                    f"{type(exc).__name__}: {exc}",
-                                )
-                            )
-                            span_fields["ok"] = False
-                    elif (
-                        op == "filecule_of"
-                        and filecule_json is not None
-                        and rid is None
-                        and type(request["id"]) is int
-                    ):
-                        # Read fast path: the state serves a memoized,
-                        # already-encoded payload; only the envelope is
-                        # rendered per request.
-                        try:
-                            data = RESULT_OK_TEMPLATE % (
-                                request["id"],
-                                filecule_json(request["file"]),
-                            )
-                            span_fields["ok"] = True
-                        except Exception as exc:  # noqa: BLE001 — fault barrier
-                            slog.error(
-                                "internal-error",
-                                op=op,
-                                rid=rid,
-                                error=f"{type(exc).__name__}: {exc}",
-                            )
-                            metrics.inc("errors")
-                            data = encode_response(
-                                error_response(
-                                    request["id"],
-                                    "internal",
-                                    f"{type(exc).__name__}: {exc}",
-                                )
-                            )
-                            span_fields["ok"] = False
-                    else:
-                        response = self._handle(request)
-                        span_fields["ok"] = response["ok"]
-                        # Encode on the actor: the response (and anything
-                        # the state lent it) is serialized before the
-                        # next request can mutate state, and the writer
-                        # only ever sees bytes.
-                        data = encode_response(response)
-                t1 = perf_counter()
-                metrics.inc("requests")
-                metrics.observe(f"op.{op}", t1 - t0)
-                metrics.observe("queue_wait", t0 - t_enqueued)
-                if t1 - t0 >= self.slow_op_seconds:
-                    metrics.inc("slow_ops")
-                    slog.warning(
-                        "slow-op",
-                        op=op,
-                        rid=rid,
-                        duration_ms=round((t1 - t0) * 1e3, 3),
-                        queue_wait_ms=round((t0 - t_enqueued) * 1e3, 3),
-                    )
-                if not future.done():
-                    future.set_result(data)
+                # Coalesce a maximal run of consecutive fast-path
+                # ingests into one kernel call.  Only *consecutive*
+                # requests coalesce: an interleaved read must observe
+                # exactly the ingests queued before it, so it breaks
+                # the run.
+                if (
+                    ingest_batch is not None
+                    and op == "ingest"
+                    and rid is None
+                    and type(request["id"]) is int
+                ):
+                    j = i + 1
+                    while j < n:
+                        r = batch[j][0]
+                        if (
+                            r["op"] == "ingest"
+                            and r.get("rid") is None
+                            and type(r["id"]) is int
+                        ):
+                            j += 1
+                        else:
+                            break
+                    if j - i >= 2:
+                        self._ingest_run(batch[i:j])
+                        i = j
+                        continue
+                self._handle_one(request, future, t_enqueued)
+                i += 1
             # Yield so connection writers interleave with the next batch.
             await asyncio.sleep(0)
+
+    def _handle_one(self, request: dict, future, t_enqueued: float) -> None:
+        metrics = self.metrics
+        state_ingest = self.state.ingest
+        filecule_json = getattr(self.state, "filecule_of_json", None)
+        perf_counter = time.perf_counter
+        op = request["op"]
+        rid = request.get("rid")
+        t0 = perf_counter()
+        with obstrace.span(
+            f"op.{op}", recorder=self.spans, rid=rid
+        ) as span_fields:
+            # Hot path: a plain-int-id, untraced ingest renders
+            # its receipt straight through the wire template —
+            # no response dict, no json.dumps.  The state call
+            # is NOT retried on failure (it may already have
+            # mutated state); errors map exactly as in _handle.
+            if (
+                op == "ingest"
+                and rid is None
+                and type(request["id"]) is int
+            ):
+                # A writer batch of one: keep the batch-size
+                # histogram honest for mixed traffic.
+                metrics.inc("ingest_batches")
+                metrics.inc("ingest_batch_jobs", jobs="1")
+                try:
+                    r = state_ingest(
+                        request["files"],
+                        request["sizes"],
+                        request["site"],
+                    )
+                    data = INGEST_OK_TEMPLATE % (
+                        request["id"],
+                        r["job_seq"],
+                        r["n_files"],
+                        r["n_classes"],
+                        r["site_hits"],
+                    )
+                    span_fields["ok"] = True
+                except Exception as exc:  # noqa: BLE001 — fault barrier
+                    slog.error(
+                        "internal-error",
+                        op=op,
+                        rid=rid,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    metrics.inc("errors")
+                    data = encode_response(
+                        error_response(
+                            request["id"],
+                            "internal",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    span_fields["ok"] = False
+            elif (
+                op == "filecule_of"
+                and filecule_json is not None
+                and rid is None
+                and type(request["id"]) is int
+            ):
+                # Read fast path: the state serves a memoized,
+                # already-encoded payload; only the envelope is
+                # rendered per request.
+                try:
+                    data = RESULT_OK_TEMPLATE % (
+                        request["id"],
+                        filecule_json(request["file"]),
+                    )
+                    span_fields["ok"] = True
+                except Exception as exc:  # noqa: BLE001 — fault barrier
+                    slog.error(
+                        "internal-error",
+                        op=op,
+                        rid=rid,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    metrics.inc("errors")
+                    data = encode_response(
+                        error_response(
+                            request["id"],
+                            "internal",
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    span_fields["ok"] = False
+            else:
+                response = self._handle(request)
+                span_fields["ok"] = response["ok"]
+                # Encode on the actor: the response (and anything
+                # the state lent it) is serialized before the
+                # next request can mutate state, and the writer
+                # only ever sees bytes.
+                data = encode_response(response)
+        t1 = perf_counter()
+        metrics.inc("requests")
+        metrics.observe(f"op.{op}", t1 - t0)
+        metrics.observe("queue_wait", t0 - t_enqueued)
+        if t1 - t0 >= self.slow_op_seconds:
+            metrics.inc("slow_ops")
+            slog.warning(
+                "slow-op",
+                op=op,
+                rid=rid,
+                duration_ms=round((t1 - t0) * 1e3, 3),
+                queue_wait_ms=round((t0 - t_enqueued) * 1e3, 3),
+            )
+        if not future.done():
+            future.set_result(data)
 
     # ------------------------------------------------------------------
     # connection plumbing

@@ -139,6 +139,7 @@ class ShardedServiceState:
         capacity_bytes: int = 1 * TB,
         default_size: int = 1,
         decay_half_life: float = math.inf,
+        ingest_kernel: bool = True,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -148,6 +149,7 @@ class ShardedServiceState:
                 capacity_bytes=capacity_bytes,
                 default_size=default_size,
                 decay_half_life=decay_half_life,
+                ingest_kernel=ingest_kernel,
             )
             for _ in range(n_shards)
         ]
@@ -188,6 +190,30 @@ class ShardedServiceState:
         receipt = self.shards[shard].ingest(files, sizes, site)
         receipt["shard"] = shard  # receipt counters are shard-local
         return receipt
+
+    def ingest_batch(self, batch) -> list[dict]:
+        """Coalesced ingest: delegate runs of same-shard jobs in order.
+
+        The server's per-shard actors only ever queue one shard's
+        requests, so a wakeup batch is normally a single run; the
+        grouping below keeps direct callers with mixed sites correct
+        (each shard still sees its jobs in arrival order).
+        """
+        receipts: list[dict | None] = [None] * len(batch)
+        i = 0
+        n = len(batch)
+        while i < n:
+            shard = self.shard_of_site(batch[i][2])
+            j = i + 1
+            while j < n and self.shard_of_site(batch[j][2]) == shard:
+                j += 1
+            for k, receipt in enumerate(
+                self.shards[shard].ingest_batch(batch[i:j]), start=i
+            ):
+                receipt["shard"] = shard
+                receipts[k] = receipt
+            i = j
+        return receipts
 
     def advise(self, files, site: int = 0) -> dict:
         return self.shards[self.shard_of_site(site)].advise(files, site)

@@ -33,8 +33,11 @@ import os
 from pathlib import Path
 from typing import Callable
 
+import numpy as np
+
 from repro import registry
 from repro.cache.base import CacheMetrics, ReplacementPolicy
+from repro.cache.online import batched_policy_for
 from repro.core.incremental import IncrementalFileculeIdentifier
 from repro.obs.log import get_logger
 from repro.util.units import TB
@@ -70,6 +73,9 @@ def _parse_advisor_policy(policy: str) -> "registry.BoundSpec":
 
 SNAPSHOT_FORMAT = "repro-service-snapshot"
 SNAPSHOT_VERSION = 1
+
+#: Shared empty segment for zero-file ingests in a coalesced batch.
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 class SnapshotError(Exception):
@@ -126,6 +132,13 @@ class ServiceState:
         dissolve into singletons, so a flash crowd's co-access pattern
         stops binding files long after the crowd is gone.  The default
         (``inf``) preserves the exact append-only refinement semantics.
+    ingest_kernel:
+        When True (default) and the advisor policy has an array-backed
+        twin (plain ``file-lru``/``file-fifo``), site advisors are built
+        as :class:`~repro.cache.online.BatchedFileCache` so coalesced
+        :meth:`ingest_batch` windows take the vectorized path.  Disable
+        to force the registry-built policies and the per-access advisor
+        walk — the "per-job path" benchmarks compare against.
     """
 
     def __init__(
@@ -134,6 +147,7 @@ class ServiceState:
         capacity_bytes: int = 1 * TB,
         default_size: int = 1,
         decay_half_life: float = math.inf,
+        ingest_kernel: bool = True,
     ) -> None:
         self._policy_spec = _parse_advisor_policy(policy)
         if capacity_bytes <= 0:
@@ -144,6 +158,10 @@ class ServiceState:
         self.capacity_bytes = int(capacity_bytes)
         self.default_size = int(default_size)
         self.decay_half_life = float(decay_half_life)
+        self.ingest_kernel = bool(ingest_kernel)
+        self._batched_policy = (
+            batched_policy_for(self._policy_spec) if self.ingest_kernel else None
+        )
         self._ident = IncrementalFileculeIdentifier(
             half_life=self.decay_half_life
         )
@@ -170,9 +188,12 @@ class ServiceState:
     def _advisor(self, site: int) -> _SiteAdvisor:
         advisor = self._advisors.get(site)
         if advisor is None:
+            factory = self._batched_policy
             advisor = _SiteAdvisor(
                 f"{self.policy_name}@site{site}",
-                registry.build(self._policy_spec, self.capacity_bytes),
+                factory(self.capacity_bytes)
+                if factory is not None
+                else registry.build(self._policy_spec, self.capacity_bytes),
             )
             self._advisors[site] = advisor
         return advisor
@@ -258,6 +279,154 @@ class ServiceState:
             "n_classes": self._ident.n_classes,
             "site_hits": hits,
         }
+
+    def ingest_batch(
+        self, batch: list[tuple[list[int], list[int] | None, int]]
+    ) -> list[dict]:
+        """Observe a window of queued jobs in one kernel pass.
+
+        ``batch`` is a list of ``(files, sizes, site)`` triples in
+        arrival order.  Returns one :meth:`ingest` receipt per job, with
+        the same values a per-job loop would produce — the partition,
+        size catalog, advisor caches, metrics, and read-cache
+        invalidation all end in the identical state.  The server's actor
+        calls this with each wakeup's run of queued ingest requests; the
+        partition refinement goes through
+        :meth:`~repro.core.incremental.IncrementalFileculeIdentifier.observe_jobs_batch`
+        and advisor accounting through the array kernel's windowed path
+        when the policy has one.
+        """
+        n = len(batch)
+        if n == 0:
+            return []
+        # Build phase, in job order: update the size catalog and resolve
+        # each job's deduped file ids + request sizes exactly as the
+        # sequential path's dict.fromkeys walk + size_of reads would at
+        # that job's turn (a later job's size refinement must not leak
+        # into an earlier job's accounting).
+        size_get = self._sizes.get
+        sizes_update = self._sizes.update
+        default_size = self.default_size
+        segs: list[np.ndarray] = []
+        seg_sizes: list[np.ndarray] = []
+        for files, sizes, site in batch:
+            if sizes is not None:
+                sizes_update(zip(files, map(int, sizes)))
+            if not len(files):
+                segs.append(_EMPTY_IDS)
+                seg_sizes.append(_EMPTY_IDS)
+                continue
+            arr = np.asarray(files, dtype=np.int64)
+            if bool((arr[1:] > arr[:-1]).all()):
+                # Sorted-unique input (the wire-common case): the job's
+                # own sizes are what the catalog now holds for it.
+                segs.append(arr)
+                if sizes is not None and len(sizes) == len(files):
+                    seg_sizes.append(np.asarray(sizes, dtype=np.int64))
+                else:
+                    seg_sizes.append(
+                        np.fromiter(
+                            (size_get(f, default_size) for f in files),
+                            dtype=np.int64,
+                            count=len(files),
+                        )
+                    )
+            else:
+                unique = dict.fromkeys(files)
+                segs.append(
+                    np.fromiter(unique, dtype=np.int64, count=len(unique))
+                )
+                seg_sizes.append(
+                    np.fromiter(
+                        (size_get(f, default_size) for f in unique),
+                        dtype=np.int64,
+                        count=len(unique),
+                    )
+                )
+        offs = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([s.size for s in segs], out=offs[1:])
+        flat = np.concatenate(segs)
+        clock0 = self._clock
+        nows = clock0 + np.arange(1, n + 1, dtype=np.float64)
+        job_seq0 = self._ident.n_jobs_observed
+        counts: list[tuple[int, int]] = []
+        affected = self._ident.observe_jobs_batch(
+            flat, offs, now=nows, job_counts=counts
+        )
+        self._clock = clock0 + n
+        if self._filecule_json:
+            cache_pop = self._filecule_json.pop
+            for cid in affected:
+                cache_pop(cid, None)
+        # Advisor accounting: group jobs by site (arrival order is
+        # preserved within each group; sites have independent caches, so
+        # cross-site order is immaterial).
+        hits_per_job = [0] * n
+        by_site: dict[int, list[int]] = {}
+        for i, (_, _, site) in enumerate(batch):
+            by_site.setdefault(site, []).append(i)
+        for site, idxs in by_site.items():
+            advisor = self._advisor(site)
+            window = getattr(advisor.policy, "request_window", None)
+            if window is not None:
+                if len(idxs) == n:
+                    site_flat, site_offs = flat, offs
+                    site_sizes = np.concatenate(seg_sizes)
+                else:
+                    site_segs = [segs[i] for i in idxs]
+                    site_flat = np.concatenate(site_segs)
+                    site_offs = np.zeros(len(idxs) + 1, dtype=np.int64)
+                    np.cumsum(
+                        [s.size for s in site_segs], out=site_offs[1:]
+                    )
+                    site_sizes = np.concatenate([seg_sizes[i] for i in idxs])
+                job_hits, totals = window(site_flat, site_offs, site_sizes)
+                advisor.metrics.record_totals(*totals)
+                for i, h in zip(idxs, job_hits):
+                    hits_per_job[i] = h
+            else:
+                # Policies without a windowed kernel keep the exact
+                # per-access walk, one job at a time on its own clock.
+                policy_request = advisor.policy.request
+                record = advisor.metrics.record_totals
+                for i in idxs:
+                    clock = clock0 + i + 1.0
+                    hits = 0
+                    bytes_requested = 0
+                    bytes_hit = 0
+                    bytes_fetched = 0
+                    bypasses = 0
+                    seg_list = segs[i].tolist()
+                    for f, size in zip(seg_list, seg_sizes[i].tolist()):
+                        outcome = policy_request(f, size, clock)
+                        bytes_requested += size
+                        if outcome.hit:
+                            hits += 1
+                            bytes_hit += size
+                        else:
+                            fetched = outcome.bytes_fetched
+                            if fetched:
+                                bytes_fetched += fetched
+                            if outcome.bypassed:
+                                bypasses += 1
+                    record(
+                        len(seg_list),
+                        hits,
+                        bytes_requested,
+                        bytes_hit,
+                        bytes_fetched,
+                        bypasses,
+                    )
+                    hits_per_job[i] = hits
+        return [
+            {
+                "job_seq": job_seq0 + i + 1,
+                "n_files": counts[i][0],
+                "n_classes": counts[i][1],
+                "site_hits": hits_per_job[i],
+            }
+            for i in range(n)
+        ]
 
     # ------------------------------------------------------------------
     # queries (read-only)

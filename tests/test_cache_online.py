@@ -1,0 +1,125 @@
+"""BatchedFileCache: the array-backed advisor twin, deterministically.
+
+The hypothesis battery (``test_property_based_4``) sweeps random
+streams; these tests pin the constructed edge cases — bulk-prefix hit
+attribution across job boundaries, mid-window eviction flipping a later
+access, LRU/FIFO touch divergence, bypass accounting, log compaction,
+eviction exhaustion, and the factory's eligibility rules.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.cache.lru import FileLRU
+from repro.cache.online import _CHUNK, BatchedFileCache, batched_policy_for
+
+
+def window(cache, jobs, sizes_by_file):
+    flat = np.array([f for job in jobs for f in job], dtype=np.int64)
+    offsets = np.zeros(len(jobs) + 1, dtype=np.int64)
+    np.cumsum([len(j) for j in jobs], out=offsets[1:])
+    sizes = np.array([sizes_by_file[f] for f in flat], dtype=np.int64)
+    return cache.request_window(flat, offsets, sizes)
+
+
+class TestRequestWindow:
+    def test_bulk_prefix_attribution_across_job_boundary(self):
+        cache = BatchedFileCache(1000)
+        for f in (1, 2, 3, 4, 5):
+            cache.request(f, 10, float(f))
+        sizes = dict.fromkeys(range(10), 10)
+        # Jobs [1,2] and [3] are all hits; the first miss (9) lands
+        # mid-job, so job 1 gets bulk credit for its leading hit only.
+        job_hits, totals = window(cache, [[1, 2], [3, 9], [4, 5]], sizes)
+        assert job_hits == [2, 1, 2]
+        assert totals == (6, 5, 60, 50, 10, 0)
+
+    def test_mid_window_eviction_flips_later_access(self):
+        sizes = dict.fromkeys(range(10), 10)
+        cache = BatchedFileCache(20)
+        # 1, 2 fill the cache; 3 evicts 1; the final job's 1 is a miss
+        # again — residency must be evaluated in access order.
+        job_hits, totals = window(cache, [[1], [2], [3], [1]], sizes)
+        assert job_hits == [0, 0, 0, 0]
+        assert totals == (4, 0, 40, 0, 40, 0)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_lru_touch_changes_victim_fifo_does_not(self):
+        sizes = dict.fromkeys(range(10), 10)
+        lru = BatchedFileCache(20, touch_on_hit=True)
+        assert window(lru, [[1], [2], [1], [3], [1]], sizes)[0] == [
+            0, 0, 1, 0, 1,
+        ]
+        fifo = BatchedFileCache(20, touch_on_hit=False)
+        assert window(fifo, [[1], [2], [1], [3], [1]], sizes)[0] == [
+            0, 0, 1, 0, 0,
+        ]
+
+    def test_bypass_oversized_file_mid_window(self):
+        cache = BatchedFileCache(50)
+        job_hits, totals = window(
+            cache, [[1, 2], [3]], {1: 10, 2: 80, 3: 10}
+        )
+        assert job_hits == [0, 0]
+        # The 80-byte file exceeds capacity outright: fetched but never
+        # cached, counted as a bypass, and evicting nothing.
+        assert totals == (3, 0, 100, 0, 100, 1)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_empty_window_and_empty_jobs(self):
+        cache = BatchedFileCache(100)
+        job_hits, totals = window(cache, [[], []], {})
+        assert job_hits == [0, 0]
+        assert totals == (0, 0, 0, 0, 0, 0)
+
+
+class TestLogMaintenance:
+    def test_compaction_preserves_reference_behavior(self):
+        # Hammer hits until the lazy-deletion log compacts (> 4x
+        # resident + chunk), then check eviction order against the
+        # dict-backed reference.
+        cap = 40
+        cache = BatchedFileCache(cap)
+        ref = FileLRU(cap)
+        clock = 0.0
+        for f in (0, 1, 2, 3):
+            clock += 1
+            cache.request(f, 10, clock)
+            ref.request(f, 10, clock)
+        for i in range(_CHUNK + 4 * 4 + 50):
+            clock += 1
+            f = i % 3  # touch 0,1,2 — 3 stays least-recent
+            cache.request(f, 10, clock)
+            ref.request(f, 10, clock)
+        for f in (7, 8, 9):
+            clock += 1
+            a = ref.request(f, 10, clock)
+            b = cache.request(f, 10, clock)
+            assert (a.hit, a.bytes_fetched) == (b.hit, b.bytes_fetched)
+        for f in range(10):
+            assert (f in cache) == (f in ref)
+
+    def test_eviction_exhaustion_raises(self):
+        cache = BatchedFileCache(100)
+        with pytest.raises(RuntimeError, match="nothing left to evict"):
+            cache._evict_until(101)
+
+
+class TestFactory:
+    def test_plain_lru_and_fifo_are_eligible(self):
+        lru = batched_policy_for(registry.parse("lru"))(64)
+        assert isinstance(lru, BatchedFileCache) and lru.touch_on_hit
+        fifo = batched_policy_for(registry.parse("file-fifo"))(64)
+        assert isinstance(fifo, BatchedFileCache) and not fifo.touch_on_hit
+
+    def test_other_policies_and_params_are_not(self):
+        assert batched_policy_for(registry.parse("gds")) is None
+        assert (
+            batched_policy_for(
+                SimpleNamespace(name="file-lru", params=(("alpha", 1.0),))
+            )
+            is None
+        )

@@ -1,0 +1,191 @@
+"""Fourth property battery: the batched ingest path.
+
+Two equivalence contracts, driven by hypothesis over adversarial
+streams:
+
+* ``observe_jobs_batch`` is a pure reorganization of ``observe_job`` —
+  identical ``state_dict`` and affected-id union for any window split,
+  any half-life, and any snapshot/restore point mid-stream;
+* :class:`~repro.cache.online.BatchedFileCache` is bit-identical to the
+  dict-backed :class:`~repro.cache.lru.FileLRU` /
+  :class:`~repro.cache.fifo.FileFIFO` — per access outcome by outcome,
+  and per window through ``request_window``'s aggregate totals.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.fifo import FileFIFO
+from repro.cache.lru import FileLRU
+from repro.cache.online import BatchedFileCache
+from repro.core.incremental import IncrementalFileculeIdentifier
+from tests.test_core_incremental_batch import columnar, sequential_replay
+
+N_FILES = 14
+
+#: Job streams rigged for branch coverage: empty jobs, duplicates,
+#: sorted and unsorted segments all occur.
+job_streams = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=N_FILES - 1),
+        min_size=0,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+half_lives = st.sampled_from([math.inf, 5.0, 17.0])
+
+
+def nows_for(jobs, seed):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.uniform(0.0, 4.0, size=len(jobs)))
+
+
+class TestBatchedIdentifier:
+    @given(job_streams, half_lives, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=80, deadline=None)
+    def test_batched_equals_sequential(self, jobs, half_life, seed):
+        nows = nows_for(jobs, seed)
+        seq, seq_affected = sequential_replay(
+            jobs, nows=nows, half_life=half_life
+        )
+        bat = IncrementalFileculeIdentifier(half_life=half_life)
+        flat, offsets = columnar(jobs)
+        bat_affected = bat.observe_jobs_batch(flat, offsets, now=nows)
+        assert bat.state_dict() == seq.state_dict()
+        assert bat_affected == seq_affected
+
+    @given(
+        job_streams,
+        half_lives,
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_restore_mid_batch(self, jobs, half_life, seed, cut):
+        cut %= len(jobs) + 1
+        nows = nows_for(jobs, seed)
+        ref, _ = sequential_replay(jobs, nows=nows, half_life=half_life)
+        ident = IncrementalFileculeIdentifier(half_life=half_life)
+        if cut:
+            flat, offsets = columnar(jobs[:cut])
+            ident.observe_jobs_batch(flat, offsets, now=nows[:cut])
+        restored = IncrementalFileculeIdentifier.from_state_dict(
+            ident.state_dict()
+        )
+        if cut < len(jobs):
+            flat, offsets = columnar(jobs[cut:])
+            restored.observe_jobs_batch(flat, offsets, now=nows[cut:])
+        assert restored.state_dict() == ref.state_dict()
+
+    @given(
+        job_streams,
+        half_lives,
+        st.integers(min_value=0, max_value=9),
+        st.lists(st.integers(min_value=0, max_value=1_000_000), max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_affected_union_over_any_split(self, jobs, half_life, seed, raw):
+        nows = nows_for(jobs, seed)
+        _, want = sequential_replay(jobs, nows=nows, half_life=half_life)
+        bounds = sorted({0, len(jobs), *(r % (len(jobs) + 1) for r in raw)})
+        ident = IncrementalFileculeIdentifier(half_life=half_life)
+        got = set()
+        for lo, hi in zip(bounds, bounds[1:]):
+            flat, offsets = columnar(jobs[lo:hi])
+            got |= ident.observe_jobs_batch(flat, offsets, now=nows[lo:hi])
+        assert got == want
+
+
+# ----------------------------------------------------------------------
+# BatchedFileCache vs the dict-backed reference policies
+# ----------------------------------------------------------------------
+#: Per-file byte sizes (fixed per id, as the service's size catalog is).
+catalogs = st.lists(
+    st.integers(min_value=1, max_value=20),
+    min_size=N_FILES,
+    max_size=N_FILES,
+)
+
+#: Windows of deduped job segments — ``request_window``'s input contract
+#: (the service dedupes each job before the advisor sees it).
+dedup_windows = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=N_FILES - 1),
+        min_size=0,
+        max_size=6,
+        unique=True,
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def outcome_key(outcome):
+    return (outcome.hit, outcome.bytes_fetched, outcome.bypassed)
+
+
+class TestBatchedFileCache:
+    @given(
+        dedup_windows,
+        catalogs,
+        st.integers(min_value=8, max_value=60),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_per_access_parity_with_reference(
+        self, window, sizes, capacity, touch_on_hit
+    ):
+        ref = (FileLRU if touch_on_hit else FileFIFO)(capacity)
+        got = BatchedFileCache(capacity, touch_on_hit=touch_on_hit)
+        clock = 0.0
+        for job in window:
+            for f in job:
+                clock += 1.0
+                a = ref.request(f, sizes[f], clock)
+                b = got.request(f, sizes[f], clock)
+                assert outcome_key(a) == outcome_key(b)
+        assert got.used_bytes == ref.used_bytes
+        for f in range(N_FILES):
+            assert (f in got) == (f in ref)
+
+    @given(
+        dedup_windows,
+        catalogs,
+        st.integers(min_value=8, max_value=60),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_matches_per_access_walk(
+        self, window, sizes, capacity, touch_on_hit
+    ):
+        ref = (FileLRU if touch_on_hit else FileFIFO)(capacity)
+        want_hits, want = [], [0, 0, 0, 0, 0, 0]
+        clock = 0.0
+        for job in window:
+            hits = 0
+            for f in job:
+                clock += 1.0
+                outcome = ref.request(f, sizes[f], clock)
+                want[0] += 1
+                want[1] += outcome.hit
+                want[2] += sizes[f]
+                want[3] += sizes[f] if outcome.hit else 0
+                want[4] += outcome.bytes_fetched
+                want[5] += outcome.bypassed
+                hits += outcome.hit
+            want_hits.append(hits)
+
+        got = BatchedFileCache(capacity, touch_on_hit=touch_on_hit)
+        flat, offsets = columnar(window)
+        seg_sizes = np.array([sizes[f] for f in flat], dtype=np.int64)
+        job_hits, totals = got.request_window(flat, offsets, seg_sizes)
+        assert job_hits == want_hits
+        assert list(totals) == want
+        assert got.used_bytes == ref.used_bytes
+        for f in range(N_FILES):
+            assert (f in got) == (f in ref)
