@@ -1,0 +1,13 @@
+"""Benchmark: Figure 10 at hierarchy scale — origin offload for file- vs
+filecule-LRU regional tiers behind a site cache.
+
+Run with ``pytest "benchmarks/bench_hierarchy-fig10.py" --benchmark-only -s``.
+(The hierarchy *engine* benchmark with its gates lives in
+``benchmarks/bench_hierarchy.py``.)
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_hierarchy_fig10(benchmark, ctx, archive):
+    run_and_report(benchmark, ctx, archive, "hierarchy-fig10")

@@ -22,7 +22,7 @@ import sys
 
 from repro import find_filecules, generate_trace
 from repro.cache import FileLRU, FileculeLRU
-from repro.replication import FileculeReplication, site_budgets
+from repro.replication import resolve_strategy, site_budgets
 from repro.sam import ReplicaCatalog, replay_trace
 from repro.util import format_bytes, render_table
 from repro.workload import default_config, small_config, tiny_config
@@ -57,7 +57,7 @@ def main() -> None:
     t_lo, t_hi = trace.time_span()
     warm = trace.subset_jobs(trace.job_starts < t_lo + 0.5 * (t_hi - t_lo))
     warm_partition = find_filecules(warm)
-    plan = FileculeReplication().plan(
+    plan = resolve_strategy("filecule-rank").plan(
         warm, warm_partition, site_budgets(trace, capacity)
     )
     catalog = ReplicaCatalog(trace.n_files, trace.n_sites)

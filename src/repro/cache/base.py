@@ -174,7 +174,7 @@ class ReplacementPolicy(ABC):
         if self.evict_listener is not None:
             self.evict_listener(size)
 
-    def batch_kernel(self, trace):
+    def batch_kernel(self, trace, hit_out=None):
         """Optional vectorized replay kernel for this policy over ``trace``.
 
         Policies whose request semantics reduce to pure group residency
@@ -183,6 +183,13 @@ class ReplacementPolicy(ABC):
         folds outcome totals into the metrics, bit-identically to
         calling :meth:`request` once per access.  The default is
         ``None``: no batch implementation, replay per access.
+
+        ``hit_out`` optionally requests the per-access outcome mask: a
+        writable boolean array of length ``trace.n_accesses`` in which
+        the kernel marks every hit ``True`` (misses and bypasses stay
+        ``False``).  The hierarchical replay uses this to derive the
+        next tier's demand stream; policies that cannot record it for a
+        given configuration must decline (return ``None``).
 
         Implementations must decline (return ``None``) whenever batch
         replay could diverge from per-access replay for this *instance*

@@ -96,6 +96,15 @@ class GroupedReplayKernel:
     touch_on_hit:
         ``True`` for LRU recency semantics, ``False`` for FIFO
         (insertion order only).
+    hit_out:
+        Optional writable boolean array of length ``trace.n_accesses``.
+        When given, the kernel marks ``hit_out[k] = True`` for every
+        access ``k`` that hits (misses and bypasses are left untouched)
+        — the per-access outcome mask the hierarchical replay
+        (:mod:`repro.engine.hierarchy`) uses to derive the next tier's
+        demand stream.  Recording rides the existing accounting sites,
+        so the mask is exactly the outcome per-access replay would
+        produce; counters are unchanged either way.
     """
 
     def __init__(
@@ -106,12 +115,22 @@ class GroupedReplayKernel:
         group_sizes: list,
         labels=None,
         touch_on_hit: bool = True,
+        hit_out=None,
     ) -> None:
+        if hit_out is not None:
+            if len(hit_out) != trace.n_accesses:
+                raise ValueError(
+                    f"hit_out length {len(hit_out)} != trace accesses "
+                    f"{trace.n_accesses}"
+                )
+            if hit_out.dtype != np.bool_:
+                raise ValueError(f"hit_out must be bool, got {hit_out.dtype}")
         self._trace = trace
         self._capacity = int(capacity)
         self._group_sizes = group_sizes
         self._labels = labels
         self._touch_on_hit = touch_on_hit
+        self._hit_out = hit_out
         self._spent = False
 
     def __call__(self, metrics: CacheMetrics) -> None:
@@ -128,6 +147,7 @@ class GroupedReplayKernel:
         gsizes = self._group_sizes
         capacity = self._capacity
         touch = self._touch_on_hit
+        ho = self._hit_out
         n_groups = len(gsizes)
 
         resident = np.zeros(n_groups, dtype=bool)
@@ -272,6 +292,8 @@ class GroupedReplayKernel:
                 # No probed miss: the whole window hits in bulk.
                 hits += end
                 bytes_hit += int(csum[j] - csum[i])
+                if ho is not None:
+                    ho[i:j] = True
                 if touch:
                     last[items] = arange(seq, seq + n_items)
                     log.append([items, seq])
@@ -285,6 +307,8 @@ class GroupedReplayKernel:
                 facc = first if starts is None else int(starts[first])
                 hits += facc
                 bytes_hit += int(csum[i + facc] - csum[i])
+                if ho is not None:
+                    ho[i : i + facc] = True
                 if touch:
                     seg = items[:first]
                     last[seg] = arange(seq, seq + first)
@@ -323,6 +347,7 @@ class GroupedReplayKernel:
                     wn = end - first
                     hc = hb = 0
                     cb0 = i + first
+                    hoff = cb0 - wbase  # access index of seq = hoff + seq
                     wm = mask[first:]
                     # Hit runs long enough to bulk; everything between
                     # two bulked runs — miss runs and short hit runs
@@ -352,6 +377,8 @@ class GroupedReplayKernel:
                             )
                             hc += b - a
                             hb += int(csum[cb0 + b] - csum[cb0 + a])
+                            if ho is not None:
+                                ho[cb0 + a : cb0 + b] = True
                             continue
                         seq = wbase + a
                         for g, r0, s in zip(gl[a:b], ml[a:b], szl[a:b]):
@@ -359,6 +386,8 @@ class GroupedReplayKernel:
                                 olast[g] = seq
                                 hc += 1
                                 hb += s
+                                if ho is not None:
+                                    ho[hoff + seq] = True
                             elif s > capacity:
                                 # Larger than the whole cache: stream
                                 # the file without caching (bypass).
@@ -413,26 +442,47 @@ class GroupedReplayKernel:
                     garr = items[first:]
                 else:
                     # FIFO: hits do not touch; only inserts enter the
-                    # log, collected in a side list.
+                    # log, collected in a side list.  The mask-recording
+                    # twin below differs only in the enumerate index and
+                    # the hit write — keep the two in sync.
                     wg: list = []
                     wappend = wg.append
                     flight = wg
-                    for g, r0, s in zip(gl, ml, szl):
-                        if ores_get(g, r0):
-                            pass
-                        elif s > capacity:
-                            bp += 1
-                            bpb += s
-                        else:
-                            if used + s > capacity:
-                                evict_until_fits(s)
-                            ores[g] = True
-                            olast[g] = seq
-                            wappend(g)
-                            seq += 1
-                            used += s
-                            mc += 1
-                            mb += s
+                    if ho is None:
+                        for g, r0, s in zip(gl, ml, szl):
+                            if ores_get(g, r0):
+                                pass
+                            elif s > capacity:
+                                bp += 1
+                                bpb += s
+                            else:
+                                if used + s > capacity:
+                                    evict_until_fits(s)
+                                ores[g] = True
+                                olast[g] = seq
+                                wappend(g)
+                                seq += 1
+                                used += s
+                                mc += 1
+                                mb += s
+                    else:
+                        cb0 = i + first
+                        for k, (g, r0, s) in enumerate(zip(gl, ml, szl)):
+                            if ores_get(g, r0):
+                                ho[cb0 + k] = True
+                            elif s > capacity:
+                                bp += 1
+                                bpb += s
+                            else:
+                                if used + s > capacity:
+                                    evict_until_fits(s)
+                                ores[g] = True
+                                olast[g] = seq
+                                wappend(g)
+                                seq += 1
+                                used += s
+                                mc += 1
+                                mb += s
                     wn = len(wg)
                     if wn:
                         garr = asarray(wg, dtype=np.int64)
@@ -447,32 +497,66 @@ class GroupedReplayKernel:
                 ll = (ends[first:] - rs).tolist()
                 fs = sizes_np[win[rs]].tolist()
                 flight = gl
-                for g, r0, rb, rl, rf in zip(gl, ml, bl, ll, fs):
-                    if ores_get(g, r0):
-                        # Whole run hits (the filecule is resident).
-                        hits += rl
-                        bytes_hit += rb
-                        olast[g] = seq
-                    else:
-                        gsize = gsizes[g]
-                        if gsize > capacity:
-                            # Every access of the run bypasses: stream
-                            # each requested file, cache nothing.
-                            fetched += rb
-                            bypasses += rl
-                        else:
-                            if used + gsize > capacity:
-                                evict_until_fits(gsize)
-                            ores[g] = True
+                if ho is None:
+                    for g, r0, rb, rl, rf in zip(gl, ml, bl, ll, fs):
+                        if ores_get(g, r0):
+                            # Whole run hits (the filecule is resident).
+                            hits += rl
+                            bytes_hit += rb
                             olast[g] = seq
-                            used += gsize
-                            # The run's first access misses and fetches
-                            # the whole filecule; the rest of the run
-                            # hits.
-                            fetched += gsize
-                            hits += rl - 1
-                            bytes_hit += rb - rf
-                    seq += 1
+                        else:
+                            gsize = gsizes[g]
+                            if gsize > capacity:
+                                # Every access of the run bypasses:
+                                # stream each requested file, cache
+                                # nothing.
+                                fetched += rb
+                                bypasses += rl
+                            else:
+                                if used + gsize > capacity:
+                                    evict_until_fits(gsize)
+                                ores[g] = True
+                                olast[g] = seq
+                                used += gsize
+                                # The run's first access misses and
+                                # fetches the whole filecule; the rest
+                                # of the run hits.
+                                fetched += gsize
+                                hits += rl - 1
+                                bytes_hit += rb - rf
+                        seq += 1
+                else:
+                    # Mask-recording twin: each run carries its absolute
+                    # access bounds so hit spans land as slice writes.
+                    # Keep the accounting in sync with the loop above.
+                    ral = (i + rs).tolist()
+                    rzl = (i + ends[first:]).tolist()
+                    for g, r0, rb, rl, rf, ra, rz in zip(
+                        gl, ml, bl, ll, fs, ral, rzl
+                    ):
+                        if ores_get(g, r0):
+                            hits += rl
+                            bytes_hit += rb
+                            olast[g] = seq
+                            ho[ra:rz] = True
+                        else:
+                            gsize = gsizes[g]
+                            if gsize > capacity:
+                                fetched += rb
+                                bypasses += rl
+                            else:
+                                if used + gsize > capacity:
+                                    evict_until_fits(gsize)
+                                ores[g] = True
+                                olast[g] = seq
+                                used += gsize
+                                fetched += gsize
+                                hits += rl - 1
+                                bytes_hit += rb - rf
+                                # First access of the run misses; the
+                                # rest hit from the fresh load.
+                                ho[ra + 1 : rz] = True
+                        seq += 1
                 wn = n_items - first
                 garr = items[first:]
 

@@ -24,7 +24,7 @@ class FileFIFO(ReplacementPolicy):
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._entries
 
-    def batch_kernel(self, trace):
+    def batch_kernel(self, trace, hit_out=None):
         """Vectorized replay: group = file, insertion order (no touch)."""
         if self._entries or self.used_bytes or self.evict_listener is not None:
             return None
@@ -33,6 +33,7 @@ class FileFIFO(ReplacementPolicy):
             capacity=self.capacity_bytes,
             group_sizes=trace.file_size_list,
             touch_on_hit=False,
+            hit_out=hit_out,
         )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:

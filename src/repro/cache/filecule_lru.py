@@ -84,7 +84,7 @@ class FileculeLRU(ReplacementPolicy):
         """Resident filecule ids, least recently used first."""
         return list(self._entries)
 
-    def batch_kernel(self, trace):
+    def batch_kernel(self, trace, hit_out=None):
         """Vectorized replay: group = filecule label, LRU recency.
 
         Only for the paper's default ``intra_job_hits=True`` accounting
@@ -104,6 +104,7 @@ class FileculeLRU(ReplacementPolicy):
             group_sizes=self._size_list,
             labels=self._labels,
             touch_on_hit=True,
+            hit_out=hit_out,
         )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:

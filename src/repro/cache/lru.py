@@ -32,7 +32,7 @@ class FileLRU(ReplacementPolicy):
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._entries
 
-    def batch_kernel(self, trace):
+    def batch_kernel(self, trace, hit_out=None):
         """Vectorized replay: group = file, LRU recency (see batch.py)."""
         if self._entries or self.used_bytes or self.evict_listener is not None:
             return None
@@ -41,6 +41,7 @@ class FileLRU(ReplacementPolicy):
             capacity=self.capacity_bytes,
             group_sizes=trace.file_size_list,
             touch_on_hit=True,
+            hit_out=hit_out,
         )
 
     def request(self, file_id: int, size: int, now: float) -> RequestOutcome:

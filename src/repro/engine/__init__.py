@@ -14,13 +14,21 @@ catalog (:mod:`repro.registry`); it reaches the registry and the
 parallel runner only through lazy, call-time imports.
 """
 
+from repro.engine.hierarchy import (
+    HierarchyResult,
+    TierReplay,
+    simulate_hierarchy,
+)
 from repro.engine.replay import PolicyFactory, simulate
 from repro.engine.sweep import SweepResult, resolve_policies, sweep
 
 __all__ = [
+    "HierarchyResult",
     "PolicyFactory",
     "SweepResult",
+    "TierReplay",
     "resolve_policies",
     "simulate",
+    "simulate_hierarchy",
     "sweep",
 ]

@@ -40,6 +40,7 @@ from repro.experiments import (  # noqa: F401  (registration imports)
     fig8,
     fig9,
     fig10,
+    hierarchy_fig10,
     fig11,
     fig12,
     partial,

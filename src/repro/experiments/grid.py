@@ -20,7 +20,6 @@ from repro import registry
 from repro.core.identify import find_filecules
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.replication.placement import site_budgets
-from repro.replication.strategies import FileculeReplication
 from repro.sam.catalog import ReplicaCatalog
 from repro.sam.scheduler import replay_trace
 from repro.util.units import format_bytes
@@ -54,7 +53,7 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     )
     t_lo, t_hi = trace.time_span()
     warm = trace.subset_jobs(trace.job_starts < t_lo + 0.5 * (t_hi - t_lo))
-    plan = FileculeReplication().plan(
+    plan = registry.build_placement("filecule-rank").plan(
         warm, find_filecules(warm), site_budgets(trace, capacity)
     )
     catalog = ReplicaCatalog(trace.n_files, trace.n_sites)

@@ -1,0 +1,153 @@
+"""Figure 10 at hierarchy scale: filecule awareness in a tiered cache.
+
+The flat Figure 10 sweep (:mod:`repro.experiments.fig10`) compares
+file-LRU and filecule-LRU in isolation.  Real deployments layer a small
+site cache in front of a regional in-network cache in front of the
+origin (the ESnet topology of the related work), so the question the
+paper's §5 result begs is: does filecule granularity still pay once a
+site tier has already skimmed the short-reuse hits off the stream?
+
+This experiment replays the workload through two-tier hierarchies
+``site:file-lru@0.5% + regional:<policy>@f% + origin`` with the regional
+policy at file vs filecule granularity, sweeping the regional capacity
+over the same scale-invariant fractions as the flat sweep.  The score is
+:attr:`~repro.engine.HierarchyResult.origin_byte_hit_rate` — the
+fraction of demanded bytes some caching tier absorbed, i.e. origin
+offload.  Every replay is folded into a
+:class:`~repro.obs.metrics.MetricsRegistry` through the shared
+``hier_*`` vocabulary, and the tier conservation law
+(``tier[k+1].requests == tier[k].misses``) is asserted as a check.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.experiments.fig10 import CAPACITY_FRACTIONS
+from repro.hierarchy import (
+    HierarchySpec,
+    TierCapacity,
+    TierSpec,
+    fold_hierarchy_metrics,
+    hierarchy_sweep,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.ascii_plot import ascii_series
+from repro.util.units import TB, format_bytes
+
+#: The two regional-tier contenders, as registry specs.
+POLICIES: tuple[str, ...] = ("file-lru", "filecule-lru")
+
+#: Site tier: a fixed, deliberately small file-LRU cache (0.5% of the
+#: accessed bytes) that skims short-reuse hits before the regional tier.
+SITE_FRACTION = 0.005
+
+
+def _hierarchy(policy: str, fraction: float) -> HierarchySpec:
+    """``site:file-lru@0.5% + regional:<policy>@<fraction> + origin``."""
+    return HierarchySpec(
+        (
+            TierSpec(
+                "site",
+                "file-lru",
+                TierCapacity(SITE_FRACTION * 100.0, relative=True),
+            ),
+            TierSpec(
+                "regional",
+                policy,
+                TierCapacity(fraction * 100.0, relative=True),
+            ),
+        )
+    )
+
+
+@register("hierarchy-fig10")
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    trace = ctx.trace
+    total = trace.total_bytes()
+    specs = {
+        (policy, frac): _hierarchy(policy, frac)
+        for policy in POLICIES
+        for frac in CAPACITY_FRACTIONS
+    }
+    results = hierarchy_sweep(
+        trace,
+        list(specs.values()),
+        jobs=ctx.jobs,
+        partition=ctx.partition,
+    )
+    by_cell = {
+        key: results[str(spec)] for key, spec in specs.items()
+    }
+
+    metrics = MetricsRegistry()
+    conserved = True
+    for res in by_cell.values():
+        fold_hierarchy_metrics(res, metrics)
+        for upper, lower in zip(res.tiers, res.tiers[1:]):
+            conserved &= lower.metrics.requests == upper.metrics.misses
+        conserved &= res.origin_requests == res.tiers[-1].metrics.misses
+
+    file_hit = [
+        by_cell[("file-lru", f)].origin_byte_hit_rate
+        for f in CAPACITY_FRACTIONS
+    ]
+    cule_hit = [
+        by_cell[("filecule-lru", f)].origin_byte_hit_rate
+        for f in CAPACITY_FRACTIONS
+    ]
+    caps = [max(int(f * total), 1) for f in CAPACITY_FRACTIONS]
+    rows = tuple(
+        (
+            format_bytes(cap, 1),
+            f"{frac:.1%}",
+            file_hit[i],
+            cule_hit[i],
+            by_cell[("filecule-lru", frac)].request_hit_rate,
+        )
+        for i, (cap, frac) in enumerate(zip(caps, CAPACITY_FRACTIONS))
+    )
+    figure = ascii_series(
+        [cap / TB for cap in caps],
+        {"file-lru": file_hit, "filecule-lru": cule_hit},
+        title="origin byte hit rate vs regional cache size (TB)",
+    )
+    checks = {
+        "filecule regional tier offloads >= file at every capacity": all(
+            c >= f - 1e-9 for f, c in zip(file_hit, cule_hit)
+        ),
+        "origin offload grows with regional capacity (both policies)": (
+            all(a <= b + 1e-9 for a, b in zip(file_hit, file_hit[1:]))
+            and all(a <= b + 1e-9 for a, b in zip(cule_hit, cule_hit[1:]))
+        ),
+        "tier conservation: tier[k+1].requests == tier[k].misses": conserved,
+        "metrics registry carries every replay": (
+            metrics.get("hier_replays") == len(specs)
+        ),
+    }
+    largest = CAPACITY_FRACTIONS[-1]
+    notes = (
+        f"site tier fixed at {SITE_FRACTION:.1%} of accessed bytes "
+        f"({format_bytes(int(SITE_FRACTION * total), 1)}), file-LRU — the "
+        f"status-quo edge cache the regional tier sits behind",
+        f"at the largest regional tier ({largest:.0%}): origin offload "
+        f"{by_cell[('filecule-lru', largest)].origin_byte_hit_rate:.3f} "
+        f"(filecule) vs "
+        f"{by_cell[('file-lru', largest)].origin_byte_hit_rate:.3f} (file) — "
+        f"the §5 advantage survives a site tier skimming short reuse",
+        f"total accessed data: {format_bytes(total, 1)}",
+    )
+    return ExperimentResult(
+        experiment_id="hierarchy-fig10",
+        title="Origin offload in a tiered hierarchy, file vs filecule regional cache",
+        headers=(
+            "regional",
+            "of data",
+            "file-lru offload",
+            "filecule-lru offload",
+            "req hit rate (cule)",
+        ),
+        rows=rows,
+        figure_text=figure,
+        notes=notes,
+        checks=checks,
+    )

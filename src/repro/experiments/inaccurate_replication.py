@@ -28,14 +28,13 @@ import numpy as np
 from repro.core.identify import find_filecules
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.replication.evaluate import compare_strategies
-from repro.replication.strategies import (
-    FileculeReplication,
-    LocalKnowledgeFileculeReplication,
-)
 from repro.util.units import format_bytes
 
 TOP_K = 10
 BUDGET_FRACTION = 0.05
+
+#: Declarative strategy table: registry placement specs, no classes.
+STRATEGIES: tuple[str, ...] = ("filecule-rank", "local-filecule-rank")
 
 
 def _fixed_intent_rows(ctx: ExperimentContext) -> tuple[list[tuple], list[float]]:
@@ -102,12 +101,12 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     budget = max(int(BUDGET_FRACTION * trace.total_bytes()), 1)
     outcomes = compare_strategies(
         trace,
-        [FileculeReplication(), LocalKnowledgeFileculeReplication()],
+        STRATEGIES,
         budget_bytes_per_site=budget,
     )
     by_name = {o.strategy: o for o in outcomes}
-    global_o = by_name["filecule-granularity"]
-    local_o = by_name["filecule-local-knowledge"]
+    global_o = by_name["filecule-rank"]
+    local_o = by_name["local-filecule-rank"]
     checks["budgeted self-coverage within 20% of global knowledge"] = (
         local_o.local_byte_fraction >= 0.8 * global_o.local_byte_fraction - 0.02
     )

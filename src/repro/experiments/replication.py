@@ -25,17 +25,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.obs.metrics import MetricsRegistry
 from repro.replication.evaluate import compare_strategies
-from repro.replication.strategies import (
-    FileculeReplication,
-    FileGranularityReplication,
-    GlobalPopularityReplication,
-)
 from repro.util.units import format_bytes
 
 
 #: Per-site budgets as fractions of total accessed data.
 BUDGET_FRACTIONS: tuple[float, ...] = (0.01, 0.05, 0.2)
+
+#: Declarative strategy table: registry placement specs, no classes.
+STRATEGIES: tuple[str, ...] = ("file-rank", "filecule-rank", "global-rank")
 
 
 @register("replication")
@@ -43,15 +42,13 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     trace = ctx.trace
     total = trace.total_bytes()
     budgets = [max(int(f * total), 1) for f in BUDGET_FRACTIONS]
-    strategies = [
-        FileGranularityReplication(),
-        FileculeReplication(),
-        GlobalPopularityReplication(),
-    ]
+    metrics = MetricsRegistry()
     rows = []
     by_budget: dict[int, dict[str, object]] = {}
     for budget in budgets:
-        outcomes = compare_strategies(trace, strategies, budget)
+        outcomes = compare_strategies(
+            trace, STRATEGIES, budget, metrics=metrics
+        )
         by_budget[budget] = {o.strategy: o for o in outcomes}
         for o in outcomes:
             rows.append(
@@ -66,8 +63,8 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             )
     checks: dict[str, bool] = {}
     for budget in budgets:
-        file_o = by_budget[budget]["file-granularity"]
-        cule_o = by_budget[budget]["filecule-granularity"]
+        file_o = by_budget[budget]["file-rank"]
+        cule_o = by_budget[budget]["filecule-rank"]
         label = format_bytes(budget, 1)
         checks[f"{label}: filecule job-completion >= 90% of file plan"] = (
             cule_o.job_complete_fraction >= 0.9 * file_o.job_complete_fraction
@@ -76,14 +73,18 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
             cule_o.used_fraction >= file_o.used_fraction - 0.10
         )
     big = budgets[-1]
-    cule_big = by_budget[big]["filecule-granularity"]
-    glob_big = by_budget[big]["global-popularity"]
+    cule_big = by_budget[big]["filecule-rank"]
+    glob_big = by_budget[big]["global-rank"]
     checks[
         "at the largest budget, interest-aware matches >=85% of the "
         "global plan's locality at a fraction of the push cost"
     ] = (
         cule_big.local_byte_fraction >= 0.85 * glob_big.local_byte_fraction
         and cule_big.push_bytes <= 0.6 * glob_big.push_bytes
+    )
+    checks["metrics registry carries one labeled plan per strategy/budget"] = all(
+        metrics.get("repl_plans", strategy=name) == len(budgets)
+        for name in STRATEGIES
     )
     notes = (
         "filecule plans never ship partial co-access groups; file plans "

@@ -1,0 +1,86 @@
+"""Per-tier hierarchy metrics: registry counters and link pricing.
+
+:func:`fold_hierarchy_metrics` turns a
+:class:`~repro.engine.hierarchy.HierarchyResult` into the shared
+:class:`~repro.obs.metrics.MetricsRegistry` vocabulary — plain labeled
+counters, so hierarchy replays merge, serialize, and expose exactly
+like every other producer (parallel workers fold with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`; the flight recorder
+differentiates the counters into rates and derives the per-interval
+origin-offload series ``derived:origin_offload``).
+
+Counter vocabulary (all monotone, ``tier``-labeled where per-tier):
+
+========================== =============================================
+``hier_replays``            hierarchy replays folded in
+``hier_demand_requests``    requests entering the hierarchy (tier 0)
+``hier_demand_bytes``       bytes requested of the hierarchy (tier 0)
+``hier_requests{tier=}``    requests reaching the tier
+``hier_hits{tier=}``        requests the tier served
+``hier_bytes_requested{tier=}`` bytes demanded of the tier
+``hier_bytes_hit{tier=}``   bytes the tier served from residency
+``hier_link_bytes{tier=}``  bytes the tier pulled over its upstream link
+``hier_origin_requests``    requests that fell through every tier
+``hier_origin_bytes``       demanded bytes served by the origin
+``hier_origin_fetched_bytes`` bytes actually pulled from the origin
+                            (includes group-prefetch overhead)
+========================== =============================================
+
+:func:`estimate_transfer_seconds` prices each tier's link traffic on a
+:class:`~repro.transfer.LinkModel` (one transfer per miss), the same
+first-order cost model :mod:`repro.transfer` uses for replication
+placement traffic.
+"""
+
+from __future__ import annotations
+
+from repro.engine.hierarchy import HierarchyResult
+from repro.obs.metrics import MetricsRegistry
+from repro.transfer.links import LinkModel, default_tier_links
+
+__all__ = ["estimate_transfer_seconds", "fold_hierarchy_metrics"]
+
+
+def fold_hierarchy_metrics(
+    result: HierarchyResult, metrics: MetricsRegistry
+) -> MetricsRegistry:
+    """Fold one hierarchy replay into ``metrics``; returns the registry."""
+    metrics.inc("hier_replays")
+    metrics.inc("hier_demand_requests", result.demand_requests)
+    metrics.inc("hier_demand_bytes", result.demand_bytes)
+    for tier in result.tiers:
+        m = tier.metrics
+        metrics.inc("hier_requests", m.requests, tier=tier.tier)
+        metrics.inc("hier_hits", m.hits, tier=tier.tier)
+        metrics.inc("hier_bytes_requested", m.bytes_requested, tier=tier.tier)
+        metrics.inc("hier_bytes_hit", m.bytes_hit, tier=tier.tier)
+        metrics.inc("hier_link_bytes", tier.link_bytes, tier=tier.tier)
+    metrics.inc("hier_origin_requests", result.origin_requests)
+    metrics.inc("hier_origin_bytes", result.origin_demand_bytes)
+    metrics.inc("hier_origin_fetched_bytes", result.origin_fetched_bytes)
+    return metrics
+
+
+def estimate_transfer_seconds(
+    result: HierarchyResult,
+    links: dict[str, LinkModel] | None = None,
+) -> dict[str, float]:
+    """Per-tier refill time on each tier's upstream link, in seconds.
+
+    ``links`` maps tier name to :class:`~repro.transfer.LinkModel`;
+    the default assigns :data:`~repro.transfer.LINK_PRESETS` by
+    position (innermost tier refills over ``wan``, the tier above over
+    ``regional``, outer tiers over ``lan``).  Each tier's traffic is
+    its ``link_bytes`` moved as one transfer per miss — the same
+    miss-driven granularity the replay charged the link with.  Missing
+    tiers in a caller-supplied mapping raise ``KeyError`` (a silently
+    unpriced tier would read as free).
+    """
+    if links is None:
+        links = default_tier_links(t.tier for t in result.tiers)
+    return {
+        t.tier: links[t.tier].transfer_seconds(
+            t.link_bytes, transfers=t.metrics.misses
+        )
+        for t in result.tiers
+    }

@@ -1,0 +1,317 @@
+"""Tier topology model: hierarchy specs and their wire format.
+
+A :class:`HierarchySpec` describes a cache hierarchy *declaratively*,
+the way :class:`~repro.registry.BoundSpec` describes one policy: a
+sequence of caching tiers (outermost first — the one the demand stream
+hits first), each with a name, a registry policy spec, a capacity, and
+an inter-tier link cost, terminated by the origin, which holds
+everything.  Its string form is the wire format accepted everywhere a
+hierarchy can be chosen::
+
+    site:lru@10%+regional:filecule-lru@5%+origin
+
+Tier grammar: ``name:policy@capacity[^link_cost]`` joined by ``+``,
+with a trailing bare segment naming the origin.  ``capacity`` is either
+absolute bytes (an integer) or a percentage of the replayed workload's
+total accessed bytes (``10%``), which makes one spec scale-invariant
+across workload tiers exactly like the Figure 10 capacity fractions.
+``policy`` is any :mod:`repro.registry` spec string, parameters
+included (``filecule-lru?intra_job_hits=false``).  ``link_cost`` is a
+relative price per byte pulled into the tier over its upstream link
+(default 1.0, omitted from the canonical string).
+
+``parse_hierarchy`` is a canonicalizer in the registry's sense:
+aliases resolve, floats normalize, and
+``parse_hierarchy(str(spec)) == spec`` holds for every constructible
+spec — property-tested, because the string is what crosses process
+boundaries in parallel hierarchy sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro import registry
+from repro.registry import BoundSpec, PolicySpecError, UnknownPolicyError
+
+__all__ = [
+    "HierarchySpec",
+    "HierarchySpecError",
+    "TierCapacity",
+    "TierSpec",
+    "parse_hierarchy",
+]
+
+#: Tier and origin names: identifier-ish, so the wire format's
+#: delimiters (``:+@^%``) can never appear inside a name.
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
+
+#: Default origin segment name.
+DEFAULT_ORIGIN = "origin"
+
+
+class HierarchySpecError(ValueError):
+    """A hierarchy wire string or tier definition is malformed."""
+
+
+def _format_float(value: float) -> str:
+    """Shortest decimal that round-trips ``value`` exactly.
+
+    ``%g`` covers every human-entered number (``10``, ``2.5``); the
+    ``repr`` fallback guarantees exact round-trip for arbitrary
+    constructed floats (``0.30000000000000004``), which is what makes
+    ``parse_hierarchy(str(spec)) == spec`` a theorem rather than a
+    convention — the property tests generate adversarial floats.
+    """
+    text = f"{value:g}"
+    if float(text) != value:
+        text = repr(value)
+    # "+" is the hierarchy's tier delimiter, so exponents must not carry
+    # it ("1e+22" -> "1e22"; the parse is unchanged).
+    return text.replace("e+", "e")
+
+
+@dataclass(frozen=True, slots=True)
+class TierCapacity:
+    """One tier's size: absolute bytes, or a percentage of the workload.
+
+    ``relative=True`` reads ``value`` as a percentage of the replayed
+    trace's total accessed bytes (``TierCapacity(10, relative=True)``
+    is the wire form ``10%``); ``relative=False`` reads it as absolute
+    bytes and requires an integer.
+    """
+
+    value: float
+    relative: bool = False
+
+    def __post_init__(self) -> None:
+        value = self.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise HierarchySpecError(
+                f"capacity must be a number, got {value!r}"
+            )
+        if not math.isfinite(value) or value <= 0:
+            raise HierarchySpecError(
+                f"capacity must be positive and finite, got {value!r}"
+            )
+        if not self.relative and value != int(value):
+            raise HierarchySpecError(
+                f"absolute capacity must be whole bytes, got {value!r}; "
+                f"use a percentage ('{_format_float(value)}%') for "
+                f"fractional sizes"
+            )
+
+    def capacity_bytes(self, total_bytes: int) -> int:
+        """Resolve to bytes against the workload's total accessed bytes."""
+        if self.relative:
+            return int(total_bytes * (self.value / 100.0))
+        return int(self.value)
+
+    def __str__(self) -> str:
+        if self.relative:
+            return f"{_format_float(float(self.value))}%"
+        return str(int(self.value))
+
+
+@dataclass(frozen=True, slots=True)
+class TierSpec:
+    """One caching tier: name, policy, capacity, upstream link cost.
+
+    ``policy`` accepts a registry spec string for convenience and is
+    canonicalized to a :class:`~repro.registry.BoundSpec` on
+    construction, so equality and the wire form never depend on how the
+    policy was spelled.
+    """
+
+    name: str
+    policy: BoundSpec
+    capacity: TierCapacity
+    link_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise HierarchySpecError(
+                f"bad tier name {self.name!r}: want "
+                f"{_NAME_RE.pattern}"
+            )
+        policy = self.policy
+        if isinstance(policy, str):
+            policy = _parse_policy(self.name, policy)
+            object.__setattr__(self, "policy", policy)
+        elif isinstance(policy, BoundSpec):
+            object.__setattr__(
+                self, "policy", _parse_policy(self.name, policy)
+            )
+        else:
+            raise HierarchySpecError(
+                f"tier {self.name!r}: policy must be a registry spec "
+                f"string or BoundSpec, got {policy!r}"
+            )
+        if not isinstance(self.capacity, TierCapacity):
+            raise HierarchySpecError(
+                f"tier {self.name!r}: capacity must be a TierCapacity, "
+                f"got {self.capacity!r}"
+            )
+        cost = self.link_cost
+        if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+            raise HierarchySpecError(
+                f"tier {self.name!r}: link cost must be a number, "
+                f"got {cost!r}"
+            )
+        cost = float(cost)
+        if not math.isfinite(cost) or cost < 0:
+            raise HierarchySpecError(
+                f"tier {self.name!r}: link cost must be finite and "
+                f">= 0, got {cost!r}"
+            )
+        object.__setattr__(self, "link_cost", cost)
+
+    def capacity_bytes(self, total_bytes: int) -> int:
+        return self.capacity.capacity_bytes(total_bytes)
+
+    def __str__(self) -> str:
+        text = f"{self.name}:{self.policy}@{self.capacity}"
+        if self.link_cost != 1.0:
+            text += f"^{_format_float(self.link_cost)}"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchySpec:
+    """A full hierarchy: caching tiers outermost-first, then the origin.
+
+    The origin is a name, not a tier — it has no policy or capacity
+    because it holds everything; it exists in the model so per-tier
+    metrics have an explicit "fell through everything" sink and so the
+    wire string reads as the actual data path.
+    """
+
+    tiers: tuple[TierSpec, ...]
+    origin: str = DEFAULT_ORIGIN
+
+    def __post_init__(self) -> None:
+        tiers = tuple(self.tiers)
+        object.__setattr__(self, "tiers", tiers)
+        if not tiers:
+            raise HierarchySpecError(
+                "a hierarchy needs at least one caching tier before "
+                "the origin"
+            )
+        for tier in tiers:
+            if not isinstance(tier, TierSpec):
+                raise HierarchySpecError(
+                    f"tiers must be TierSpec instances, got {tier!r}"
+                )
+        if not isinstance(self.origin, str) or not _NAME_RE.match(self.origin):
+            raise HierarchySpecError(
+                f"bad origin name {self.origin!r}: want "
+                f"{_NAME_RE.pattern}"
+            )
+        names = [t.name for t in tiers] + [self.origin]
+        if len(set(names)) != len(names):
+            raise HierarchySpecError(
+                f"tier names must be unique, got {names}"
+            )
+
+    @property
+    def caching_tiers(self) -> tuple[TierSpec, ...]:
+        """The tiers that cache (everything but the origin)."""
+        return self.tiers
+
+    @property
+    def tier_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tiers)
+
+    def __str__(self) -> str:
+        return "+".join([*(str(t) for t in self.tiers), self.origin])
+
+
+def _parse_policy(tier_name: str, text: str | BoundSpec) -> BoundSpec:
+    try:
+        return registry.parse(text)
+    except (UnknownPolicyError, PolicySpecError) as exc:
+        raise HierarchySpecError(f"tier {tier_name!r}: {exc}") from exc
+
+
+def _parse_capacity(tier_name: str, text: str) -> TierCapacity:
+    text = text.strip()
+    if not text:
+        raise HierarchySpecError(f"tier {tier_name!r}: empty capacity")
+    if text.endswith("%"):
+        try:
+            value = float(text[:-1])
+        except ValueError:
+            raise HierarchySpecError(
+                f"tier {tier_name!r}: bad capacity percentage {text!r}"
+            ) from None
+        return TierCapacity(value, relative=True)
+    try:
+        value = int(text)
+    except ValueError:
+        raise HierarchySpecError(
+            f"tier {tier_name!r}: bad capacity {text!r}; want whole "
+            f"bytes (e.g. '1000000000') or a percentage (e.g. '10%')"
+        ) from None
+    return TierCapacity(value)
+
+
+def _parse_tier(segment: str) -> TierSpec:
+    name, sep, rest = segment.partition(":")
+    name = name.strip()
+    if not sep:
+        raise HierarchySpecError(
+            f"bad tier {segment!r}: want 'name:policy@capacity"
+            f"[^link_cost]' (a bare name is only valid as the trailing "
+            f"origin segment)"
+        )
+    body, at, tail = rest.rpartition("@")
+    if not at:
+        raise HierarchySpecError(
+            f"tier {name!r}: missing '@capacity' in {segment!r}"
+        )
+    link_cost = 1.0
+    cap_text, caret, cost_text = tail.partition("^")
+    if caret:
+        try:
+            link_cost = float(cost_text)
+        except ValueError:
+            raise HierarchySpecError(
+                f"tier {name!r}: bad link cost {cost_text!r}"
+            ) from None
+    policy = _parse_policy(name, body.strip())
+    capacity = _parse_capacity(name, cap_text)
+    return TierSpec(
+        name=name, policy=policy, capacity=capacity, link_cost=link_cost
+    )
+
+
+def parse_hierarchy(text: str | HierarchySpec) -> HierarchySpec:
+    """Parse a hierarchy wire string into a canonical :class:`HierarchySpec`.
+
+    Accepts an existing spec unchanged, so every replay entry point can
+    take either form.  Raises :class:`HierarchySpecError` with the
+    offending segment named for anything malformed.
+    """
+    if isinstance(text, HierarchySpec):
+        return text
+    if not isinstance(text, str):
+        raise HierarchySpecError(
+            f"want a hierarchy string or HierarchySpec, got {text!r}"
+        )
+    segments = [s.strip() for s in text.strip().split("+")]
+    if len(segments) < 2 or not all(segments):
+        raise HierarchySpecError(
+            f"bad hierarchy {text!r}: want "
+            f"'name:policy@capacity+...+origin' — at least one caching "
+            f"tier and a trailing origin name"
+        )
+    *tier_segments, origin = segments
+    if ":" in origin or "@" in origin:
+        raise HierarchySpecError(
+            f"bad hierarchy {text!r}: the trailing segment is the "
+            f"origin and must be a bare name, got {origin!r}"
+        )
+    tiers = tuple(_parse_tier(segment) for segment in tier_segments)
+    return HierarchySpec(tiers=tiers, origin=origin)

@@ -15,9 +15,14 @@ derives *per-interval* series from it:
 - histograms yield ``p50:<key>`` / ``p99:<key>`` quantiles of the
   observations *in the interval* (a bucket-delta walk, not the
   cumulative quantile) plus a ``rate:<key>.count`` throughput series;
-- one derived series, ``derived:hit_rate``, carries the per-interval
+- two derived series: ``derived:hit_rate`` carries the per-interval
   global cache hit rate (hits delta over requests delta, weighted by
-  requests so cross-worker merges recover the true global ratio).
+  requests so cross-worker merges recover the true global ratio), and
+  ``derived:origin_offload`` the per-interval fraction of demanded
+  bytes a cache hierarchy absorbed before the origin (from the
+  ``hier_demand_bytes`` / ``hier_origin_bytes`` counters that
+  :func:`repro.hierarchy.fold_hierarchy_metrics` maintains, weighted
+  by demand bytes for the same merge-exactness).
 
 Memory is constant by construction: every :class:`Series` is a ring
 buffer of at most ``capacity`` points (:data:`DEFAULT_CAPACITY` by
@@ -354,12 +359,24 @@ class TimeSeriesRecorder:
         counters = dict(registry._counters)
         gauges = dict(registry._gauges)
 
+        hier_demand_delta = 0.0
+        hier_origin_delta = 0.0
         if emit:
             for key, value in counters.items():
                 delta = value - self._last_counters.get(key, 0)
                 if delta < 0:  # registry replaced/reset
                     delta = value
                 self.series(f"rate:{_format_key(key)}").add(now, delta / dt)
+                if key[0] == "hier_demand_bytes":
+                    hier_demand_delta += delta
+                elif key[0] == "hier_origin_bytes":
+                    hier_origin_delta += delta
+        if emit and hier_demand_delta > 0:
+            self.series("derived:origin_offload", "mean").add(
+                now,
+                1.0 - hier_origin_delta / hier_demand_delta,
+                weight=hier_demand_delta,
+            )
 
         hits_delta = 0.0
         requests_delta = 0.0

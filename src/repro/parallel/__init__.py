@@ -22,6 +22,7 @@ See ``docs/PERFORMANCE.md`` for the design, the equivalence guarantees
 and how to read ``BENCH_sweep.json``.
 """
 
+from repro.parallel.cells import CellError, map_trace_cells
 from repro.parallel.plan import (
     DEFAULT_MIN_ACCESSES,
     MIN_CHUNK_ACCESSES,
@@ -44,6 +45,8 @@ from repro.parallel.shm import (
 )
 
 __all__ = [
+    "CellError",
+    "map_trace_cells",
     "DEFAULT_MIN_ACCESSES",
     "DEFAULT_PROGRESS_EVERY",
     "MIN_CHUNK_ACCESSES",

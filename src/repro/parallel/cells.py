@@ -1,0 +1,181 @@
+"""Generic shared-trace fan-out: map picklable payloads over one trace.
+
+:class:`ParallelSweepRunner` is specialized for (policy, capacity)
+grids; hierarchy sweeps and other trace-bound workloads need the same
+machinery — one immutable trace shipped zero-copy through shared
+memory, cells chunked by :func:`~repro.parallel.plan.plan_sweep`, an
+auto-serial fallback below the crossover — without the sweep-specific
+result shape.  :func:`map_trace_cells` is that machinery with the cell
+body abstracted out:
+
+* ``runner(trace, resources, payload) -> result`` is a **module-level
+  function** (dispatched by reference, so it pickles by qualified name
+  under ``spawn`` and is inherited under ``fork`` — never a closure);
+* ``payloads`` and ``resources`` must pickle (they ride the pool
+  initializer / task queue), and each ``result`` must pickle back;
+* results come back **in payload order**, exactly as the serial loop
+  would produce them — the equivalence tests assert list equality;
+* a failing cell raises :class:`CellError` naming its payload, and the
+  shared-memory segment is unlinked in a ``finally`` even on failure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Sequence
+
+from repro.parallel.plan import plan_sweep
+from repro.parallel.shm import SharedTraceBuffers, attach_trace
+from repro.traces.trace import Trace
+
+__all__ = ["CellError", "map_trace_cells"]
+
+#: Runner contract: ``(trace, resources, payload) -> result``.
+CellRunner = Callable[[Trace, Any, Any], Any]
+
+
+class CellError(RuntimeError):
+    """A cell failed while mapping payloads over the shared trace."""
+
+    def __init__(self, index: int, payload, cause: BaseException):
+        self.index = index
+        self.payload = payload
+        super().__init__(
+            f"trace cell {index} failed for payload {payload!r}: {cause!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_cell_worker(spec, runner: CellRunner, resources) -> None:
+    trace, shm = attach_trace(spec)
+    _WORKER["trace"] = trace
+    _WORKER["shm"] = shm  # keep the mapping alive for the process lifetime
+    _WORKER["runner"] = runner
+    _WORKER["resources"] = resources
+
+
+def _run_cell_chunk(chunk: tuple) -> list:
+    """Run a batch of (index, payload) cells in this worker.
+
+    Mirrors the sweep runner's chunk protocol: a failing cell becomes an
+    ``("err", index, exc)`` entry, the chunk's remaining cells still
+    run, and the parent raises :class:`CellError` for the first error in
+    payload order.
+    """
+    trace = _WORKER["trace"]
+    runner = _WORKER["runner"]
+    resources = _WORKER["resources"]
+    out = []
+    for index, payload in chunk:
+        try:
+            out.append(("ok", index, runner(trace, resources, payload)))
+        except Exception as exc:
+            out.append(("err", index, exc))
+    return out
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+def map_trace_cells(
+    trace: Trace,
+    runner: CellRunner,
+    payloads: Sequence,
+    *,
+    jobs: int = 1,
+    resources=None,
+    accesses_per_cell: int | None = None,
+    start_method: str | None = None,
+    auto_serial: bool = True,
+    oversubscribe: bool = False,
+) -> list:
+    """Map ``runner`` over ``payloads`` against one shared trace.
+
+    ``jobs`` is a worker ceiling with :func:`repro.parallel.plan.
+    plan_sweep` semantics: grids too small to amortize the pool's fixed
+    costs run on the plain serial loop instead (identical results),
+    unless ``auto_serial=False`` or ``REPRO_PARALLEL_FORCE=1``.
+    ``accesses_per_cell`` feeds the crossover estimate and defaults to
+    the full trace length — the right figure when every cell replays
+    the whole trace, as hierarchy sweeps do.
+
+    ``runner`` must be a module-level function and ``resources`` /
+    ``payloads`` / results must pickle; see the module docstring.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    items = list(payloads)
+    if not items:
+        return []
+    if accesses_per_cell is None:
+        accesses_per_cell = trace.n_accesses
+    plan = plan_sweep(
+        len(items),
+        accesses_per_cell,
+        jobs,
+        oversubscribe=oversubscribe,
+    )
+    if jobs == 1 or (auto_serial and not plan.use_parallel):
+        results = []
+        for index, payload in enumerate(items):
+            try:
+                results.append(runner(trace, resources, payload))
+            except Exception as exc:
+                raise CellError(index, payload, exc) from exc
+        return results
+
+    available = multiprocessing.get_all_start_methods()
+    method = start_method
+    if method is None:
+        method = "fork" if "fork" in available else "spawn"
+    elif method not in available:
+        raise RuntimeError(
+            f"start method {method!r} is not available on this "
+            f"platform (have: {available})"
+        )
+    ctx = multiprocessing.get_context(method)
+
+    cells = list(enumerate(items))
+    chunks = [
+        tuple(cells[k : k + plan.cells_per_chunk])
+        for k in range(0, len(cells), plan.cells_per_chunk)
+    ]
+    processes = max(1, min(plan.workers, len(chunks)))
+    results: list = [None] * len(items)
+    buffers = SharedTraceBuffers(trace)
+    try:
+        with ctx.Pool(
+            processes,
+            initializer=_init_cell_worker,
+            initargs=(buffers.spec, runner, resources),
+        ) as pool:
+            pending = [
+                (chunk, pool.apply_async(_run_cell_chunk, (chunk,)))
+                for chunk in chunks
+            ]
+            for chunk, handle in pending:
+                try:
+                    entries = handle.get()
+                except Exception as exc:
+                    # The whole chunk failed to round-trip (e.g. an
+                    # unpicklable result); blame its first cell.
+                    index, payload = chunk[0]
+                    raise CellError(index, payload, exc) from exc
+                for entry in entries:
+                    if entry[0] == "err":
+                        _, index, exc = entry
+                        raise CellError(index, items[index], exc) from exc
+                    _, index, result = entry
+                    results[index] = result
+    finally:
+        buffers.close()
+        buffers.unlink()
+    return results

@@ -26,6 +26,14 @@ shared resources its flags demand::
 
     policy = registry.build("filecule-lru", capacity, partition=partition)
 
+Replication *placement* strategies (``is_placement`` specs, registered
+lazily by :mod:`repro.replication`) share the same namespace and wire
+format but are listed by :func:`placement_names` and built by
+:func:`build_placement` — so experiment drivers declare replication
+strategy tables as spec strings exactly like policy tables::
+
+    strategy = registry.build_placement("filecule-rank")
+
 See ``docs/ARCHITECTURE.md`` for where the registry sits in the layer
 map and why it is the only module that pairs policy classes with
 construction recipes.
@@ -39,10 +47,14 @@ from repro.registry.spec import (
     PolicySpecError,
     UnknownPolicyError,
     build,
+    build_placement,
     get_spec,
+    list_placement_specs,
     list_specs,
     parse,
+    placement_names,
     policy_names,
+    register_placement,
     register_policy,
     service_policy_names,
 )
@@ -58,10 +70,14 @@ __all__ = [
     "PolicySpecError",
     "UnknownPolicyError",
     "build",
+    "build_placement",
     "get_spec",
+    "list_placement_specs",
     "list_specs",
     "parse",
+    "placement_names",
     "policy_names",
+    "register_placement",
     "register_policy",
     "service_policy_names",
 ]

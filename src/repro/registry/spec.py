@@ -24,11 +24,15 @@ from collections.abc import Callable, Mapping
 from repro.cache.base import ReplacementPolicy
 
 #: Ordered capability-flag names, as exposed by :attr:`PolicySpec.flags`.
+#: New flags are appended, never reordered — consumers index by name but
+#: serialized flag tuples must stay stable across versions.
 FLAG_NAMES = (
     "needs_filecules",
     "needs_trace",
     "is_offline_optimal",
     "supports_batch",
+    "is_placement",
+    "needs_hierarchy",
 )
 
 
@@ -54,6 +58,14 @@ class PolicySpec:
     complete parameter schema: a parameter unknown to ``defaults`` is
     rejected at parse/build time, and each default's Python type drives
     the string-value coercion in :func:`parse`.
+
+    Specs with ``is_placement=True`` describe *replication placement*
+    strategies instead of cache policies: their factory is called as
+    ``factory(**params)`` (plus ``hierarchy=...`` when
+    ``needs_hierarchy``) and returns a
+    :class:`repro.replication.ReplicationStrategy`.  They share the
+    parse/canonicalize machinery but build through
+    :func:`build_placement`, never :func:`build`.
     """
 
     name: str
@@ -64,6 +76,8 @@ class PolicySpec:
     needs_trace: bool = False
     is_offline_optimal: bool = False
     supports_batch: bool = False
+    is_placement: bool = False
+    needs_hierarchy: bool = False
     aliases: tuple[str, ...] = ()
 
     @property
@@ -98,6 +112,54 @@ class BoundSpec:
 _SPECS: dict[str, PolicySpec] = {}
 _ALIASES: dict[str, str] = {}  # alias -> canonical name
 
+#: Set once :func:`_ensure_placements` has imported the placement table.
+_PLACEMENTS_LOADED = False
+
+
+def _ensure_placements() -> None:
+    """Load the placement spec table (registered by ``repro.replication``).
+
+    Lazy upward import, same sanctioned pattern as the engine's registry
+    upcall: the placement *implementations* live in the replication
+    layer above this one, so the registry pulls them in only when a
+    placement name is actually asked for — importing ``repro.registry``
+    alone never drags in the replication stack.
+    """
+    global _PLACEMENTS_LOADED
+    if _PLACEMENTS_LOADED:
+        return
+    _PLACEMENTS_LOADED = True  # set first: the import re-enters via deco
+    import repro.replication  # noqa: F401  (registration side effect)
+
+
+def _register(
+    name: str,
+    *,
+    summary: str,
+    defaults: Mapping[str, object] | None,
+    aliases: tuple[str, ...],
+    **flags,
+) -> Callable:
+    def deco(factory: Callable):
+        if name in _SPECS or name in _ALIASES:
+            raise ValueError(f"duplicate policy spec name {name!r}")
+        spec = PolicySpec(
+            name=name,
+            factory=factory,
+            summary=summary,
+            defaults=dict(defaults or {}),
+            aliases=tuple(aliases),
+            **flags,
+        )
+        _SPECS[name] = spec
+        for alias in spec.aliases:
+            if alias in _SPECS or alias in _ALIASES:
+                raise ValueError(f"duplicate policy alias {alias!r}")
+            _ALIASES[alias] = name
+        return factory
+
+    return deco
+
 
 def register_policy(
     name: str,
@@ -111,52 +173,99 @@ def register_policy(
     aliases: tuple[str, ...] = (),
 ) -> Callable[[Callable[..., ReplacementPolicy]], Callable[..., ReplacementPolicy]]:
     """Decorator registering ``factory`` under ``name`` (plus aliases)."""
+    return _register(
+        name,
+        summary=summary,
+        defaults=defaults,
+        aliases=aliases,
+        needs_filecules=needs_filecules,
+        needs_trace=needs_trace,
+        is_offline_optimal=is_offline_optimal,
+        supports_batch=supports_batch,
+    )
 
-    def deco(factory: Callable[..., ReplacementPolicy]):
-        if name in _SPECS or name in _ALIASES:
-            raise ValueError(f"duplicate policy spec name {name!r}")
-        spec = PolicySpec(
-            name=name,
-            factory=factory,
-            summary=summary,
-            defaults=dict(defaults or {}),
-            needs_filecules=needs_filecules,
-            needs_trace=needs_trace,
-            is_offline_optimal=is_offline_optimal,
-            supports_batch=supports_batch,
-            aliases=tuple(aliases),
-        )
-        _SPECS[name] = spec
-        for alias in spec.aliases:
-            if alias in _SPECS or alias in _ALIASES:
-                raise ValueError(f"duplicate policy alias {alias!r}")
-            _ALIASES[alias] = name
-        return factory
 
-    return deco
+def register_placement(
+    name: str,
+    *,
+    summary: str = "",
+    defaults: Mapping[str, object] | None = None,
+    needs_hierarchy: bool = False,
+    aliases: tuple[str, ...] = (),
+) -> Callable:
+    """Decorator registering a replication *placement* strategy factory.
+
+    Placements share the registry's namespace, parse/canonicalize
+    machinery and wire format with cache policies, but are kept out of
+    :func:`policy_names` / :func:`list_specs` (a placement can never
+    replay a cache) and build through :func:`build_placement`.
+    ``needs_hierarchy`` marks factories that must be handed a
+    :class:`repro.hierarchy.HierarchySpec` to place against.
+    """
+    return _register(
+        name,
+        summary=summary,
+        defaults=defaults,
+        aliases=aliases,
+        is_placement=True,
+        needs_hierarchy=needs_hierarchy,
+    )
 
 
 def list_specs() -> list[PolicySpec]:
-    """Every registered spec, sorted by canonical name."""
-    return [_SPECS[name] for name in sorted(_SPECS)]
+    """Every registered cache-policy spec, sorted by canonical name."""
+    return [
+        _SPECS[name]
+        for name in sorted(_SPECS)
+        if not _SPECS[name].is_placement
+    ]
+
+
+def list_placement_specs() -> list[PolicySpec]:
+    """Every registered placement spec, sorted by canonical name."""
+    _ensure_placements()
+    return [
+        _SPECS[name] for name in sorted(_SPECS) if _SPECS[name].is_placement
+    ]
 
 
 def policy_names(*, include_aliases: bool = False) -> list[str]:
-    names = list(_SPECS)
+    names = [n for n, s in _SPECS.items() if not s.is_placement]
     if include_aliases:
-        names.extend(_ALIASES)
+        names.extend(
+            a for a, c in _ALIASES.items() if not _SPECS[c].is_placement
+        )
+    return sorted(names)
+
+
+def placement_names(*, include_aliases: bool = False) -> list[str]:
+    """Registered placement names (canonical, optionally with aliases)."""
+    _ensure_placements()
+    names = [n for n, s in _SPECS.items() if s.is_placement]
+    if include_aliases:
+        names.extend(a for a, c in _ALIASES.items() if _SPECS[c].is_placement)
     return sorted(names)
 
 
 def get_spec(name: str) -> PolicySpec:
-    """Look a spec up by canonical name or alias."""
+    """Look a spec up by canonical name or alias (policy or placement)."""
     canonical = _ALIASES.get(name, name)
     try:
         return _SPECS[canonical]
     except KeyError:
+        pass
+    # The name may belong to the lazily-registered placement table.
+    _ensure_placements()
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _SPECS[canonical]
+    except KeyError:
+        known = sorted(
+            policy_names(include_aliases=True)
+            + placement_names(include_aliases=True)
+        )
         raise UnknownPolicyError(
-            f"unknown policy {name!r}; known specs: "
-            f"{', '.join(policy_names(include_aliases=True))}"
+            f"unknown policy {name!r}; known specs: {', '.join(known)}"
         ) from None
 
 
@@ -265,16 +374,12 @@ def build(
     """
     bound = parse(spec)
     policy_spec = get_spec(bound.name)
-    merged = dict(policy_spec.defaults)
-    merged.update(bound.params)
-    for key, value in params.items():
-        if key not in policy_spec.defaults:
-            valid = ", ".join(sorted(policy_spec.defaults)) or "<none>"
-            raise PolicySpecError(
-                f"policy {policy_spec.name!r} has no parameter {key!r}; "
-                f"valid parameters: {valid}"
-            )
-        merged[key] = value
+    if policy_spec.is_placement:
+        raise PolicySpecError(
+            f"{policy_spec.name!r} is a replication placement, not a "
+            f"cache policy; build it with build_placement(...)"
+        )
+    merged = _merge_params(policy_spec, bound, params)
     if policy_spec.needs_filecules and partition is None:
         raise PolicyResourceError(
             f"policy {policy_spec.name!r} needs a filecule partition; "
@@ -288,3 +393,48 @@ def build(
     return policy_spec.factory(
         int(capacity), trace=trace, partition=partition, **merged
     )
+
+
+def _merge_params(policy_spec: PolicySpec, bound: BoundSpec, params: dict) -> dict:
+    merged = dict(policy_spec.defaults)
+    merged.update(bound.params)
+    for key, value in params.items():
+        if key not in policy_spec.defaults:
+            valid = ", ".join(sorted(policy_spec.defaults)) or "<none>"
+            raise PolicySpecError(
+                f"policy {policy_spec.name!r} has no parameter {key!r}; "
+                f"valid parameters: {valid}"
+            )
+        merged[key] = value
+    return merged
+
+
+def build_placement(spec: str | BoundSpec, *, hierarchy=None, **params):
+    """Construct a fresh replication placement strategy from a spec.
+
+    The placement counterpart of :func:`build`: resolves the name (or
+    alias) through the shared registry, merges parameter overrides, and
+    calls the placement factory.  ``hierarchy`` is the shared resource a
+    ``needs_hierarchy``-flagged placement requires — a
+    :class:`repro.hierarchy.HierarchySpec` or its wire string.  Passing
+    a cache-policy name here raises :class:`PolicySpecError` (use
+    :func:`build`), mirroring :func:`build`'s guard in the other
+    direction.
+    """
+    _ensure_placements()
+    bound = parse(spec)
+    placement_spec = get_spec(bound.name)
+    if not placement_spec.is_placement:
+        raise PolicySpecError(
+            f"{placement_spec.name!r} is a cache policy, not a "
+            f"replication placement; build it with build(...)"
+        )
+    merged = _merge_params(placement_spec, bound, params)
+    if placement_spec.needs_hierarchy:
+        if hierarchy is None:
+            raise PolicyResourceError(
+                f"placement {placement_spec.name!r} needs a hierarchy; "
+                f"pass hierarchy='site:lru@10%+origin' or a HierarchySpec"
+            )
+        return placement_spec.factory(hierarchy=hierarchy, **merged)
+    return placement_spec.factory(**merged)

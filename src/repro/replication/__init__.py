@@ -3,14 +3,26 @@
 The paper argues filecules are the right abstraction for answering "what
 files to replicate?"  This package makes that concrete:
 
-* :mod:`repro.replication.strategies` — budgeted replication planners:
-  per-site popularity ranking at file granularity, filecule granularity,
-  and a locality-blind global baseline;
+* :mod:`repro.replication.strategies` — budgeted replication planners,
+  registered as :mod:`repro.registry` *placement specs* so strategy
+  selection is declarative data: ``file-rank`` (single files),
+  ``filecule-rank`` (whole filecules), ``global-rank`` (locality-blind),
+  ``local-filecule-rank`` (per-site knowledge only), ``hybrid-rank``
+  (whole filecules, then files into the residual budget), and
+  ``tiered-filecule-rank`` (placement shaped by a
+  :mod:`repro.hierarchy` tier geometry — the first ``needs_hierarchy``
+  placement);
 * :mod:`repro.replication.placement` — the site × filecule interest
   matrix the planners rank with;
 * :mod:`repro.replication.evaluate` — warmup/evaluation split of a trace,
   analytic scoring (local byte fraction, push cost, wasted pushed bytes)
-  and an optional end-to-end replay on the :mod:`repro.sam` substrate.
+  reported through the shared :class:`~repro.obs.metrics.MetricsRegistry`
+  vocabulary, and an optional end-to-end replay on the :mod:`repro.sam`
+  substrate.
+
+Build a planner from its spec string with
+``registry.build_placement("filecule-rank")``; the evaluation entry
+points accept the spec strings directly.
 """
 
 from repro.replication.strategies import (
@@ -19,13 +31,17 @@ from repro.replication.strategies import (
     FileGranularityReplication,
     FileculeReplication,
     GlobalPopularityReplication,
+    HybridReplication,
     LocalKnowledgeFileculeReplication,
+    TieredFileculeReplication,
 )
 from repro.replication.placement import interest_matrix, site_budgets
 from repro.replication.evaluate import (
     ReplicationOutcome,
-    evaluate_replication,
     compare_strategies,
+    evaluate_replication,
+    fold_replication_metrics,
+    resolve_strategy,
 )
 
 __all__ = [
@@ -34,10 +50,14 @@ __all__ = [
     "FileGranularityReplication",
     "FileculeReplication",
     "GlobalPopularityReplication",
+    "HybridReplication",
     "LocalKnowledgeFileculeReplication",
+    "TieredFileculeReplication",
     "interest_matrix",
     "site_budgets",
     "ReplicationOutcome",
-    "evaluate_replication",
     "compare_strategies",
+    "evaluate_replication",
+    "fold_replication_metrics",
+    "resolve_strategy",
 ]

@@ -16,6 +16,15 @@ the remaining jobs.  Metrics:
 
 An optional end-to-end replay on the :mod:`repro.sam` substrate reports
 stall times with the plan's catalog pre-registered.
+
+Strategies are selected declaratively: every entry point accepts a
+:mod:`repro.registry` placement spec string (``"filecule-rank"``), a
+:class:`~repro.registry.BoundSpec`, or an already-built
+:class:`~repro.replication.ReplicationStrategy` instance.  Outcomes
+report through the shared :class:`~repro.obs.metrics.MetricsRegistry`
+vocabulary (:func:`fold_replication_metrics`) — strategy-labeled
+counters that merge/serialize/expose like every other producer — so
+experiment drivers no longer carry ad-hoc result dicts.
 """
 
 from __future__ import annotations
@@ -25,8 +34,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import registry
 from repro.core.filecule import FileculePartition
 from repro.core.identify import find_filecules
+from repro.obs.metrics import MetricsRegistry
 from repro.replication.placement import site_budgets
 from repro.replication.strategies import ReplicationPlan, ReplicationStrategy
 from repro.sam.catalog import ReplicaCatalog
@@ -61,6 +72,48 @@ class ReplicationOutcome:
         return (
             self.used_push_bytes / self.push_bytes if self.push_bytes else 0.0
         )
+
+
+def resolve_strategy(
+    strategy, *, hierarchy=None
+) -> ReplicationStrategy:
+    """Resolve a placement spec (or pass an instance through).
+
+    The single seam between declarative strategy tables and live
+    planners: spec strings and :class:`~repro.registry.BoundSpec`
+    selections go through :func:`repro.registry.build_placement`
+    (``hierarchy`` forwarded for ``needs_hierarchy`` placements);
+    already-built strategies are returned unchanged.
+    """
+    if isinstance(strategy, ReplicationStrategy):
+        return strategy
+    return registry.build_placement(strategy, hierarchy=hierarchy)
+
+
+def fold_replication_metrics(
+    outcome: "ReplicationOutcome", metrics: MetricsRegistry
+) -> MetricsRegistry:
+    """Fold one outcome into ``metrics`` as strategy-labeled counters.
+
+    Vocabulary (all monotone, labeled ``strategy=<name>``):
+    ``repl_plans``, ``repl_push_bytes``, ``repl_push_replicas``,
+    ``repl_eval_jobs``, ``repl_eval_bytes``, ``repl_local_bytes``,
+    ``repl_complete_jobs``, ``repl_used_push_bytes``.  Ratios
+    (locality, completion, waste) stay derivable after any number of
+    merges because numerators and denominators travel separately.
+    """
+    name = outcome.strategy
+    metrics.inc("repl_plans", strategy=name)
+    metrics.inc("repl_push_bytes", outcome.push_bytes, strategy=name)
+    metrics.inc("repl_push_replicas", outcome.push_replicas, strategy=name)
+    metrics.inc("repl_eval_jobs", outcome.eval_jobs, strategy=name)
+    metrics.inc("repl_eval_bytes", outcome.eval_bytes, strategy=name)
+    metrics.inc("repl_local_bytes", outcome.local_bytes, strategy=name)
+    metrics.inc("repl_complete_jobs", outcome.complete_jobs, strategy=name)
+    metrics.inc(
+        "repl_used_push_bytes", outcome.used_push_bytes, strategy=name
+    )
+    return metrics
 
 
 def _split_by_time(trace: Trace, warmup_fraction: float) -> tuple[Trace, Trace]:
@@ -117,17 +170,23 @@ def _score_plan(
 
 def evaluate_replication(
     trace: Trace,
-    strategy: ReplicationStrategy,
+    strategy,
     budget_bytes_per_site: int,
     warmup_fraction: float = 0.5,
     partition: FileculePartition | None = None,
     with_grid_replay: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> ReplicationOutcome:
     """Plan on the warmup window, score on the rest.
 
+    ``strategy`` is a placement spec string, a
+    :class:`~repro.registry.BoundSpec`, or a built strategy instance.
     The partition handed to the strategy is identified *from the warmup
-    window only* — strategies never see the future.
+    window only* — strategies never see the future.  When ``metrics``
+    is given the outcome is folded in via
+    :func:`fold_replication_metrics`.
     """
+    strategy = resolve_strategy(strategy)
     warm, rest = _split_by_time(trace, warmup_fraction)
     if partition is None:
         partition = find_filecules(warm)
@@ -142,7 +201,7 @@ def evaluate_replication(
             catalog.bulk_register(plan.site_files[s], s)
         grid_report = replay_trace(rest, catalog=catalog)
 
-    return ReplicationOutcome(
+    outcome = ReplicationOutcome(
         strategy=plan.strategy,
         push_bytes=plan.total_bytes,
         push_replicas=plan.total_replicas,
@@ -153,15 +212,24 @@ def evaluate_replication(
         used_push_bytes=used,
         grid_report=grid_report,
     )
+    if metrics is not None:
+        fold_replication_metrics(outcome, metrics)
+    return outcome
 
 
 def compare_strategies(
     trace: Trace,
-    strategies: Sequence[ReplicationStrategy],
+    strategies: Sequence,
     budget_bytes_per_site: int,
     warmup_fraction: float = 0.5,
+    metrics: MetricsRegistry | None = None,
 ) -> list[ReplicationOutcome]:
-    """Score several strategies on the identical split and budget."""
+    """Score several strategies on the identical split and budget.
+
+    ``strategies`` entries take the same forms as
+    :func:`evaluate_replication`'s ``strategy`` — declarative spec
+    tables (``("file-rank", "filecule-rank")``) are the expected shape.
+    """
     warm, _ = _split_by_time(trace, warmup_fraction)
     partition = find_filecules(warm)
     return [
@@ -171,6 +239,7 @@ def compare_strategies(
             budget_bytes_per_site,
             warmup_fraction,
             partition=partition,
+            metrics=metrics,
         )
         for strategy in strategies
     ]

@@ -4,6 +4,20 @@ Every strategy observes a *history* trace (the warmup window) and emits a
 :class:`ReplicationPlan`: for each site, the set of files to pre-place
 within a per-site byte budget.  The §6 comparison is between ranking and
 shipping *files* versus whole *filecules*.
+
+Strategies are registered as :mod:`repro.registry` placement specs
+(``registry.register_placement``), so strategy selection is declarative
+data exactly like cache-policy selection: experiment drivers hold tables
+of spec strings (``"file-rank"``, ``"filecule-rank"``, ...) and
+``registry.build_placement`` constructs the planner.  Canonical names
+use the ``-rank`` suffix; the pre-registry class names survive as
+aliases (``file-granularity`` → ``file-rank``).
+
+Plan invariants (property-tested):
+
+* ``site_bytes[s]`` never exceeds the site's budget;
+* no file id appears twice in a site's push set;
+* planning is deterministic — same history, same budgets, same plan.
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.filecule import FileculePartition
+from repro.registry import register_placement
 from repro.replication.placement import file_interest_matrix, interest_matrix
 from repro.traces.trace import Trace
 
@@ -63,6 +78,50 @@ class ReplicationStrategy(ABC):
         return budgets
 
 
+def _tie_break(file_ids: np.ndarray) -> np.ndarray:
+    """Deterministic pseudo-random key per file (splitmix-style).
+
+    Popularity ties are broken by a hash of the file id, not by id
+    order: a filecule-unaware planner sees arbitrary logical file names,
+    and id-adjacency in the synthetic catalog would otherwise smuggle in
+    exactly the co-access structure the file-rank baseline lacks.
+    """
+    x = file_ids.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _greedy_files(
+    order: np.ndarray,
+    sizes: np.ndarray,
+    budget: int,
+    *,
+    used: int = 0,
+    taken: set[int] | None = None,
+) -> tuple[list[int], int]:
+    """First-fit fill of ``budget`` with files in ``order``; skips
+    ids already in ``taken`` and anything that would overflow."""
+    chosen: list[int] = []
+    for f in order:
+        f = int(f)
+        if taken is not None and f in taken:
+            continue
+        size = int(sizes[f])
+        if used + size > budget:
+            continue
+        chosen.append(f)
+        used += size
+        if taken is not None:
+            taken.add(f)
+    return chosen, used
+
+
+@register_placement(
+    "file-rank",
+    summary="per-site greedy fill with the locally most-requested files",
+    aliases=("file-granularity",),
+)
 class FileGranularityReplication(ReplicationStrategy):
     """Per-site greedy fill with the locally most-requested files.
 
@@ -70,22 +129,13 @@ class FileGranularityReplication(ReplicationStrategy):
     the best information granularity but no notion of co-access, so it
     happily ships *parts* of co-used groups and strands jobs on the
     missing members.
-
-    Popularity ties are broken by a deterministic hash of the file id,
-    not by id order: a filecule-unaware planner sees arbitrary logical
-    file names, and id-adjacency in the synthetic catalog would otherwise
-    smuggle in exactly the co-access structure this baseline lacks.
     """
 
-    name = "file-granularity"
+    name = "file-rank"
 
-    @staticmethod
-    def _tie_break(file_ids: np.ndarray) -> np.ndarray:
-        """Deterministic pseudo-random key per file (splitmix-style)."""
-        x = file_ids.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
-        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-        return x ^ (x >> np.uint64(31))
+    # kept as a static hook: the tie-break is part of this baseline's
+    # documented behavior and the tests exercise it directly
+    _tie_break = staticmethod(_tie_break)
 
     def plan(
         self,
@@ -101,22 +151,25 @@ class FileGranularityReplication(ReplicationStrategy):
         for s in range(history.n_sites):
             wanted = np.flatnonzero(counts[s] > 0)
             order = wanted[
-                np.lexsort((self._tie_break(wanted), -counts[s][wanted]))
+                np.lexsort((_tie_break(wanted), -counts[s][wanted]))
             ]
-            chosen: list[int] = []
-            used = 0
-            budget = int(budgets[s])
-            for f in order:
-                size = int(sizes[f])
-                if used + size > budget:
-                    continue
-                chosen.append(int(f))
-                used += size
+            chosen, used = _greedy_files(order, sizes, int(budgets[s]))
             site_files.append(np.asarray(chosen, dtype=np.int64))
             site_bytes.append(used)
         return ReplicationPlan(self.name, tuple(site_files), tuple(site_bytes))
 
 
+def _rank_filecules(counts_row: np.ndarray) -> np.ndarray:
+    """Filecule labels with interest, hottest first (stable order)."""
+    wanted = np.flatnonzero(counts_row > 0)
+    return wanted[np.argsort(counts_row[wanted], kind="stable")[::-1]]
+
+
+@register_placement(
+    "filecule-rank",
+    summary="per-site greedy fill with whole locally-hot filecules",
+    aliases=("filecule-granularity",),
+)
 class FileculeReplication(ReplicationStrategy):
     """Per-site greedy fill with the locally most-requested *filecules*.
 
@@ -126,7 +179,7 @@ class FileculeReplication(ReplicationStrategy):
     skipped (never split).
     """
 
-    name = "filecule-granularity"
+    name = "filecule-rank"
 
     def plan(
         self,
@@ -140,8 +193,7 @@ class FileculeReplication(ReplicationStrategy):
         site_files: list[np.ndarray] = []
         site_bytes: list[int] = []
         for s in range(history.n_sites):
-            wanted = np.flatnonzero(counts[s] > 0)
-            order = wanted[np.argsort(counts[s][wanted], kind="stable")[::-1]]
+            order = _rank_filecules(counts[s])
             chosen: list[np.ndarray] = []
             used = 0
             budget = int(budgets[s])
@@ -159,6 +211,11 @@ class FileculeReplication(ReplicationStrategy):
         return ReplicationPlan(self.name, tuple(site_files), tuple(site_bytes))
 
 
+@register_placement(
+    "global-rank",
+    summary="locality-blind baseline: every site gets the global top files",
+    aliases=("global-popularity",),
+)
 class GlobalPopularityReplication(ReplicationStrategy):
     """Locality-blind baseline: every site gets the globally hottest files.
 
@@ -167,7 +224,7 @@ class GlobalPopularityReplication(ReplicationStrategy):
     sites.
     """
 
-    name = "global-popularity"
+    name = "global-rank"
 
     def plan(
         self,
@@ -183,20 +240,17 @@ class GlobalPopularityReplication(ReplicationStrategy):
         site_files: list[np.ndarray] = []
         site_bytes: list[int] = []
         for s in range(history.n_sites):
-            chosen: list[int] = []
-            used = 0
-            budget = int(budgets[s])
-            for f in order:
-                size = int(sizes[f])
-                if used + size > budget:
-                    continue
-                chosen.append(int(f))
-                used += size
+            chosen, used = _greedy_files(order, sizes, int(budgets[s]))
             site_files.append(np.asarray(chosen, dtype=np.int64))
             site_bytes.append(used)
         return ReplicationPlan(self.name, tuple(site_files), tuple(site_bytes))
 
 
+@register_placement(
+    "local-filecule-rank",
+    summary="filecule fill planned from per-site knowledge only (§6)",
+    aliases=("filecule-local-knowledge",),
+)
 class LocalKnowledgeFileculeReplication(ReplicationStrategy):
     """Filecule replication planned from *per-site* knowledge only (§6).
 
@@ -212,7 +266,7 @@ class LocalKnowledgeFileculeReplication(ReplicationStrategy):
     ignored.
     """
 
-    name = "filecule-local-knowledge"
+    name = "local-filecule-rank"
 
     def plan(
         self,
@@ -241,6 +295,151 @@ class LocalKnowledgeFileculeReplication(ReplicationStrategy):
                     continue
                 chosen.append(fc.file_ids)
                 used += fc.size_bytes
+            files = (
+                np.concatenate(chosen) if chosen else np.zeros(0, dtype=np.int64)
+            )
+            site_files.append(files)
+            site_bytes.append(used)
+        return ReplicationPlan(self.name, tuple(site_files), tuple(site_bytes))
+
+
+@register_placement(
+    "hybrid-rank",
+    summary="whole filecules first, residual budget filled with files",
+)
+class HybridReplication(ReplicationStrategy):
+    """Whole filecules first, then single files into the leftover budget.
+
+    Filecule-rank's weakness is quantization: a budget boundary can
+    strand capacity no whole filecule fits into.  The hybrid keeps the
+    co-access guarantee for everything it ships as a group, then spends
+    the residual bytes on the site's hottest not-yet-placed *files*
+    (file-rank order, tie-broken identically) — so it dominates
+    filecule-rank on locality by construction while still never
+    splitting a group it could afford whole.
+    """
+
+    name = "hybrid-rank"
+
+    def plan(
+        self,
+        history: Trace,
+        partition: FileculePartition,
+        budgets: np.ndarray,
+    ) -> ReplicationPlan:
+        budgets = self._check_budgets(history, budgets)
+        fc_counts = interest_matrix(history, partition)
+        file_counts = file_interest_matrix(history)
+        fc_sizes = partition.sizes_bytes
+        sizes = history.file_sizes
+        site_files: list[np.ndarray] = []
+        site_bytes: list[int] = []
+        for s in range(history.n_sites):
+            budget = int(budgets[s])
+            taken: set[int] = set()
+            chosen: list[int] = []
+            used = 0
+            for c in _rank_filecules(fc_counts[s]):
+                size = int(fc_sizes[c])
+                if used + size > budget:
+                    continue
+                members = partition[int(c)].file_ids
+                chosen.extend(int(f) for f in members)
+                taken.update(int(f) for f in members)
+                used += size
+            wanted = np.flatnonzero(file_counts[s] > 0)
+            order = wanted[
+                np.lexsort((_tie_break(wanted), -file_counts[s][wanted]))
+            ]
+            extra, used = _greedy_files(
+                order, sizes, budget, used=used, taken=taken
+            )
+            chosen.extend(extra)
+            site_files.append(np.asarray(chosen, dtype=np.int64))
+            site_bytes.append(used)
+        return ReplicationPlan(self.name, tuple(site_files), tuple(site_bytes))
+
+
+@register_placement(
+    "tiered-filecule-rank",
+    summary="filecule fill split across a cache hierarchy's tier shares",
+    needs_hierarchy=True,
+)
+class TieredFileculeReplication(ReplicationStrategy):
+    """Filecule placement shaped by a cache hierarchy's tier geometry.
+
+    Splits each site's budget across the hierarchy's caching tiers in
+    proportion to their capacities, then fills each share outermost
+    first with the site's hottest still-unplaced filecules that would
+    actually *fit* in that tier (a filecule larger than a tier can
+    never be resident there, so staging it against that share is
+    wasted intent).  Unspent share rolls inward.  With a single-tier
+    hierarchy this collapses to plain filecule-rank with an extra
+    fits-the-tier constraint.
+
+    The first ``needs_hierarchy`` placement: it demands the
+    :class:`repro.hierarchy.HierarchySpec` being replayed, wired
+    through ``registry.build_placement(..., hierarchy=...)``.
+    """
+
+    name = "tiered-filecule-rank"
+
+    def __init__(self, hierarchy) -> None:
+        # Lazy upward import, the engine→registry pattern: the topology
+        # model ranks above replication (see tools/check_layering.py).
+        from repro.hierarchy.spec import parse_hierarchy
+
+        self._hierarchy = parse_hierarchy(hierarchy)
+
+    @property
+    def hierarchy(self):
+        """The parsed :class:`repro.hierarchy.HierarchySpec`."""
+        return self._hierarchy
+
+    def plan(
+        self,
+        history: Trace,
+        partition: FileculePartition,
+        budgets: np.ndarray,
+    ) -> ReplicationPlan:
+        budgets = self._check_budgets(history, budgets)
+        tiers = self._hierarchy.caching_tiers
+        total = history.total_bytes()
+        tier_caps = [t.capacity_bytes(total) for t in tiers]
+        cap_sum = sum(tier_caps)
+        shares = (
+            [c / cap_sum for c in tier_caps]
+            if cap_sum > 0
+            else [1.0 / len(tiers)] * len(tiers)
+        )
+        counts = interest_matrix(history, partition)
+        fc_sizes = partition.sizes_bytes
+        site_files: list[np.ndarray] = []
+        site_bytes: list[int] = []
+        for s in range(history.n_sites):
+            budget = int(budgets[s])
+            order = _rank_filecules(counts[s])
+            placed: set[int] = set()  # filecule labels
+            chosen: list[np.ndarray] = []
+            used = 0
+            carry = 0
+            for share, tier_cap in zip(shares, tier_caps):
+                sub_budget = int(share * budget) + carry
+                sub_used = 0
+                for c in order:
+                    c = int(c)
+                    if c in placed:
+                        continue
+                    size = int(fc_sizes[c])
+                    if size > tier_cap:
+                        continue  # could never be resident in this tier
+                    if sub_used + size > sub_budget:
+                        continue
+                    placed.add(c)
+                    chosen.append(partition[c].file_ids)
+                    sub_used += size
+                carry = sub_budget - sub_used
+                used += sub_used
             files = (
                 np.concatenate(chosen) if chosen else np.zeros(0, dtype=np.int64)
             )

@@ -466,6 +466,47 @@ class Trace:
             validate=False,
         )
 
+    def subset_accesses(self, mask: np.ndarray) -> "Trace":
+        """New trace keeping only accesses where ``mask`` is True.
+
+        All catalogs *and all job rows* are preserved unchanged — job
+        ids, start times and file ids stay comparable with the parent
+        trace.  This is the miss-through primitive of the hierarchical
+        replay (:mod:`repro.engine.hierarchy`): the accesses a cache
+        tier missed become the demand stream of the tier below it, with
+        each surviving access keeping its original job and timestamp.
+
+        Filtering the canonical (job, file)-sorted, de-duplicated access
+        columns preserves both properties, so the result adopts the
+        filtered columns zero-copy via the ``canonical`` fast path.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n_accesses:
+            raise ValueError(
+                f"mask length {len(mask)} != number of accesses "
+                f"{self.n_accesses}"
+            )
+        return Trace(
+            file_sizes=self.file_sizes,
+            file_tiers=self.file_tiers,
+            file_datasets=self.file_datasets,
+            job_users=self.job_users,
+            job_nodes=self.job_nodes,
+            job_tiers=self.job_tiers,
+            job_starts=self.job_starts,
+            job_ends=self.job_ends,
+            access_jobs=self.access_jobs[mask],
+            access_files=self.access_files[mask],
+            user_domains=self.user_domains,
+            node_sites=self.node_sites,
+            node_domains=self.node_domains,
+            site_names=self.site_names,
+            domain_names=self.domain_names,
+            job_labels=self.job_labels,
+            validate=False,
+            canonical=True,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Trace(jobs={self.n_jobs}, files={self.n_files}, "

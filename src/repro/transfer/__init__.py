@@ -12,8 +12,17 @@ concurrency profile (:mod:`repro.transfer.concurrency`), and goes one step
 beyond the paper with an explicit fluid-model swarm simulator
 (:mod:`repro.transfer.bittorrent`) that prices the actual benefit of
 swarming vs client-server under the observed arrival pattern.
+
+:mod:`repro.transfer.links` adds the inter-tier link models
+(:class:`LinkModel`, bandwidth + per-transfer setup) that price a cache
+hierarchy's refill traffic — see :mod:`repro.hierarchy`.
 """
 
+from repro.transfer.links import (
+    LINK_PRESETS,
+    LinkModel,
+    default_tier_links,
+)
 from repro.transfer.intervals import (
     AccessInterval,
     filecule_access_times,
@@ -43,6 +52,9 @@ from repro.transfer.scheduling import (
 )
 
 __all__ = [
+    "LINK_PRESETS",
+    "LinkModel",
+    "default_tier_links",
     "AccessInterval",
     "filecule_access_times",
     "job_duration_intervals",

@@ -1,0 +1,89 @@
+"""Inter-tier network link models for the cache hierarchy.
+
+The ESnet XRootD studies (arXiv 2205.05598, arXiv 2307.11069) describe
+the topology :mod:`repro.hierarchy` replays — site cache, regional
+in-network cache, origin — and the links between its tiers differ by
+orders of magnitude: a site cache refills over the campus/metro network,
+a regional cache refills over the wide-area path back to the origin.
+:class:`LinkModel` prices a tier's refill traffic on such a link with
+the standard first-order model::
+
+    seconds = setup·transfers + bytes · 8 / bandwidth
+
+(one latency charge per transfer plus serialization time), the same
+shape as :mod:`repro.transfer.scheduling`'s per-transfer cost.  The
+presets below are round numbers in the regime those studies report —
+10/100 Gbps class paths with millisecond-to-continental RTTs — not
+measurements; experiments that care pass their own models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkModel",
+    "LINK_PRESETS",
+    "default_tier_links",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """A point-to-point link: sustained bandwidth plus per-transfer setup.
+
+    ``bandwidth_bps`` is in *bits* per second; ``setup_s`` charges RTT/
+    handshake per transfer (a miss-driven fetch counts as one transfer).
+    """
+
+    name: str
+    bandwidth_bps: float
+    setup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_bps}"
+            )
+        if self.setup_s < 0:
+            raise ValueError(f"setup must be >= 0, got {self.setup_s}")
+
+    def transfer_seconds(self, n_bytes: int, transfers: int = 1) -> float:
+        """Time to move ``n_bytes`` as ``transfers`` separate fetches."""
+        if n_bytes < 0:
+            raise ValueError(f"bytes must be >= 0, got {n_bytes}")
+        return self.setup_s * max(0, transfers) + (
+            n_bytes * 8.0 / self.bandwidth_bps
+        )
+
+
+#: Named link classes for the three hierarchy hops.  ``lan``: the
+#: campus network in front of a site cache; ``regional``: the backbone
+#: path between a site and its regional in-network cache; ``wan``: the
+#: long-haul path from the regional cache back to the origin.
+LINK_PRESETS: dict[str, LinkModel] = {
+    "lan": LinkModel("lan", bandwidth_bps=100e9, setup_s=0.0005),
+    "regional": LinkModel("regional", bandwidth_bps=10e9, setup_s=0.015),
+    "wan": LinkModel("wan", bandwidth_bps=1e9, setup_s=0.120),
+}
+
+
+def default_tier_links(tier_names) -> dict[str, LinkModel]:
+    """Assign link presets to caching tiers by position.
+
+    ``tier_names`` lists the caching tiers outermost-first.  A tier's
+    link is the path it *refills over*: the innermost tier pulls from
+    the origin (``wan``), the tier above it from the regional cache
+    (``regional``), anything further out is a local hop (``lan``).
+    """
+    names = list(tier_names)
+    links: dict[str, LinkModel] = {}
+    for depth_from_origin, name in enumerate(reversed(names)):
+        if depth_from_origin == 0:
+            preset = "wan"
+        elif depth_from_origin == 1:
+            preset = "regional"
+        else:
+            preset = "lan"
+        links[name] = LINK_PRESETS[preset]
+    return links

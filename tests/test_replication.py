@@ -150,8 +150,8 @@ class TestEvaluation:
             budget_bytes_per_site=1000,
         )
         assert [o.strategy for o in outs] == [
-            "file-granularity",
-            "filecule-granularity",
+            "file-rank",
+            "filecule-rank",
         ]
         assert outs[0].eval_jobs == outs[1].eval_jobs
 

@@ -1,0 +1,151 @@
+"""Property tests: every registered placement obeys the plan contract.
+
+The :class:`~repro.replication.ReplicationPlan` invariants the §6
+evaluation machinery (and the grid substrate's catalogs) rely on:
+
+* **budget safety** — each site's pushed bytes never exceed its budget;
+* **no duplicates** — a site is never handed the same file id twice
+  (``ReplicaCatalog.bulk_register`` would double-count it);
+* **self-consistency** — ``site_bytes[s]`` equals the actual byte sum
+  of ``site_files[s]``;
+* **determinism** — planning twice from the same history is identical
+  (plans feed seeded experiments; nondeterminism would break replay).
+
+The strategies come from the registry placement catalog, so a newly
+registered placement is swept automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import registry
+from repro.core.identify import find_filecules
+from repro.hierarchy import parse_hierarchy
+from tests.conftest import make_trace
+
+N_FILES = 12
+N_SITES = 3
+
+#: Hierarchy handed to ``needs_hierarchy`` placements under test.
+HIERARCHY = "site:file-lru@40%+regional:filecule-lru@60%+origin"
+
+job_lists = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=N_FILES - 1),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=14,
+)
+file_size_lists = st.lists(
+    st.integers(min_value=1, max_value=50),
+    min_size=N_FILES,
+    max_size=N_FILES,
+)
+budget_values = st.integers(min_value=0, max_value=400)
+
+
+def build_trace(jobs, sizes):
+    n_jobs = len(jobs)
+    nodes = [j % N_SITES for j in range(n_jobs)]
+    return make_trace(
+        jobs,
+        n_files=N_FILES,
+        file_sizes=sizes,
+        job_nodes=nodes,
+        node_sites=list(range(N_SITES)),
+        node_domains=[0] * N_SITES,
+        site_names=[f"s{i}" for i in range(N_SITES)],
+    )
+
+
+def build_strategy(name: str):
+    spec = registry.get_spec(name)
+    hierarchy = parse_hierarchy(HIERARCHY) if spec.needs_hierarchy else None
+    return registry.build_placement(name, hierarchy=hierarchy)
+
+
+@pytest.mark.parametrize("name", registry.placement_names())
+class TestPlanContract:
+    @given(jobs=job_lists, sizes=file_size_lists, budget=budget_values)
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, name, jobs, sizes, budget):
+        trace = build_trace(jobs, sizes)
+        partition = find_filecules(trace)
+        budgets = np.full(trace.n_sites, budget, dtype=np.int64)
+        strategy = build_strategy(name)
+        plan = strategy.plan(trace, partition, budgets)
+
+        assert plan.strategy == name
+        assert len(plan.site_files) == trace.n_sites
+        file_sizes = trace.file_sizes
+        for s in range(trace.n_sites):
+            pushed = plan.site_files[s]
+            # no duplicate file ids per site
+            assert len(np.unique(pushed)) == len(pushed)
+            # bytes within budget and self-consistent
+            actual = int(file_sizes[pushed].sum()) if len(pushed) else 0
+            assert actual == plan.site_bytes[s]
+            assert actual <= budget
+        assert plan.total_bytes == sum(plan.site_bytes)
+        assert plan.total_replicas == sum(len(f) for f in plan.site_files)
+
+        # determinism: a fresh strategy over the same history agrees
+        again = build_strategy(name).plan(trace, partition, budgets)
+        assert again.site_bytes == plan.site_bytes
+        for a, b in zip(again.site_files, plan.site_files):
+            assert np.array_equal(a, b)
+
+    def test_zero_budget_plans_nothing(self, name):
+        trace = build_trace([[0, 1], [2, 3]], [5] * N_FILES)
+        partition = find_filecules(trace)
+        plan = build_strategy(name).plan(
+            trace, partition, np.zeros(trace.n_sites, dtype=np.int64)
+        )
+        assert plan.total_bytes == 0
+        assert plan.total_replicas == 0
+
+
+class TestPlacementRegistry:
+    def test_placement_catalog(self):
+        names = registry.placement_names()
+        for required in (
+            "file-rank",
+            "filecule-rank",
+            "global-rank",
+            "local-filecule-rank",
+            "hybrid-rank",
+            "tiered-filecule-rank",
+        ):
+            assert required in names
+        # placements never leak into the cache-policy catalog
+        assert not set(names) & set(registry.policy_names())
+
+    def test_aliases_resolve(self):
+        legacy = registry.get_spec("filecule-granularity")
+        assert legacy.name == "filecule-rank"
+        assert registry.get_spec("file-granularity").name == "file-rank"
+
+    def test_flags(self):
+        spec = registry.get_spec("tiered-filecule-rank")
+        assert spec.is_placement
+        assert spec.needs_hierarchy
+        assert not registry.get_spec("filecule-rank").needs_hierarchy
+
+    def test_build_direction_guards(self):
+        with pytest.raises(registry.PolicySpecError, match="placement"):
+            registry.build("filecule-rank", 100)
+        with pytest.raises(registry.PolicySpecError, match="cache policy"):
+            registry.build_placement("file-lru")
+
+    def test_needs_hierarchy_enforced(self):
+        with pytest.raises(registry.PolicyResourceError, match="hierarchy"):
+            registry.build_placement("tiered-filecule-rank")
+        strategy = registry.build_placement(
+            "tiered-filecule-rank", hierarchy=HIERARCHY
+        )
+        assert str(strategy.hierarchy) == HIERARCHY

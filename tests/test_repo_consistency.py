@@ -12,7 +12,7 @@ REPO = Path(__file__).parent.parent
 
 #: Benchmarks of whole subsystems rather than paper experiments; exempt
 #: from the experiment-registry pairing below.
-NON_EXPERIMENT_BENCHMARKS = {"service", "sweep"}
+NON_EXPERIMENT_BENCHMARKS = {"service", "sweep", "hierarchy"}
 
 
 class TestBenchmarkCoverage:

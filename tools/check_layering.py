@@ -6,7 +6,7 @@ The repository is layered (see ``docs/ARCHITECTURE.md``)::
     util < traces < core < obs < obs.timeseries < obs.health
          < cache.base < engine < cache < registry
          < {parallel, analysis, sam, scenario, transfer, workload}
-         < replication < service < experiments
+         < replication < hierarchy < service < experiments
 
 Only **module-top-level** imports are checked: lazy function-level
 imports are the sanctioned mechanism for the engine's upcalls into the
@@ -52,8 +52,9 @@ RANKS: dict[str, int] = {
     "repro.transfer": 10,
     "repro.workload": 10,
     "repro.replication": 11,
-    "repro.service": 12,
-    "repro.experiments": 13,
+    "repro.hierarchy": 12,
+    "repro.service": 13,
+    "repro.experiments": 14,
 }
 
 #: (importer module prefix, imported module prefix) pairs allowed to
